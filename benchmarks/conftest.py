@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmark datasets are scaled-down stand-ins for the paper's DBLP and
+XMark documents (see DESIGN.md).  Engines and workload runs are built once per
+session and shared between the Figure 5 and Figure 6 drivers so the whole
+suite stays laptop-friendly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DatasetSpec, WorkloadRun, default_datasets, run_workload
+from repro.core import SearchEngine
+
+#: Sizes of the benchmark documents (publications / base items).
+DBLP_PUBLICATIONS = 500
+XMARK_BASE_ITEMS = 60
+
+#: Timing repetitions per query (the first run is discarded, like the paper).
+REPETITIONS = 2
+
+
+def _specs():
+    return default_datasets(dblp_publications=DBLP_PUBLICATIONS,
+                            xmark_base_items=XMARK_BASE_ITEMS)
+
+
+@pytest.fixture(scope="session")
+def dataset_specs():
+    return _specs()
+
+
+@pytest.fixture(scope="session")
+def engines(dataset_specs):
+    """One SearchEngine per benchmark dataset, built once."""
+    return {name: SearchEngine(spec.tree_factory())
+            for name, spec in dataset_specs.items()}
+
+
+@pytest.fixture(scope="session")
+def workload_runs(dataset_specs, engines):
+    """The full Figure 5 + Figure 6 measurement campaign, computed once."""
+    runs = {}
+    for name, spec in dataset_specs.items():
+        runs[name] = run_workload(spec, engine=engines[name],
+                                  repetitions=REPETITIONS)
+    return runs
+
+
+def representative_queries(spec: DatasetSpec, count: int = 2):
+    """A short, frequency-diverse sample of a workload for micro-benchmarks."""
+    workload = list(spec.workload)
+    if len(workload) <= count:
+        return workload
+    step = max(1, len(workload) // count)
+    return workload[::step][:count]

@@ -1,0 +1,84 @@
+"""Ablation 3 (DESIGN.md) — key-number bitmask cover test vs set-based test.
+
+Section 4.1 encodes a node's tree keyword set as an integer "key number" so
+the rule-2(a) cover check becomes a couple of integer operations.  This
+ablation times the bitmask check against an equivalent frozenset-based check
+over the same label groups and verifies they always agree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+
+from repro.core import Query
+from repro.core.node_record import NodeRecord
+from repro.core.valid_contributor import _is_covered
+
+from .conftest import representative_queries
+
+
+def _set_based_is_covered(keywords: frozenset,
+                          sibling_keyword_sets: Sequence[frozenset]) -> bool:
+    """Reference implementation of rule 2(a) using frozensets."""
+    return any(keywords != other and keywords <= other
+               for other in sibling_keyword_sets)
+
+
+@pytest.fixture(scope="module")
+def label_groups(engines, dataset_specs):
+    """All multi-child label groups appearing in one workload's record trees."""
+    engine = engines["xmark-data1"]
+    pipeline = engine.algorithm("validrtf")
+    groups = []
+    for workload_query in representative_queries(dataset_specs["xmark-data1"], 4):
+        query = Query.parse(workload_query.text)
+        for fragment in pipeline.raw_fragments(query):
+            records = pipeline.record_tree(query, fragment)
+            for record in records.root.iter_records():
+                for group in record.label_groups():
+                    if group.counter > 1:
+                        groups.append((query, group.children))
+    assert groups, "expected at least one multi-child label group"
+    return groups
+
+
+def _bitmask_pass(groups) -> int:
+    covered = 0
+    for _query, children in groups:
+        key_numbers = [child.key_number for child in children]
+        for child in children:
+            if _is_covered(child.key_number, key_numbers):
+                covered += 1
+    return covered
+
+
+def _set_pass(groups) -> int:
+    covered = 0
+    for query, children in groups:
+        keyword_sets = [frozenset(query.keywords_of(child.key_number))
+                        for child in children]
+        for child_set in keyword_sets:
+            if _set_based_is_covered(child_set, keyword_sets):
+                covered += 1
+    return covered
+
+
+def test_benchmark_bitmask_cover(benchmark, label_groups):
+    benchmark.group = "ablation-bitmask"
+    benchmark.name = "key-number-bitmask"
+    benchmark(lambda: _bitmask_pass(label_groups))
+
+
+def test_benchmark_set_cover(benchmark, label_groups):
+    benchmark.group = "ablation-bitmask"
+    benchmark.name = "frozenset"
+    benchmark(lambda: _set_pass(label_groups))
+
+
+def test_bitmask_and_set_checks_agree(label_groups):
+    assert _bitmask_pass(label_groups) == _set_pass(label_groups)
+    print(f"\nablation-bitmask: {len(label_groups)} label groups checked, "
+          f"{_bitmask_pass(label_groups)} covered children found by both "
+          f"implementations")

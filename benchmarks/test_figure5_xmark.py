@@ -1,0 +1,58 @@
+"""Figure 5(b)–(d) — MaxMatch vs ValidRTF timing on the XMark scales.
+
+Times the two algorithms on representative queries of each XMark scale and,
+outside ``--benchmark-only`` runs, prints the three panels and checks the
+scaling behaviour (RTF counts and elapsed times grow with the document size,
+ValidRTF stays within a small factor of MaxMatch everywhere).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figure5_summary, render_figure5
+
+from .conftest import representative_queries
+
+SCALES = ("xmark-standard", "xmark-data1", "xmark-data2")
+
+
+@pytest.mark.parametrize("dataset", SCALES)
+@pytest.mark.parametrize("algorithm", ["maxmatch", "validrtf"])
+def test_benchmark_xmark_mixed_query(benchmark, engines, dataset_specs,
+                                     dataset, algorithm):
+    query = representative_queries(dataset_specs[dataset], count=2)[1]
+    engine = engines[dataset]
+    benchmark.group = f"figure5-{dataset}-{query.label}"
+    benchmark.name = algorithm
+    benchmark(lambda: engine.search(query.text, algorithm))
+
+
+@pytest.mark.parametrize("dataset", SCALES)
+def test_figure5_panel_shape(workload_runs, dataset):
+    """Regenerate one XMark panel and check the qualitative claims."""
+    run = workload_runs[dataset]
+    print()
+    print(render_figure5(run))
+    summary = figure5_summary(run)
+    assert summary["queries"] == 18
+    assert summary["mean_time_ratio"] < 3.0
+    assert all(measurement.rtf_count >= 1 for measurement in run.measurements)
+
+
+def test_rtf_counts_grow_with_scale(workload_runs):
+    """The same workload finds (weakly) more RTFs on larger documents."""
+    totals = {
+        dataset: sum(m.rtf_count for m in workload_runs[dataset].measurements)
+        for dataset in SCALES
+    }
+    assert totals["xmark-standard"] <= totals["xmark-data1"] <= totals["xmark-data2"]
+
+
+def test_elapsed_time_grows_with_scale(workload_runs):
+    """Total per-workload time grows with the document size."""
+    totals = {
+        dataset: sum(m.validrtf_seconds for m in workload_runs[dataset].measurements)
+        for dataset in SCALES
+    }
+    assert totals["xmark-standard"] < totals["xmark-data2"]

@@ -1,0 +1,77 @@
+"""Storage-substrate benchmarks: shredding throughput and SQL keyword lookup.
+
+Section 5.2 measures nothing about the shredding store itself, but the paper's
+pipeline depends on it (keyword nodes come back from SQL).  These benchmarks
+document the cost of the substitution (sqlite3 instead of PostgreSQL) and
+check that the store-backed stage-1 lookups agree with the in-memory index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import InvertedIndex
+from repro.storage import MemoryStore, SQLiteStore, shred_tree
+
+
+@pytest.fixture(scope="module")
+def dblp_tree(engines):
+    return engines["dblp"].tree
+
+
+@pytest.fixture(scope="module")
+def sqlite_store(dblp_tree):
+    store = SQLiteStore()
+    store.store_tree(dblp_tree, "dblp")
+    return store
+
+
+@pytest.fixture(scope="module")
+def memory_store(dblp_tree):
+    store = MemoryStore()
+    store.store_tree(dblp_tree, "dblp")
+    return store
+
+
+def test_benchmark_shredding(benchmark, dblp_tree):
+    benchmark.group = "storage-shred"
+    benchmark.name = "shred_tree-dblp"
+    shredded = benchmark(lambda: shred_tree(dblp_tree, "dblp"))
+    assert shredded.node_count == dblp_tree.size()
+
+
+def test_benchmark_sqlite_bulk_load(benchmark, dblp_tree):
+    benchmark.group = "storage-load"
+    benchmark.name = "sqlite-store_tree"
+    shredded = shred_tree(dblp_tree, "dblp")
+
+    def load():
+        with SQLiteStore() as store:
+            store.store_shredded(shredded)
+            return store.document_stats("dblp")["nodes"]
+
+    assert benchmark(load) == dblp_tree.size()
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "memory", "inverted-index"])
+def test_benchmark_keyword_lookup(benchmark, backend, sqlite_store, memory_store,
+                                  engines):
+    """Stage 1 (getKeywordNodes) served by each backend."""
+    keywords = ["xml", "keyword", "data", "retrieval", "algorithm"]
+    benchmark.group = "storage-keyword-lookup"
+    benchmark.name = backend
+    if backend == "sqlite":
+        benchmark(lambda: sqlite_store.keyword_nodes("dblp", keywords))
+    elif backend == "memory":
+        benchmark(lambda: memory_store.keyword_nodes("dblp", keywords))
+    else:
+        index = engines["dblp"].index
+        benchmark(lambda: index.keyword_nodes(keywords))
+
+
+def test_backends_agree_with_index(sqlite_store, memory_store, engines):
+    index: InvertedIndex = engines["dblp"].index
+    for keyword in ("xml", "keyword", "data", "vldb", "henry"):
+        expected = list(index.postings(keyword).deweys)
+        assert sqlite_store.keyword_deweys("dblp", keyword) == expected
+        assert memory_store.keyword_deweys("dblp", keyword) == expected

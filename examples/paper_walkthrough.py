@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Replay the paper's worked examples (Examples 1–7, Figures 2–4).
+
+Walks through the queries Q1–Q5 on the Figure 1 instances and shows, for each,
+what MaxMatch and ValidRTF return and where the false-positive / redundancy
+problems appear and get fixed.
+
+Run with::
+
+    python examples/paper_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro import SearchEngine
+from repro.datasets import PAPER_QUERIES, publications_tree, team_tree
+
+
+def show(engine: SearchEngine, query_name: str, note: str) -> None:
+    query = PAPER_QUERIES[query_name]
+    print("=" * 72)
+    print(f"{query_name}: {query!r}")
+    print(note)
+    print("-" * 72)
+
+    lca_roots = engine.lca_nodes(query)
+    print(f"interesting LCA nodes (getLCA): {[str(code) for code in lca_roots]}")
+
+    maxmatch = engine.search(query, "maxmatch")
+    validrtf = engine.search(query, "validrtf")
+    for name, result in (("MaxMatch", maxmatch), ("ValidRTF", validrtf)):
+        print(f"\n{name} ({result.count} fragment(s)):")
+        print(engine.render_result(result))
+
+    report = engine.compare(query).report
+    print(f"\nCFR={report.cfr:.2f}  APR'={report.apr_prime:.2f}  "
+          f"Max APR={report.max_apr:.2f}")
+    print()
+
+
+def main() -> None:
+    publications_engine = SearchEngine(publications_tree())
+    team_engine = SearchEngine(team_tree())
+
+    show(publications_engine, "Q2",
+         "Example 1/3/4 — SLCA vs LCA: besides the self-contained <ref> node, "
+         "the enclosing <article> is also an interesting root, so ValidRTF "
+         "returns two RTFs (Figures 2(a) and 2(b)).")
+
+    show(publications_engine, "Q3",
+         "Example 1/6/7 — papers published in VLDB 2008 on XML keyword "
+         "search: the raw RTF is rooted at the document root (Figure 2(c)); "
+         "pruning keeps only the relevant article (Figure 2(d)).  Note how "
+         "MaxMatch additionally drops the abstract and references (a false "
+         "positive).")
+
+    show(publications_engine, "Q1",
+         "Example 2/5 — the false-positive problem: MaxMatch discards the "
+         "<title> node because its keywords are subsumed by the <abstract>; "
+         "ValidRTF keeps it because it is the only child with that label "
+         "(Figures 3(b) vs 3(c)).")
+
+    show(team_engine, "Q4",
+         "Example 2/5 — the redundancy problem: MaxMatch keeps both 'forward' "
+         "players (Figure 3(d)); ValidRTF keeps one 'forward' and one 'guard'.")
+
+    show(team_engine, "Q5",
+         "Example 2/5 — the positive case both filters agree on: only the "
+         "Gassol player survives (Figure 3(a)).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 5 and Figure 6 panels from the command line.
+
+This is a thin front end over :mod:`repro.bench`: it builds the benchmark
+datasets (scaled-down stand-ins for the paper's DBLP and XMark documents),
+runs the full query workloads and prints the per-query tables plus the
+qualitative-shape summaries recorded in EXPERIMENTS.md.
+
+Run with::
+
+    python examples/reproduce_figures.py                   # every panel
+    python examples/reproduce_figures.py --figure 5a       # one panel
+    python examples/reproduce_figures.py --quick           # smaller documents
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import (
+    default_datasets,
+    export_run,
+    figure5_summary,
+    figure6_summary,
+    format_summary,
+    render_figure5,
+    render_figure6,
+    run_workload,
+)
+
+#: Panel id -> (dataset, figure number).
+PANELS = {
+    "5a": ("dblp", 5),
+    "5b": ("xmark-standard", 5),
+    "5c": ("xmark-data1", 5),
+    "5d": ("xmark-data2", 5),
+    "6a": ("dblp", 6),
+    "6b": ("xmark-standard", 6),
+    "6c": ("xmark-data1", 6),
+    "6d": ("xmark-data2", 6),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=sorted(PANELS) + ["all"], default="all",
+                        help="panel to regenerate (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="use smaller documents for a fast smoke run")
+    parser.add_argument("--repetitions", type=int, default=2,
+                        help="timed repetitions per query (first is discarded)")
+    parser.add_argument("--export", metavar="DIR", default=None,
+                        help="also write CSV/JSON artefacts for each dataset "
+                             "into this directory")
+    arguments = parser.parse_args()
+
+    if arguments.quick:
+        specs = default_datasets(dblp_publications=200, xmark_base_items=30)
+    else:
+        specs = default_datasets()
+
+    wanted = sorted(PANELS) if arguments.figure == "all" else [arguments.figure]
+    needed_datasets = {PANELS[panel][0] for panel in wanted}
+
+    runs = {}
+    for dataset in sorted(needed_datasets):
+        print(f"running the {dataset} workload ...")
+        runs[dataset] = run_workload(specs[dataset],
+                                     repetitions=arguments.repetitions)
+        if arguments.export:
+            artefacts = export_run(runs[dataset], arguments.export)
+            for name, path in sorted(artefacts.items()):
+                print(f"  wrote {name}: {path}")
+    print()
+
+    for panel in wanted:
+        dataset, figure = PANELS[panel]
+        run = runs[dataset]
+        print("#" * 72)
+        print(f"# Figure {figure}({panel[-1]}) — {dataset}")
+        print("#" * 72)
+        if figure == 5:
+            print(render_figure5(run))
+            print()
+            print(format_summary(figure5_summary(run), title="panel summary"))
+        else:
+            print(render_figure6(run))
+            print()
+            print(format_summary(figure6_summary(run), title="panel summary"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

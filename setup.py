@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that fully offline environments (no access to PyPI for the ``wheel`` build
+dependency) can still do an editable install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

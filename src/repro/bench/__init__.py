@@ -1,0 +1,73 @@
+"""Benchmark harness for regenerating the paper's Figures 5 and 6."""
+
+from .harness import (
+    DatasetSpec,
+    QueryMeasurement,
+    WorkloadRun,
+    cached_engine,
+    default_datasets,
+    measure_query,
+    run_all,
+    run_workload,
+    time_algorithm,
+)
+from .figure5 import (
+    FIGURE5_COLUMNS,
+    figure5_rows,
+    figure5_series,
+    figure5_summary,
+    render_figure5,
+    run_figure5,
+)
+from .figure6 import (
+    FIGURE6_COLUMNS,
+    figure6_rows,
+    figure6_series,
+    figure6_summary,
+    render_figure6,
+    run_figure6,
+)
+from .reporting import format_series, format_summary, format_table
+from .export import (
+    ascii_bar_chart,
+    chart_figure5,
+    chart_figure6,
+    export_run,
+    run_payload,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "QueryMeasurement",
+    "WorkloadRun",
+    "default_datasets",
+    "cached_engine",
+    "measure_query",
+    "run_workload",
+    "run_all",
+    "time_algorithm",
+    "figure5_rows",
+    "figure5_series",
+    "figure5_summary",
+    "render_figure5",
+    "run_figure5",
+    "FIGURE5_COLUMNS",
+    "figure6_rows",
+    "figure6_series",
+    "figure6_summary",
+    "render_figure6",
+    "run_figure6",
+    "FIGURE6_COLUMNS",
+    "format_table",
+    "format_series",
+    "format_summary",
+    "write_csv",
+    "write_json",
+    "ascii_bar_chart",
+    "run_payload",
+    "export_run",
+    "chart_figure5",
+    "chart_figure6",
+]

@@ -1,0 +1,90 @@
+"""Figure 5 driver — per-query elapsed time of MaxMatch vs ValidRTF + RTF counts.
+
+The paper's Figure 5 has four panels (DBLP, XMark standard, data1, data2),
+each plotting, per workload query, the elapsed time of the two algorithms
+(bars, log scale) and the number of RTFs (line).  This driver regenerates the
+same three series per dataset as rows/series of numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .harness import DatasetSpec, QueryMeasurement, WorkloadRun, run_workload
+from .reporting import format_series, format_table
+
+#: Columns of the Figure 5 table, in print order.
+FIGURE5_COLUMNS = ("query", "keywords", "maxmatch_ms", "validrtf_ms", "rtfs",
+                   "time_ratio")
+
+
+def figure5_rows(run: WorkloadRun) -> List[Dict[str, object]]:
+    """The Figure 5 panel of one dataset as table rows."""
+    rows: List[Dict[str, object]] = []
+    for measurement in run.measurements:
+        ratio = _safe_ratio(measurement.validrtf_seconds, measurement.maxmatch_seconds)
+        rows.append({
+            "query": measurement.label,
+            "keywords": measurement.query,
+            "maxmatch_ms": round(measurement.maxmatch_seconds * 1000.0, 3),
+            "validrtf_ms": round(measurement.validrtf_seconds * 1000.0, 3),
+            "rtfs": measurement.rtf_count,
+            "time_ratio": round(ratio, 3),
+        })
+    return rows
+
+
+def figure5_series(run: WorkloadRun) -> Dict[str, Sequence[float]]:
+    """The three plotted series (MaxMatch ms, ValidRTF ms, RTF count)."""
+    return {
+        "labels": [m.label for m in run.measurements],
+        "maxmatch_ms": [m.maxmatch_seconds * 1000.0 for m in run.measurements],
+        "validrtf_ms": [m.validrtf_seconds * 1000.0 for m in run.measurements],
+        "rtfs": [float(m.rtf_count) for m in run.measurements],
+    }
+
+
+def figure5_summary(run: WorkloadRun) -> Dict[str, float]:
+    """Aggregates used to check the paper's qualitative claim ("competent
+    performance"): mean/max ValidRTF-to-MaxMatch time ratio."""
+    ratios = [
+        _safe_ratio(m.validrtf_seconds, m.maxmatch_seconds)
+        for m in run.measurements
+    ]
+    if not ratios:
+        return {"queries": 0, "mean_time_ratio": 1.0, "max_time_ratio": 1.0}
+    return {
+        "queries": len(ratios),
+        "mean_time_ratio": sum(ratios) / len(ratios),
+        "max_time_ratio": max(ratios),
+        "min_time_ratio": min(ratios),
+    }
+
+
+def render_figure5(run: WorkloadRun) -> str:
+    """The whole panel as printable text (table + series + summary)."""
+    rows = figure5_rows(run)
+    series = figure5_series(run)
+    parts = [
+        format_table(rows, FIGURE5_COLUMNS,
+                     title=f"Figure 5 — {run.dataset}: per-query elapsed time"),
+        format_series("RTFs", series["labels"], series["rtfs"], precision=0),
+    ]
+    summary = figure5_summary(run)
+    parts.append(
+        f"summary: mean ValidRTF/MaxMatch time ratio "
+        f"{summary['mean_time_ratio']:.3f} (max {summary['max_time_ratio']:.3f})"
+    )
+    return "\n\n".join(parts)
+
+
+def run_figure5(spec: DatasetSpec, repetitions: int = 3,
+                engine=None) -> WorkloadRun:
+    """Convenience wrapper: run the workload needed for one Figure 5 panel."""
+    return run_workload(spec, engine=engine, repetitions=repetitions)
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    if denominator <= 0:
+        return 1.0
+    return numerator / denominator

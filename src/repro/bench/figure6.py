@@ -1,0 +1,91 @@
+"""Figure 6 driver — per-query CFR, APR' and Max APR of ValidRTF vs MaxMatch.
+
+The paper's Figure 6 has four panels (DBLP, XMark standard, data1, data2),
+each plotting three ratio series per workload query.  This driver regenerates
+them and also checks the qualitative shape the paper reports:
+
+* real-data-like corpus (DBLP): APR' ≈ 0 on every query, Max APR noticeably
+  above zero, CFR < 1 on most queries;
+* synthetic corpus (XMark scales): APR' > 0 on most queries and Max APR close
+  to 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from .harness import DatasetSpec, WorkloadRun, run_workload
+from .reporting import format_table
+
+#: Columns of the Figure 6 table, in print order.
+FIGURE6_COLUMNS = ("query", "keywords", "rtfs", "cfr", "apr_prime", "max_apr")
+
+
+def figure6_rows(run: WorkloadRun) -> List[Dict[str, object]]:
+    """The Figure 6 panel of one dataset as table rows."""
+    rows: List[Dict[str, object]] = []
+    for measurement in run.measurements:
+        rows.append({
+            "query": measurement.label,
+            "keywords": measurement.query,
+            "rtfs": measurement.rtf_count,
+            "cfr": round(measurement.report.cfr, 4),
+            "apr_prime": round(measurement.report.apr_prime, 4),
+            "max_apr": round(measurement.report.max_apr, 4),
+        })
+    return rows
+
+
+def figure6_series(run: WorkloadRun) -> Dict[str, Sequence[float]]:
+    """The three plotted series (CFR, APR', Max APR) plus labels."""
+    return {
+        "labels": [m.label for m in run.measurements],
+        "cfr": [m.report.cfr for m in run.measurements],
+        "apr_prime": [m.report.apr_prime for m in run.measurements],
+        "max_apr": [m.report.max_apr for m in run.measurements],
+    }
+
+
+def figure6_summary(run: WorkloadRun) -> Dict[str, float]:
+    """Aggregates used by the shape checks in the benchmark tests."""
+    measurements = run.measurements
+    if not measurements:
+        return {"queries": 0, "mean_cfr": 1.0, "mean_apr_prime": 0.0,
+                "mean_max_apr": 0.0, "queries_with_extra_pruning": 0,
+                "queries_with_positive_apr_prime": 0}
+    return {
+        "queries": len(measurements),
+        "mean_cfr": sum(m.report.cfr for m in measurements) / len(measurements),
+        "mean_apr_prime": sum(m.report.apr_prime for m in measurements)
+        / len(measurements),
+        "mean_max_apr": sum(m.report.max_apr for m in measurements)
+        / len(measurements),
+        "queries_with_extra_pruning": sum(1 for m in measurements
+                                          if m.report.cfr < 1.0),
+        "queries_with_positive_apr_prime": sum(1 for m in measurements
+                                               if m.report.apr_prime > 0.0),
+    }
+
+
+def render_figure6(run: WorkloadRun) -> str:
+    """The whole panel as printable text."""
+    rows = figure6_rows(run)
+    summary = figure6_summary(run)
+    lines = [
+        format_table(rows, FIGURE6_COLUMNS,
+                     title=f"Figure 6 — {run.dataset}: CFR / APR' / Max APR"),
+        (f"summary: CFR<1 on {summary['queries_with_extra_pruning']}/"
+         f"{summary['queries']} queries, mean Max APR "
+         f"{summary['mean_max_apr']:.3f}, mean APR' "
+         f"{summary['mean_apr_prime']:.3f}"),
+    ]
+    return "\n\n".join(lines)
+
+
+def run_figure6(spec: DatasetSpec, repetitions: int = 1, engine=None) -> WorkloadRun:
+    """Convenience wrapper: run the workload needed for one Figure 6 panel.
+
+    Timing repetitions are irrelevant for the ratios, so the default does a
+    single timing pass to keep the run fast.
+    """
+    return run_workload(spec, engine=engine, repetitions=repetitions)

@@ -1,0 +1,52 @@
+"""Plain-text table and series rendering for the benchmark drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] = (), title: str = "") -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(columns) if columns else list(rows[0].keys())
+    table: List[List[str]] = [[str(header) for header in headers]]
+    for row in rows:
+        table.append([_cell(row.get(header, "")) for header in headers])
+    widths = [max(len(line[index]) for line in table) for index in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width)
+                           for header, width in zip(table[0], widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row_cells in table[1:]:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, labels: Sequence[str],
+                  values: Sequence[float], precision: int = 3) -> str:
+    """Render one figure series as ``name: label=value`` pairs."""
+    pairs = ", ".join(f"{label}={value:.{precision}f}"
+                      for label, value in zip(labels, values))
+    return f"{name}: {pairs}"
+
+
+def format_summary(summary: Mapping[str, object], title: str = "") -> str:
+    """Render a key/value summary block."""
+    lines = [title] if title else []
+    for key, value in summary.items():
+        if isinstance(value, float):
+            lines.append(f"  {key}: {value:.4f}")
+        else:
+            lines.append(f"  {key}: {value}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,225 @@
+"""Command-line front end (installed as ``repro-xks``).
+
+Sub-commands
+------------
+``search``
+    Run a keyword query against an XML file (or a built-in dataset) with
+    ValidRTF or MaxMatch and print the resulting fragments.
+``compare``
+    Run both algorithms on one query and print the CFR / APR' / Max APR
+    metrics together with the differing fragments.
+``bench``
+    Regenerate the Figure 5 / Figure 6 panels for the built-in datasets.
+``datasets``
+    Generate and describe the built-in synthetic datasets (optionally writing
+    them to XML files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .bench import (
+    default_datasets,
+    render_figure5,
+    render_figure6,
+    run_workload,
+)
+from .core import SearchEngine
+from .datasets import (
+    DBLPConfig,
+    PAPER_QUERIES,
+    XMarkConfig,
+    generate_dblp,
+    generate_xmark,
+    publications_tree,
+    team_tree,
+)
+from .index import InvertedIndex, document_profile
+from .xmltree import XMLTree, parse_file, write_xml_file
+
+_BUILTIN_TREES = {
+    "figure-1a": publications_tree,
+    "figure-1b": team_tree,
+    "dblp": lambda: generate_dblp(DBLPConfig()),
+    "xmark-standard": lambda: generate_xmark(XMarkConfig(scale="standard")),
+    "xmark-data1": lambda: generate_xmark(XMarkConfig(scale="data1")),
+    "xmark-data2": lambda: generate_xmark(XMarkConfig(scale="data2")),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-xks`` console script."""
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    handler = arguments.handler
+    return handler(arguments)
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xks",
+        description="XML keyword search with ValidRTF / MaxMatch (EDBT 2009 "
+                    "reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    search = subparsers.add_parser("search", help="run one keyword query")
+    _add_document_arguments(search)
+    search.add_argument("query", help="keyword query, e.g. 'xml keyword search' "
+                                      "or a paper query name like Q3")
+    search.add_argument("--algorithm", default="validrtf",
+                        choices=("validrtf", "maxmatch", "validrtf-slca",
+                                 "maxmatch-slca"))
+    search.add_argument("--no-text", action="store_true",
+                        help="hide node text in the rendering")
+    search.set_defaults(handler=_command_search)
+
+    compare = subparsers.add_parser("compare",
+                                    help="run ValidRTF and MaxMatch side by side")
+    _add_document_arguments(compare)
+    compare.add_argument("query", help="keyword query or paper query name")
+    compare.set_defaults(handler=_command_compare)
+
+    explain = subparsers.add_parser(
+        "explain", help="show per-node keep/discard decisions and the "
+                        "classified differences between the two algorithms")
+    _add_document_arguments(explain)
+    explain.add_argument("query", help="keyword query or paper query name")
+    explain.add_argument("--algorithm", default="validrtf",
+                         choices=("validrtf", "maxmatch"))
+    explain.add_argument("--discarded-only", action="store_true",
+                         help="only list discarded nodes")
+    explain.set_defaults(handler=_command_explain)
+
+    bench = subparsers.add_parser("bench", help="regenerate Figure 5 / Figure 6")
+    bench.add_argument("--dataset", default="dblp",
+                       choices=sorted(default_datasets()),
+                       help="benchmark dataset")
+    bench.add_argument("--figure", default="both", choices=("5", "6", "both"))
+    bench.add_argument("--repetitions", type=int, default=2,
+                       help="timed repetitions per query (first run discarded)")
+    bench.set_defaults(handler=_command_bench)
+
+    datasets = subparsers.add_parser("datasets",
+                                     help="describe / export the built-in datasets")
+    datasets.add_argument("--name", default=None, choices=sorted(_BUILTIN_TREES),
+                          help="restrict to one dataset")
+    datasets.add_argument("--output", default=None,
+                          help="write the dataset(s) to XML file(s) with this prefix")
+    datasets.set_defaults(handler=_command_datasets)
+
+    return parser
+
+
+def _add_document_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--file", help="path to an XML document")
+    group.add_argument("--dataset", default="figure-1a",
+                       choices=sorted(_BUILTIN_TREES),
+                       help="use a built-in dataset (default: figure-1a)")
+
+
+# ---------------------------------------------------------------------- #
+# Commands
+# ---------------------------------------------------------------------- #
+def _command_search(arguments: argparse.Namespace) -> int:
+    tree = _load_tree(arguments)
+    query = _resolve_query(arguments.query)
+    engine = SearchEngine(tree)
+    result = engine.search(query, arguments.algorithm)
+    print(f"query: {result.query}  algorithm: {result.algorithm}  "
+          f"fragments: {result.count}")
+    print(engine.render_result(result, show_text=not arguments.no_text))
+    return 0
+
+
+def _command_compare(arguments: argparse.Namespace) -> int:
+    tree = _load_tree(arguments)
+    query = _resolve_query(arguments.query)
+    engine = SearchEngine(tree)
+    outcome = engine.compare(query)
+    report = outcome.report
+    print(f"query: {query}")
+    print(f"RTFs: {report.lca_count}  CFR: {report.cfr:.3f}  "
+          f"APR': {report.apr_prime:.3f}  Max APR: {report.max_apr:.3f}")
+    for comparison in report.comparisons:
+        marker = "=" if comparison.identical else "≠"
+        print(f"  root {comparison.root} {marker}  MaxMatch keeps "
+              f"{comparison.maxmatch_size}, ValidRTF keeps "
+              f"{comparison.validrtf_size} (extra pruned "
+              f"{comparison.extra_pruned})")
+    return 0
+
+
+def _command_explain(arguments: argparse.Namespace) -> int:
+    from .core import render_explanation  # local import keeps startup light
+
+    tree = _load_tree(arguments)
+    query = _resolve_query(arguments.query)
+    engine = SearchEngine(tree)
+    explanations = engine.explain(query, arguments.algorithm)
+    print(f"query: {query}  algorithm: {arguments.algorithm}  "
+          f"fragments: {len(explanations)}")
+    for explanation in explanations:
+        print()
+        print(render_explanation(explanation,
+                                 show_kept=not arguments.discarded_only))
+    comparison = engine.explain_comparison(query)
+    summary = comparison.summary()
+    print()
+    print(f"ValidRTF vs MaxMatch: {summary['false_positive_fixes']} "
+          f"false-positive fix(es), {summary['redundancy_fixes']} "
+          f"redundancy fix(es)")
+    for difference in comparison.differences:
+        print(f"  {difference.dewey} <{difference.label}> — {difference.kind.value}")
+    return 0
+
+
+def _command_bench(arguments: argparse.Namespace) -> int:
+    specs = default_datasets()
+    spec = specs[arguments.dataset]
+    run = run_workload(spec, repetitions=arguments.repetitions)
+    if arguments.figure in ("5", "both"):
+        print(render_figure5(run))
+        print()
+    if arguments.figure in ("6", "both"):
+        print(render_figure6(run))
+    return 0
+
+
+def _command_datasets(arguments: argparse.Namespace) -> int:
+    names = [arguments.name] if arguments.name else sorted(_BUILTIN_TREES)
+    for name in names:
+        tree = _BUILTIN_TREES[name]()
+        profile = document_profile(tree, InvertedIndex(tree), name=name)
+        print(f"{name}: {profile.node_count} nodes, depth {profile.max_depth}, "
+              f"{profile.distinct_labels} labels, vocabulary "
+              f"{profile.vocabulary_size}")
+        if arguments.output:
+            path = f"{arguments.output}{name}.xml"
+            write_xml_file(tree, path)
+            print(f"  written to {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Helpers
+# ---------------------------------------------------------------------- #
+def _load_tree(arguments: argparse.Namespace) -> XMLTree:
+    if getattr(arguments, "file", None):
+        return parse_file(arguments.file)
+    return _BUILTIN_TREES[arguments.dataset]()
+
+
+def _resolve_query(raw: str) -> str:
+    return PAPER_QUERIES.get(raw.upper(), raw)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Core result model and algorithms: RTFs, MaxMatch, ValidRTF, metrics, axioms."""
+
+from .errors import (
+    EmptyQueryError,
+    FragmentError,
+    SearchError,
+    UnknownAlgorithmError,
+)
+from .query import Query, QueryLike, as_query, subset_masks
+from .fragments import (
+    Fragment,
+    PrunedFragment,
+    SearchResult,
+    build_fragment,
+    fragments_equal,
+    unpruned,
+)
+from .ectq import (
+    enumerate_ectq,
+    enumerate_rtfs,
+    is_rtf_combination,
+    rtf_roots,
+)
+from .rtf import assign_keyword_nodes, build_rtfs
+from .node_record import (
+    CID_MODES,
+    LabelGroup,
+    NodeRecord,
+    RecordTree,
+    build_record_tree,
+)
+from .contributor import is_contributor, prune_with_contributor
+from .valid_contributor import is_valid_contributor, prune_with_valid_contributor
+from .explain import (
+    ComparisonExplanation,
+    Decision,
+    DifferenceKind,
+    FragmentExplanation,
+    NodeDecision,
+    NodeDifference,
+    classify_differences,
+    explain_contributor,
+    explain_valid_contributor,
+    render_explanation,
+)
+from .pipeline import FragmentPipeline, elca_roots, slca_roots
+from .maxmatch import MaxMatch, MaxMatchSLCA, run_maxmatch
+from .validrtf import ValidRTF, ValidRTFSLCA, run_validrtf
+from .metrics import (
+    EffectivenessReport,
+    FragmentComparison,
+    compare_fragments,
+    effectiveness,
+    summarize_reports,
+)
+from .axioms import (
+    AxiomCheck,
+    AxiomReport,
+    check_all_axioms,
+    check_data_consistency,
+    check_data_monotonicity,
+    check_query_consistency,
+    check_query_monotonicity,
+)
+from .ranking import RankedFragment, RankingWeights, rank_fragments, rank_result
+from .engine import ALGORITHM_NAMES, ComparisonOutcome, SearchEngine
+
+__all__ = [
+    "SearchError",
+    "EmptyQueryError",
+    "UnknownAlgorithmError",
+    "FragmentError",
+    "Query",
+    "QueryLike",
+    "as_query",
+    "subset_masks",
+    "Fragment",
+    "PrunedFragment",
+    "SearchResult",
+    "build_fragment",
+    "unpruned",
+    "fragments_equal",
+    "enumerate_ectq",
+    "enumerate_rtfs",
+    "is_rtf_combination",
+    "rtf_roots",
+    "assign_keyword_nodes",
+    "build_rtfs",
+    "CID_MODES",
+    "NodeRecord",
+    "LabelGroup",
+    "RecordTree",
+    "build_record_tree",
+    "is_contributor",
+    "prune_with_contributor",
+    "is_valid_contributor",
+    "prune_with_valid_contributor",
+    "Decision",
+    "DifferenceKind",
+    "NodeDecision",
+    "NodeDifference",
+    "FragmentExplanation",
+    "ComparisonExplanation",
+    "explain_contributor",
+    "explain_valid_contributor",
+    "classify_differences",
+    "render_explanation",
+    "FragmentPipeline",
+    "elca_roots",
+    "slca_roots",
+    "MaxMatch",
+    "MaxMatchSLCA",
+    "run_maxmatch",
+    "ValidRTF",
+    "ValidRTFSLCA",
+    "run_validrtf",
+    "EffectivenessReport",
+    "FragmentComparison",
+    "compare_fragments",
+    "effectiveness",
+    "summarize_reports",
+    "AxiomCheck",
+    "AxiomReport",
+    "check_all_axioms",
+    "check_data_monotonicity",
+    "check_query_monotonicity",
+    "check_data_consistency",
+    "check_query_consistency",
+    "RankingWeights",
+    "RankedFragment",
+    "rank_fragments",
+    "rank_result",
+    "SearchEngine",
+    "ComparisonOutcome",
+    "ALGORITHM_NAMES",
+]

@@ -1,0 +1,184 @@
+"""Executable checkers for the four axiomatic XKS properties.
+
+Liu & Chen (VLDB 2008) deduce four properties an XKS technique should satisfy
+and the paper argues in Section 4.3-(2) that ValidRTF satisfies them:
+
+* **data monotonicity** — inserting a node never decreases the number of query
+  results;
+* **query monotonicity** — adding a keyword to the query never increases the
+  number of query results;
+* **data consistency** — after an insertion, every *additional* result subtree
+  contains the newly inserted node;
+* **query consistency** — after adding a keyword, every *additional* result
+  subtree contains at least one match to the new keyword.
+
+The checkers run an algorithm factory before/after a mutation and report any
+violation; they are used both in the unit/property tests and in the
+``benchmarks/test_axiom_checks.py`` harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..text import DEFAULT_TOKENIZER
+from ..xmltree import DeweyCode, SubtreeSpec, XMLTree
+from .fragments import SearchResult
+from .query import Query, QueryLike
+
+#: An algorithm factory: given a (possibly mutated) tree, return a callable
+#: that evaluates a query on it.  A fresh factory call per tree keeps indexes
+#: consistent with the mutated data.
+AlgorithmFactory = Callable[[XMLTree], Callable[[QueryLike], SearchResult]]
+
+
+@dataclass(frozen=True)
+class AxiomCheck:
+    """Outcome of one axiomatic property check."""
+
+    property_name: str
+    satisfied: bool
+    detail: str = ""
+    before_count: int = 0
+    after_count: int = 0
+
+
+@dataclass(frozen=True)
+class AxiomReport:
+    """Outcome of all four checks for one scenario."""
+
+    checks: Tuple[AxiomCheck, ...]
+
+    @property
+    def all_satisfied(self) -> bool:
+        return all(check.satisfied for check in self.checks)
+
+    def failed(self) -> List[AxiomCheck]:
+        return [check for check in self.checks if not check.satisfied]
+
+
+# ---------------------------------------------------------------------- #
+# Individual properties
+# ---------------------------------------------------------------------- #
+def check_data_monotonicity(factory: AlgorithmFactory, tree: XMLTree,
+                            query: QueryLike, parent: DeweyCode,
+                            insertion: SubtreeSpec) -> AxiomCheck:
+    """Number of results must not decrease after inserting ``insertion``."""
+    before = factory(tree)(query)
+    mutated = tree.with_inserted_subtree(parent, insertion)
+    after = factory(mutated)(query)
+    satisfied = after.count >= before.count
+    return AxiomCheck(
+        property_name="data monotonicity",
+        satisfied=satisfied,
+        detail="" if satisfied else
+        f"results dropped from {before.count} to {after.count} after insertion",
+        before_count=before.count,
+        after_count=after.count,
+    )
+
+
+def check_query_monotonicity(factory: AlgorithmFactory, tree: XMLTree,
+                             query: QueryLike, extra_keyword: str) -> AxiomCheck:
+    """Number of results must not increase after adding a keyword."""
+    parsed = Query.parse(query)
+    extended = parsed.extended(extra_keyword)
+    algorithm = factory(tree)
+    before = algorithm(parsed)
+    after = algorithm(extended)
+    satisfied = after.count <= before.count
+    return AxiomCheck(
+        property_name="query monotonicity",
+        satisfied=satisfied,
+        detail="" if satisfied else
+        f"results grew from {before.count} to {after.count} after adding "
+        f"{extra_keyword!r}",
+        before_count=before.count,
+        after_count=after.count,
+    )
+
+
+def check_data_consistency(factory: AlgorithmFactory, tree: XMLTree,
+                           query: QueryLike, parent: DeweyCode,
+                           insertion: SubtreeSpec) -> AxiomCheck:
+    """Every additional result subtree must contain the inserted node."""
+    before = factory(tree)(query)
+    mutated = tree.with_inserted_subtree(parent, insertion)
+    after = factory(mutated)(query)
+
+    inserted_root = DeweyCode.coerce(parent).child(tree.node(parent).child_count())
+    before_roots = set(before.roots())
+    offending: List[DeweyCode] = []
+    for fragment in after.fragments:
+        if fragment.root in before_roots:
+            continue
+        contains_new = any(
+            inserted_root.is_ancestor_or_self(node) for node in fragment.kept_nodes
+        )
+        if not contains_new:
+            offending.append(fragment.root)
+    satisfied = not offending
+    return AxiomCheck(
+        property_name="data consistency",
+        satisfied=satisfied,
+        detail="" if satisfied else
+        f"additional fragments {offending} do not contain the inserted subtree "
+        f"{inserted_root}",
+        before_count=before.count,
+        after_count=after.count,
+    )
+
+
+def check_query_consistency(factory: AlgorithmFactory, tree: XMLTree,
+                            query: QueryLike, extra_keyword: str) -> AxiomCheck:
+    """Every additional result subtree must match the new keyword."""
+    parsed = Query.parse(query)
+    extended = parsed.extended(extra_keyword)
+    algorithm = factory(tree)
+    before = algorithm(parsed)
+    after = algorithm(extended)
+
+    normalized = DEFAULT_TOKENIZER.normalize_keyword(extra_keyword)
+    before_roots = set(before.roots())
+    offending: List[DeweyCode] = []
+    for fragment in after.fragments:
+        if fragment.root in before_roots:
+            continue
+        if not _fragment_matches_keyword(tree, fragment.kept_nodes, normalized):
+            offending.append(fragment.root)
+    satisfied = not offending
+    return AxiomCheck(
+        property_name="query consistency",
+        satisfied=satisfied,
+        detail="" if satisfied else
+        f"additional fragments {offending} contain no match for {normalized!r}",
+        before_count=before.count,
+        after_count=after.count,
+    )
+
+
+def _fragment_matches_keyword(tree: XMLTree, nodes: Sequence[DeweyCode],
+                              keyword: str) -> bool:
+    for dewey in nodes:
+        node = tree.node(dewey)
+        words = DEFAULT_TOKENIZER.word_set(node.raw_strings())
+        if keyword in words:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# Combined scenario
+# ---------------------------------------------------------------------- #
+def check_all_axioms(factory: AlgorithmFactory, tree: XMLTree, query: QueryLike,
+                     parent: DeweyCode, insertion: SubtreeSpec,
+                     extra_keyword: str) -> AxiomReport:
+    """Run the four checks for one (tree, query, insertion, keyword) scenario."""
+    checks = (
+        check_data_monotonicity(factory, tree, query, parent, insertion),
+        check_query_monotonicity(factory, tree, query, extra_keyword),
+        check_data_consistency(factory, tree, query, parent, insertion),
+        check_query_consistency(factory, tree, query, extra_keyword),
+    )
+    return AxiomReport(checks=checks)

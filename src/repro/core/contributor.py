@@ -1,0 +1,68 @@
+"""The *contributor* filtering mechanism of MaxMatch (Liu & Chen, VLDB 2008).
+
+A node ``n`` of a fragment is a **contributor** when it has no sibling ``n2``
+(within the fragment, any label) such that ``dMatch(n) ⊂ dMatch(n2)`` — i.e.
+its matched-keyword set is not strictly covered by a sibling's.  MaxMatch
+keeps a fragment node iff the node and all its fragment ancestors are
+contributors, which the pruning below realizes with a top-down traversal
+(descendants of discarded nodes are discarded too).
+
+The paper shows this filter commits the *false positive problem* (it can
+discard interesting uniquely-labelled children, e.g. a paper ``title`` whose
+keywords are subsumed by the ``abstract``) and the *redundancy problem* (it
+keeps same-label siblings whose matched content is identical).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+from ..xmltree import DeweyCode
+from .fragments import Fragment, PrunedFragment
+from .node_record import NodeRecord, RecordTree
+
+
+def is_contributor(record: NodeRecord, siblings: Sequence[NodeRecord]) -> bool:
+    """MaxMatch's contributor test for one node against its siblings.
+
+    ``siblings`` are the other children of the node's parent within the
+    fragment (any label).  The node fails iff some sibling's keyword mask is a
+    strict superset of its own.
+    """
+    mask = record.keyword_mask
+    for sibling in siblings:
+        if sibling.dewey == record.dewey:
+            continue
+        other = sibling.keyword_mask
+        if mask != other and (mask & other) == mask:
+            return False
+    return True
+
+
+def prune_with_contributor(record_tree: RecordTree,
+                           algorithm: str = "maxmatch") -> PrunedFragment:
+    """Apply MaxMatch's contributor filter to one RTF / SLCA fragment.
+
+    Top-down breadth-first traversal from the fragment root: a child is kept
+    iff it is a contributor among its parent's children; subtrees of discarded
+    children are never visited (so they are discarded wholesale), matching the
+    pruneMatches behaviour of MaxMatch.
+    """
+    fragment = record_tree.fragment
+    kept: List[DeweyCode] = [fragment.root]
+    queue = deque([record_tree.root])
+    while queue:
+        parent = queue.popleft()
+        children = parent.children
+        for child in children:
+            if is_contributor(child, children):
+                kept.append(child.dewey)
+                queue.append(child)
+    return PrunedFragment(fragment=fragment, kept_nodes=tuple(sorted(set(kept))),
+                          algorithm=algorithm)
+
+
+def contributor_survivors(record_tree: RecordTree) -> List[DeweyCode]:
+    """The kept node list only (convenience wrapper used in tests)."""
+    return list(prune_with_contributor(record_tree).kept_nodes)

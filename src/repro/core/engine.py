@@ -1,0 +1,160 @@
+"""The public search facade: one object, one call per query.
+
+:class:`SearchEngine` owns the document, its inverted index and one instance
+of each registered algorithm, so repeated queries share all per-document
+work.  It is the API the examples, the CLI and the benchmark harness use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..index import InvertedIndex
+from ..xmltree import DeweyCode, XMLTree, parse_file, parse_string, render_nodes
+from .errors import UnknownAlgorithmError
+from .explain import (
+    ComparisonExplanation,
+    FragmentExplanation,
+    classify_differences,
+    explain_contributor,
+    explain_valid_contributor,
+)
+from .fragments import SearchResult
+from .maxmatch import MaxMatch, MaxMatchSLCA
+from .metrics import EffectivenessReport, effectiveness
+from .pipeline import FragmentPipeline
+from .query import Query, QueryLike
+from .ranking import RankedFragment, RankingWeights, rank_result
+from .validrtf import ValidRTF, ValidRTFSLCA
+
+#: Names accepted by :meth:`SearchEngine.search`.
+ALGORITHM_NAMES = ("validrtf", "maxmatch", "validrtf-slca", "maxmatch-slca")
+
+
+@dataclass(frozen=True)
+class ComparisonOutcome:
+    """Result of running ValidRTF and MaxMatch side by side on one query."""
+
+    validrtf: SearchResult
+    maxmatch: SearchResult
+    report: EffectivenessReport
+
+
+class SearchEngine:
+    """XML keyword search over one document with selectable algorithms."""
+
+    def __init__(self, tree: XMLTree, cid_mode: str = "minmax"):
+        self.tree = tree
+        self.cid_mode = cid_mode
+        self.index = InvertedIndex(tree)
+        self._algorithms: Dict[str, FragmentPipeline] = {
+            "validrtf": ValidRTF(tree, self.index, cid_mode=cid_mode),
+            "maxmatch": MaxMatch(tree, self.index, cid_mode=cid_mode),
+            "validrtf-slca": ValidRTFSLCA(tree, self.index, cid_mode=cid_mode),
+            "maxmatch-slca": MaxMatchSLCA(tree, self.index, cid_mode=cid_mode),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_string(cls, document: str, **kwargs) -> "SearchEngine":
+        """Build an engine from an XML string."""
+        return cls(parse_string(document), **kwargs)
+
+    @classmethod
+    def from_file(cls, path, **kwargs) -> "SearchEngine":
+        """Build an engine from an XML file."""
+        return cls(parse_file(path), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def algorithm(self, name: str) -> FragmentPipeline:
+        """The pipeline registered under ``name``."""
+        try:
+            return self._algorithms[name]
+        except KeyError:
+            raise UnknownAlgorithmError(
+                f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}"
+            ) from None
+
+    def search(self, query: QueryLike, algorithm: str = "validrtf") -> SearchResult:
+        """Run one query with the chosen algorithm."""
+        return self.algorithm(algorithm).search(query)
+
+    def compare(self, query: QueryLike) -> ComparisonOutcome:
+        """Run ValidRTF and revised MaxMatch and compute the Figure 6 metrics."""
+        validrtf_result = self.search(query, "validrtf")
+        maxmatch_result = self.search(query, "maxmatch")
+        report = effectiveness(maxmatch_result, validrtf_result)
+        return ComparisonOutcome(validrtf=validrtf_result, maxmatch=maxmatch_result,
+                                 report=report)
+
+    def rank(self, result: SearchResult,
+             weights: RankingWeights = RankingWeights()) -> List[RankedFragment]:
+        """Rank a result's fragments (future-work extension, Section 7)."""
+        return rank_result(self.tree, result, weights)
+
+    # ------------------------------------------------------------------ #
+    # Explanations
+    # ------------------------------------------------------------------ #
+    def explain(self, query: QueryLike,
+                algorithm: str = "validrtf") -> List[FragmentExplanation]:
+        """Per-node keep/discard decisions of one algorithm on one query."""
+        if algorithm not in ("validrtf", "maxmatch"):
+            raise UnknownAlgorithmError(
+                f"explanations are available for 'validrtf' and 'maxmatch', "
+                f"not {algorithm!r}")
+        pipeline = self.algorithm(algorithm)
+        parsed = Query.parse(query)
+        explanations: List[FragmentExplanation] = []
+        for fragment in pipeline.raw_fragments(parsed):
+            records = pipeline.record_tree(parsed, fragment)
+            if algorithm == "validrtf":
+                explanations.append(explain_valid_contributor(records, parsed))
+            else:
+                explanations.append(explain_contributor(records, parsed))
+        return explanations
+
+    def explain_comparison(self, query: QueryLike) -> ComparisonExplanation:
+        """Classify every node ValidRTF and MaxMatch disagree on."""
+        parsed = Query.parse(query)
+        validrtf_result = self.search(parsed, "validrtf")
+        maxmatch_result = self.search(parsed, "maxmatch")
+        labels = {node.dewey: node.label for node in self.tree.iter_preorder()}
+        return classify_differences(parsed, validrtf_result, maxmatch_result,
+                                    labels)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by examples / CLI
+    # ------------------------------------------------------------------ #
+    def keyword_nodes(self, query: QueryLike) -> Dict[str, List[DeweyCode]]:
+        """The ``D_i`` posting lists of a query."""
+        parsed = Query.parse(query)
+        return self.index.keyword_nodes(parsed.keywords)
+
+    def lca_nodes(self, query: QueryLike, algorithm: str = "validrtf") -> List[DeweyCode]:
+        """The interesting LCA roots the chosen algorithm would use."""
+        return self.algorithm(algorithm).lca_nodes(query)
+
+    def render_fragment(self, fragment, show_text: bool = True) -> str:
+        """Human-readable rendering of one result fragment."""
+        keyword_nodes = set(fragment.kept_keyword_nodes())
+        return render_nodes(
+            self.tree,
+            fragment.kept_nodes,
+            show_text=show_text,
+            highlight=lambda node: node.dewey in keyword_nodes,
+        )
+
+    def render_result(self, result: SearchResult, show_text: bool = True) -> str:
+        """Render every fragment of a result, separated by blank lines."""
+        blocks = []
+        for position, fragment in enumerate(result.fragments, start=1):
+            kind = "SLCA" if fragment.is_slca else "LCA"
+            header = (f"[{position}] root {fragment.root} ({kind}), "
+                      f"{fragment.size} nodes")
+            blocks.append(header + "\n" + self.render_fragment(fragment, show_text))
+        return "\n\n".join(blocks) if blocks else "(no results)"

@@ -1,0 +1,19 @@
+"""Exception types raised by the core search layer."""
+
+from __future__ import annotations
+
+
+class SearchError(Exception):
+    """Base class for errors raised by :mod:`repro.core`."""
+
+
+class EmptyQueryError(SearchError):
+    """Raised when a keyword query normalizes to zero keywords."""
+
+
+class UnknownAlgorithmError(SearchError):
+    """Raised when an algorithm name is not registered with the engine."""
+
+
+class FragmentError(SearchError):
+    """Raised when a fragment is structurally inconsistent (internal misuse)."""

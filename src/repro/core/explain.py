@@ -1,0 +1,310 @@
+"""Explanations of pruning decisions.
+
+The paper's discussion revolves around *why* a node is kept or discarded:
+MaxMatch discards a node when a sibling's keyword set strictly covers its own
+(sometimes wrongly — the false-positive problem) and keeps same-label siblings
+with identical matched content (the redundancy problem); ValidRTF keeps
+uniquely-labelled children and deduplicates same-content siblings.
+
+This module makes those decisions inspectable: for one RTF it produces a
+per-node decision record (kept / discarded, under which rule, because of which
+sibling), and for a ValidRTF-vs-MaxMatch pair it classifies every differing
+node as a *false-positive fix* (kept by ValidRTF, dropped by MaxMatch) or a
+*redundancy fix* (dropped by ValidRTF, kept by MaxMatch).  The CLI ``explain``
+command and the examples build on it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..xmltree import DeweyCode
+from .contributor import is_contributor
+from .fragments import PrunedFragment, SearchResult
+from .node_record import NodeRecord, RecordTree
+from .query import Query
+
+
+class Decision(str, Enum):
+    """Why a node was kept in, or removed from, a meaningful RTF."""
+
+    ROOT = "root"
+    UNIQUE_LABEL = "kept: unique label among siblings (rule 1)"
+    NOT_COVERED = "kept: keyword set not covered by a same-label sibling (rule 2a)"
+    DISTINCT_CONTENT = "kept: same keyword set but distinct content (rule 2b)"
+    CONTRIBUTOR = "kept: no sibling strictly covers its keyword set (contributor)"
+    COVERED = "discarded: keyword set strictly covered by a sibling"
+    DUPLICATE_CONTENT = "discarded: duplicates an earlier sibling's matched content"
+    ANCESTOR_DISCARDED = "discarded: an ancestor was discarded"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class DifferenceKind(str, Enum):
+    """How ValidRTF's meaningful RTF differs from MaxMatch's on one node."""
+
+    FALSE_POSITIVE_FIX = "false-positive fix (ValidRTF keeps, MaxMatch drops)"
+    REDUNDANCY_FIX = "redundancy fix (ValidRTF drops, MaxMatch keeps)"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class NodeDecision:
+    """The pruning decision for one fragment node."""
+
+    dewey: DeweyCode
+    label: str
+    kept: bool
+    decision: Decision
+    keywords: Tuple[str, ...] = ()
+    because_of: Optional[DeweyCode] = None
+
+
+@dataclass(frozen=True)
+class FragmentExplanation:
+    """All decisions of one fragment under one filtering mechanism."""
+
+    root: DeweyCode
+    algorithm: str
+    decisions: Tuple[NodeDecision, ...]
+
+    def kept(self) -> List[NodeDecision]:
+        return [decision for decision in self.decisions if decision.kept]
+
+    def discarded(self) -> List[NodeDecision]:
+        return [decision for decision in self.decisions if not decision.kept]
+
+    def decision_for(self, dewey: DeweyCode) -> NodeDecision:
+        for decision in self.decisions:
+            if decision.dewey == dewey:
+                return decision
+        raise KeyError(f"no decision recorded for {dewey}")
+
+    def summary(self) -> Dict[str, int]:
+        """Histogram of decision kinds."""
+        histogram: Dict[str, int] = {}
+        for decision in self.decisions:
+            key = decision.decision.name
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+
+@dataclass(frozen=True)
+class NodeDifference:
+    """One node on which ValidRTF and MaxMatch disagree."""
+
+    dewey: DeweyCode
+    label: str
+    kind: DifferenceKind
+    keywords: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ComparisonExplanation:
+    """Classified differences between the two algorithms on one query."""
+
+    query: str
+    differences: Tuple[NodeDifference, ...]
+
+    def false_positive_fixes(self) -> List[NodeDifference]:
+        return [difference for difference in self.differences
+                if difference.kind is DifferenceKind.FALSE_POSITIVE_FIX]
+
+    def redundancy_fixes(self) -> List[NodeDifference]:
+        return [difference for difference in self.differences
+                if difference.kind is DifferenceKind.REDUNDANCY_FIX]
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "false_positive_fixes": len(self.false_positive_fixes()),
+            "redundancy_fixes": len(self.redundancy_fixes()),
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Per-fragment explanations
+# ---------------------------------------------------------------------- #
+def explain_valid_contributor(record_tree: RecordTree,
+                              query: Query) -> FragmentExplanation:
+    """Per-node decisions of the valid-contributor filter (Definition 4)."""
+    decisions: Dict[DeweyCode, NodeDecision] = {}
+    root = record_tree.root
+    decisions[root.dewey] = NodeDecision(
+        dewey=root.dewey, label=root.label, kept=True, decision=Decision.ROOT,
+        keywords=_keywords(root, query))
+
+    queue = deque([root])
+    while queue:
+        parent = queue.popleft()
+        parent_kept = decisions[parent.dewey].kept
+        for group in parent.label_groups():
+            children = sorted(group.children, key=lambda record: record.dewey)
+            key_numbers = [child.key_number for child in children]
+            seen_contents: Dict[int, Dict[object, DeweyCode]] = {}
+            for child in children:
+                if not parent_kept:
+                    decision = NodeDecision(
+                        dewey=child.dewey, label=child.label, kept=False,
+                        decision=Decision.ANCESTOR_DISCARDED,
+                        keywords=_keywords(child, query),
+                        because_of=parent.dewey)
+                elif len(children) == 1:
+                    decision = NodeDecision(
+                        dewey=child.dewey, label=child.label, kept=True,
+                        decision=Decision.UNIQUE_LABEL,
+                        keywords=_keywords(child, query))
+                else:
+                    decision = _valid_contributor_decision(
+                        child, children, key_numbers, seen_contents, query)
+                decisions[child.dewey] = decision
+                queue.append(child)
+
+    ordered = tuple(decisions[dewey] for dewey in sorted(decisions))
+    return FragmentExplanation(root=record_tree.fragment.root,
+                               algorithm="validrtf", decisions=ordered)
+
+
+def explain_contributor(record_tree: RecordTree,
+                        query: Query) -> FragmentExplanation:
+    """Per-node decisions of MaxMatch's contributor filter."""
+    decisions: Dict[DeweyCode, NodeDecision] = {}
+    root = record_tree.root
+    decisions[root.dewey] = NodeDecision(
+        dewey=root.dewey, label=root.label, kept=True, decision=Decision.ROOT,
+        keywords=_keywords(root, query))
+
+    queue = deque([root])
+    while queue:
+        parent = queue.popleft()
+        parent_kept = decisions[parent.dewey].kept
+        children = parent.children
+        for child in children:
+            if not parent_kept:
+                decision = NodeDecision(
+                    dewey=child.dewey, label=child.label, kept=False,
+                    decision=Decision.ANCESTOR_DISCARDED,
+                    keywords=_keywords(child, query), because_of=parent.dewey)
+            elif is_contributor(child, children):
+                decision = NodeDecision(
+                    dewey=child.dewey, label=child.label, kept=True,
+                    decision=Decision.CONTRIBUTOR,
+                    keywords=_keywords(child, query))
+            else:
+                coverer = _covering_sibling(child, children)
+                decision = NodeDecision(
+                    dewey=child.dewey, label=child.label, kept=False,
+                    decision=Decision.COVERED,
+                    keywords=_keywords(child, query), because_of=coverer)
+            decisions[child.dewey] = decision
+            queue.append(child)
+
+    ordered = tuple(decisions[dewey] for dewey in sorted(decisions))
+    return FragmentExplanation(root=record_tree.fragment.root,
+                               algorithm="maxmatch", decisions=ordered)
+
+
+# ---------------------------------------------------------------------- #
+# ValidRTF vs MaxMatch differences
+# ---------------------------------------------------------------------- #
+def classify_differences(query: Query, validrtf_result: SearchResult,
+                         maxmatch_result: SearchResult,
+                         labels: Dict[DeweyCode, str]) -> ComparisonExplanation:
+    """Classify every node the two algorithms disagree on.
+
+    ``labels`` maps Dewey codes to element labels (callers usually pass
+    ``{node.dewey: node.label for node in tree.iter_preorder()}`` or derive it
+    lazily via :func:`explain_comparison`).
+    """
+    differences: List[NodeDifference] = []
+    maxmatch_by_root = maxmatch_result.by_root()
+    for fragment in validrtf_result:
+        other = maxmatch_by_root.get(fragment.root)
+        if other is None:
+            continue
+        v_nodes = fragment.kept_set()
+        m_nodes = other.kept_set()
+        for dewey in sorted(v_nodes - m_nodes):
+            differences.append(NodeDifference(
+                dewey=dewey, label=labels.get(dewey, ""),
+                kind=DifferenceKind.FALSE_POSITIVE_FIX))
+        for dewey in sorted(m_nodes - v_nodes):
+            differences.append(NodeDifference(
+                dewey=dewey, label=labels.get(dewey, ""),
+                kind=DifferenceKind.REDUNDANCY_FIX))
+    return ComparisonExplanation(query=str(query), differences=tuple(differences))
+
+
+def render_explanation(explanation: FragmentExplanation,
+                       show_kept: bool = True) -> str:
+    """Human-readable rendering of one fragment's decisions."""
+    lines = [f"fragment rooted at {explanation.root} ({explanation.algorithm}):"]
+    for decision in explanation.decisions:
+        if decision.kept and not show_kept:
+            continue
+        keywords = f" keywords={sorted(decision.keywords)}" if decision.keywords else ""
+        blame = f" (because of {decision.because_of})" if decision.because_of else ""
+        lines.append(f"  {decision.dewey} <{decision.label}> — "
+                     f"{decision.decision.value}{keywords}{blame}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Internal helpers
+# ---------------------------------------------------------------------- #
+def _keywords(record: NodeRecord, query: Query) -> Tuple[str, ...]:
+    return tuple(sorted(query.keywords_of(record.keyword_mask)))
+
+
+def _valid_contributor_decision(child: NodeRecord,
+                                children: Sequence[NodeRecord],
+                                key_numbers: Sequence[int],
+                                seen_contents: Dict[int, Dict[object, DeweyCode]],
+                                query: Query) -> NodeDecision:
+    key = child.key_number
+    coverer = _strictly_covering_same_label_sibling(child, children)
+    if coverer is not None:
+        return NodeDecision(dewey=child.dewey, label=child.label, kept=False,
+                            decision=Decision.COVERED,
+                            keywords=_keywords(child, query),
+                            because_of=coverer)
+    contents = seen_contents.setdefault(key, {})
+    feature = child.content_feature
+    if feature in contents:
+        return NodeDecision(dewey=child.dewey, label=child.label, kept=False,
+                            decision=Decision.DUPLICATE_CONTENT,
+                            keywords=_keywords(child, query),
+                            because_of=contents[feature])
+    contents[feature] = child.dewey
+    duplicate_key = any(other.key_number == key and other.dewey != child.dewey
+                        for other in children)
+    decision = Decision.DISTINCT_CONTENT if duplicate_key else Decision.NOT_COVERED
+    return NodeDecision(dewey=child.dewey, label=child.label, kept=True,
+                        decision=decision, keywords=_keywords(child, query))
+
+
+def _strictly_covering_same_label_sibling(
+        child: NodeRecord, children: Sequence[NodeRecord]) -> Optional[DeweyCode]:
+    for other in children:
+        if other.dewey == child.dewey:
+            continue
+        if other.key_number != child.key_number and \
+                (child.key_number & other.key_number) == child.key_number:
+            return other.dewey
+    return None
+
+
+def _covering_sibling(child: NodeRecord,
+                      children: Sequence[NodeRecord]) -> Optional[DeweyCode]:
+    for other in children:
+        if other.dewey == child.dewey:
+            continue
+        if other.keyword_mask != child.keyword_mask and \
+                (child.keyword_mask & other.keyword_mask) == child.keyword_mask:
+            return other.dewey
+    return None

@@ -1,0 +1,205 @@
+"""The node data structure of Section 4.1 and the RTF "constructing step".
+
+For every node of an RTF the paper keeps:
+
+* *Self Info*: Dewey code, label, keyword list ``kList`` (the tree keyword set
+  ``TK_v``, stored as a bitmask whose integer value is the "key number") and
+  the content id ``cID`` — the ``(min, max)`` word pair of the tree content
+  set ``TC_v`` under lexical order.
+* *Children Info*: the children grouped by distinct label (``chlList``); each
+  label item records the child count, the children's key numbers
+  (``chkList``), their cIDs (``chcIDList``) and references to the child
+  records (``chList``).
+
+The constructing step of ``pruneRTF`` (Algorithm 1, lines 1–15) builds this
+record tree bottom-up from the RTF's keyword nodes: every keyword node's
+information is propagated to all its ancestors within the fragment.
+
+Two content-feature modes are supported:
+
+* ``"minmax"`` — the paper's approximate ``(min, max)`` pair;
+* ``"exact"`` — the full tree content set.  Used by the ablation benchmark to
+  quantify how often the approximation misidentifies duplicate content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..text import ContentAnalyzer
+from ..xmltree import DeweyCode, XMLTree
+from .fragments import Fragment
+from .query import Query
+
+ContentFeature = Union[Tuple[str, str], FrozenSet[str]]
+
+#: Content-feature modes accepted by the record builder.
+CID_MODES = ("minmax", "exact")
+
+
+@dataclass
+class LabelGroup:
+    """One ``chlList`` entry: the children of a node sharing one label."""
+
+    label: str
+    children: List["NodeRecord"] = field(default_factory=list)
+
+    @property
+    def counter(self) -> int:
+        """Number of children with this label."""
+        return len(self.children)
+
+    def key_numbers(self) -> List[int]:
+        """The children's key numbers (``chkList``), sorted ascending."""
+        return sorted(child.key_number for child in self.children)
+
+    def content_features(self) -> List[ContentFeature]:
+        """The children's content features (``chcIDList``)."""
+        return [child.content_feature for child in self.children]
+
+
+@dataclass
+class NodeRecord:
+    """The per-node record of Section 4.1."""
+
+    dewey: DeweyCode
+    label: str
+    keyword_mask: int = 0
+    content_words: FrozenSet[str] = frozenset()
+    is_keyword_node: bool = False
+    cid_mode: str = "minmax"
+    children: List["NodeRecord"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Self info
+    # ------------------------------------------------------------------ #
+    @property
+    def key_number(self) -> int:
+        """The integer value of ``kList`` (the paper's key number)."""
+        return self.keyword_mask
+
+    @property
+    def content_feature(self) -> ContentFeature:
+        """The ``cID``: the ``(min, max)`` word pair, or the exact set."""
+        if self.cid_mode == "exact":
+            return self.content_words
+        if not self.content_words:
+            return ("", "")
+        ordered = sorted(self.content_words)
+        return (ordered[0], ordered[-1])
+
+    def tree_keyword_set(self, query: Query) -> FrozenSet[str]:
+        """``TK_v`` decoded back into keyword strings."""
+        return frozenset(query.keywords_of(self.keyword_mask))
+
+    # ------------------------------------------------------------------ #
+    # Children info
+    # ------------------------------------------------------------------ #
+    def label_groups(self) -> List[LabelGroup]:
+        """The ``chlList``: children grouped by distinct label, document order."""
+        groups: Dict[str, LabelGroup] = {}
+        for child in self.children:
+            groups.setdefault(child.label, LabelGroup(child.label)).children.append(child)
+        return list(groups.values())
+
+    def group_for(self, label: str) -> Optional[LabelGroup]:
+        """The label group of ``label``, or ``None``."""
+        for group in self.label_groups():
+            if group.label == label:
+                return group
+        return None
+
+    def iter_records(self):
+        """Yield this record and all descendant records in document order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_records()
+
+    def __repr__(self) -> str:
+        return (f"NodeRecord({self.dewey} {self.label!r} key={self.key_number} "
+                f"cid={self.content_feature!r})")
+
+
+@dataclass(frozen=True)
+class RecordTree:
+    """The record tree of one RTF built by the constructing step."""
+
+    fragment: Fragment
+    root: NodeRecord
+    by_dewey: Dict[DeweyCode, NodeRecord]
+
+    def record(self, dewey: DeweyCode) -> NodeRecord:
+        """The record of one fragment node."""
+        return self.by_dewey[dewey]
+
+    def size(self) -> int:
+        """Number of records (equals the raw fragment size)."""
+        return len(self.by_dewey)
+
+
+def build_record_tree(
+    tree: XMLTree,
+    analyzer: ContentAnalyzer,
+    query: Query,
+    fragment: Fragment,
+    cid_mode: str = "minmax",
+) -> RecordTree:
+    """The constructing step of ``pruneRTF`` (Algorithm 1, lines 1–15).
+
+    Builds one :class:`NodeRecord` per fragment node.  A node's keyword mask
+    and content words are the union over the *fragment's own keyword nodes*
+    located in its subtree — the restriction the paper's line 11/12 fix is
+    about: keyword-node information must reach every ancestor within the RTF,
+    but keyword nodes belonging to other (deeper) RTFs never contribute.
+    """
+    if cid_mode not in CID_MODES:
+        raise ValueError(f"unknown cid_mode {cid_mode!r}; expected one of {CID_MODES}")
+
+    records: Dict[DeweyCode, NodeRecord] = {}
+    for dewey in fragment.nodes:
+        node = tree.node(dewey)
+        records[dewey] = NodeRecord(
+            dewey=dewey,
+            label=node.label,
+            cid_mode=cid_mode,
+        )
+
+    # Wire parent/child links within the fragment.  Fragment nodes always form
+    # a tree rooted at fragment.root because they are unions of root-to-node
+    # paths.
+    root_record = records[fragment.root]
+    for dewey, record in records.items():
+        if dewey == fragment.root:
+            continue
+        parent_code = dewey.parent()
+        while parent_code is not None and parent_code not in records:
+            parent_code = parent_code.parent()
+        if parent_code is None:
+            raise ValueError(f"fragment node {dewey} is not connected to the root")
+        records[parent_code].children.append(record)
+    for record in records.values():
+        record.children.sort(key=lambda child: child.dewey)
+
+    # Propagate every keyword node's information to all its fragment ancestors
+    # (the paper's lines 5–12: "transfer the information ... to all its
+    # ancestors").
+    query_keywords = set(query.keywords)
+    for keyword_dewey in fragment.keyword_nodes:
+        node = tree.node(keyword_dewey)
+        content = analyzer.node_content(node)
+        mask = query.mask_of(keyword for keyword in query_keywords if keyword in content)
+        record = records[keyword_dewey]
+        record.is_keyword_node = True
+        current: Optional[DeweyCode] = keyword_dewey
+        while current is not None and current in records:
+            target = records[current]
+            target.keyword_mask |= mask
+            target.content_words = frozenset(target.content_words | content)
+            if current == fragment.root:
+                break
+            current = current.parent()
+            while current is not None and current not in records:
+                current = current.parent()
+
+    return RecordTree(fragment=fragment, root=root_record, by_dewey=records)

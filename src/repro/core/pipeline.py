@@ -1,0 +1,129 @@
+"""The shared four-stage XKS pipeline of Algorithm 1.
+
+Both MaxMatch (revised for RTFs, the paper's baseline) and ValidRTF share the
+first three stages — ``getKeywordNodes``, ``getLCA`` and ``getRTF`` — and
+differ only in the pruning stage.  This module implements the shared pipeline
+once; :mod:`repro.core.maxmatch` and :mod:`repro.core.validrtf` plug in their
+filtering mechanism.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..index import InvertedIndex
+from ..lca import elca_is_slca, indexed_stack_elca, indexed_lookup_eager_slca
+from ..text import ContentAnalyzer
+from ..xmltree import DeweyCode, XMLTree
+from .fragments import Fragment, PrunedFragment, SearchResult
+from .node_record import RecordTree, build_record_tree
+from .query import Query, QueryLike
+from .rtf import build_rtfs
+
+#: Signature of a ``getLCA`` stage: posting lists -> interesting LCA roots.
+LcaFunction = Callable[[Mapping[str, Sequence[DeweyCode]]], List[DeweyCode]]
+
+#: Signature of a pruning stage: record tree -> pruned fragment.
+Pruner = Callable[[RecordTree], PrunedFragment]
+
+
+def slca_roots(lists: Mapping[str, Sequence[DeweyCode]]) -> List[DeweyCode]:
+    """``getLCA`` restricted to SLCA nodes (the original MaxMatch setting)."""
+    return indexed_lookup_eager_slca(lists)
+
+
+def elca_roots(lists: Mapping[str, Sequence[DeweyCode]]) -> List[DeweyCode]:
+    """``getLCA`` returning all interesting LCA nodes (Indexed Stack / ELCA)."""
+    return indexed_stack_elca(lists)
+
+
+class FragmentPipeline:
+    """The four-stage pipeline with a pluggable pruning mechanism.
+
+    Parameters
+    ----------
+    tree:
+        The document.
+    index:
+        A prebuilt inverted index over ``tree`` (built on demand if omitted).
+    lca_function:
+        The ``getLCA`` stage; defaults to the ELCA (Indexed Stack) semantics
+        used by the paper.
+    pruner:
+        The filtering mechanism applied to every RTF's record tree.
+    cid_mode:
+        Content-feature mode forwarded to the record-tree construction.
+    name:
+        Algorithm name recorded on results.
+    """
+
+    def __init__(
+        self,
+        tree: XMLTree,
+        pruner: Pruner,
+        index: Optional[InvertedIndex] = None,
+        lca_function: LcaFunction = elca_roots,
+        cid_mode: str = "minmax",
+        name: str = "pipeline",
+    ):
+        self.tree = tree
+        self.index = index if index is not None else InvertedIndex(tree)
+        self.analyzer = self.index.analyzer
+        self.lca_function = lca_function
+        self.pruner = pruner
+        self.cid_mode = cid_mode
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Stage helpers (also exposed individually for tests and examples)
+    # ------------------------------------------------------------------ #
+    def keyword_nodes(self, query: QueryLike) -> Dict[str, List[DeweyCode]]:
+        """Stage 1 — ``getKeywordNodes``."""
+        parsed = Query.parse(query)
+        return self.index.keyword_nodes(parsed.keywords)
+
+    def lca_nodes(self, query: QueryLike) -> List[DeweyCode]:
+        """Stage 2 — ``getLCA`` on this pipeline's LCA semantics."""
+        return self.lca_function(self.keyword_nodes(query))
+
+    def raw_fragments(self, query: QueryLike) -> List[Fragment]:
+        """Stages 1–3 — the raw (unpruned) RTFs."""
+        parsed = Query.parse(query)
+        lists = self.index.keyword_nodes(parsed.keywords)
+        roots = self.lca_function(lists)
+        if not roots:
+            return []
+        flags = elca_is_slca(roots)
+        return build_rtfs(self.tree, parsed, roots, lists, flags)
+
+    def record_tree(self, query: QueryLike, fragment: Fragment) -> RecordTree:
+        """The constructing step of ``pruneRTF`` for one fragment."""
+        parsed = Query.parse(query)
+        return build_record_tree(self.tree, self.analyzer, parsed, fragment,
+                                 cid_mode=self.cid_mode)
+
+    # ------------------------------------------------------------------ #
+    # Full run
+    # ------------------------------------------------------------------ #
+    def search(self, query: QueryLike) -> SearchResult:
+        """Run all four stages and return the pruned fragments."""
+        parsed = Query.parse(query)
+        started = time.perf_counter()
+        lists = self.index.keyword_nodes(parsed.keywords)
+        roots = self.lca_function(lists)
+        fragments: List[PrunedFragment] = []
+        if roots:
+            flags = elca_is_slca(roots)
+            for fragment in build_rtfs(self.tree, parsed, roots, lists, flags):
+                records = build_record_tree(self.tree, self.analyzer, parsed,
+                                            fragment, cid_mode=self.cid_mode)
+                fragments.append(self.pruner(records))
+        elapsed = time.perf_counter() - started
+        return SearchResult(
+            query=parsed,
+            algorithm=self.name,
+            fragments=tuple(fragments),
+            elapsed_seconds=elapsed,
+            lca_nodes=tuple(roots),
+        )

@@ -1,0 +1,92 @@
+"""Ranking of meaningful RTFs — the paper's stated future-work extension.
+
+Section 7 notes that "the ranking of the retrieved meaningful RTFs is still
+needed" and leaves it as future work.  This module provides a simple,
+explainable ranking so downstream users can order results:
+
+* **specificity** — deeper fragment roots rank higher (a tighter context is
+  usually more meaningful than the document root);
+* **compactness** — fewer kept nodes per matched keyword rank higher;
+* **coverage** — fragments whose kept keyword nodes match more distinct query
+  keywords directly (rather than through shared nodes) rank higher.
+
+The score is a weighted sum of the three normalized components; weights are
+explicit so experiments can ablate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..text import ContentAnalyzer
+from ..xmltree import XMLTree
+from .fragments import PrunedFragment, SearchResult
+from .query import Query
+
+
+@dataclass(frozen=True)
+class RankingWeights:
+    """Weights of the three ranking components (normalized internally)."""
+
+    specificity: float = 1.0
+    compactness: float = 1.0
+    coverage: float = 1.0
+
+    def normalized(self) -> "RankingWeights":
+        total = self.specificity + self.compactness + self.coverage
+        if total <= 0:
+            raise ValueError("ranking weights must sum to a positive value")
+        return RankingWeights(self.specificity / total, self.compactness / total,
+                              self.coverage / total)
+
+
+@dataclass(frozen=True)
+class RankedFragment:
+    """One fragment together with its score and component breakdown."""
+
+    fragment: PrunedFragment
+    score: float
+    specificity: float
+    compactness: float
+    coverage: float
+
+
+def rank_fragments(tree: XMLTree, query: Query,
+                   fragments: Sequence[PrunedFragment],
+                   weights: RankingWeights = RankingWeights()) -> List[RankedFragment]:
+    """Rank fragments by the weighted specificity/compactness/coverage score."""
+    if not fragments:
+        return []
+    normalized = weights.normalized()
+    analyzer = ContentAnalyzer(tree)
+    max_depth = max(fragment.root.level for fragment in fragments) or 1
+    max_size = max(fragment.size for fragment in fragments) or 1
+
+    ranked: List[RankedFragment] = []
+    for fragment in fragments:
+        specificity = fragment.root.level / max_depth if max_depth else 0.0
+        compactness = 1.0 - (fragment.size - 1) / max_size
+        coverage = _coverage(tree, analyzer, query, fragment)
+        score = (normalized.specificity * specificity
+                 + normalized.compactness * compactness
+                 + normalized.coverage * coverage)
+        ranked.append(RankedFragment(fragment, score, specificity, compactness,
+                                     coverage))
+    ranked.sort(key=lambda item: (-item.score, item.fragment.root))
+    return ranked
+
+
+def rank_result(tree: XMLTree, result: SearchResult,
+                weights: RankingWeights = RankingWeights()) -> List[RankedFragment]:
+    """Rank the fragments of a whole :class:`SearchResult`."""
+    return rank_fragments(tree, result.query, result.fragments, weights)
+
+
+def _coverage(tree: XMLTree, analyzer: ContentAnalyzer, query: Query,
+              fragment: PrunedFragment) -> float:
+    matched = set()
+    for dewey in fragment.kept_keyword_nodes():
+        node = tree.node(dewey)
+        matched |= analyzer.matched_keywords(node, query.keywords)
+    return len(matched) / query.size if query.size else 0.0

@@ -1,0 +1,104 @@
+"""RTF construction — the ``getRTF`` stage of Algorithm 1.
+
+Given the interesting LCA nodes (ELCAs, in document order) and the keyword
+posting lists ``D_1..D_k``, every keyword node is dispatched to the *last* LCA
+node in document order that is its ancestor-or-self — i.e. its nearest
+enclosing interesting LCA node.  The keyword nodes collected for one LCA node,
+together with the paths from that node down to them, form one Relaxed Tightest
+Fragment (Definition 2; see the analysis in Section 4.3-(1)).
+
+Keyword nodes that are not descendants of any interesting LCA node belong to
+no partition and are dropped (they cannot complete a fragment covering the
+query).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..xmltree import DeweyCode, XMLTree
+from .fragments import Fragment, build_fragment
+from .query import Query
+
+
+def assign_keyword_nodes(
+    lca_nodes: Sequence[DeweyCode],
+    keyword_lists: Mapping[str, Sequence[DeweyCode]],
+) -> Dict[DeweyCode, List[DeweyCode]]:
+    """Dispatch every keyword node to its nearest enclosing LCA node.
+
+    Returns a mapping ``lca -> sorted keyword nodes``; LCA nodes with no
+    assigned keyword node (possible only when the input lists are
+    inconsistent) map to an empty list so callers see every requested root.
+    """
+    sorted_lcas = sorted(lca_nodes)
+    assignment: Dict[DeweyCode, List[DeweyCode]] = {code: [] for code in sorted_lcas}
+    seen: set = set()
+    for deweys in keyword_lists.values():
+        for dewey in deweys:
+            code = DeweyCode.coerce(dewey)
+            if code in seen:
+                continue
+            seen.add(code)
+            owner = _nearest_enclosing(sorted_lcas, code)
+            if owner is not None:
+                assignment[owner].append(code)
+    for keyword_nodes in assignment.values():
+        keyword_nodes.sort()
+    return assignment
+
+
+def build_rtfs(
+    tree: XMLTree,
+    query: Query,
+    lca_nodes: Sequence[DeweyCode],
+    keyword_lists: Mapping[str, Sequence[DeweyCode]],
+    slca_flags: Sequence[bool] = (),
+) -> List[Fragment]:
+    """``getRTF``: one raw :class:`Fragment` per interesting LCA node.
+
+    ``slca_flags`` (parallel to ``lca_nodes``) marks which roots are also SLCA
+    nodes; when omitted it is derived from the node set itself (an LCA node is
+    an SLCA iff no other LCA node is its strict descendant).
+    """
+    sorted_lcas = sorted(lca_nodes)
+    if slca_flags and len(slca_flags) == len(lca_nodes):
+        flag_by_code = {DeweyCode.coerce(code): flag
+                        for code, flag in zip(lca_nodes, slca_flags)}
+    else:
+        flag_by_code = {
+            code: not any(code.is_ancestor_of(other) for other in sorted_lcas)
+            for code in sorted_lcas
+        }
+
+    assignment = assign_keyword_nodes(sorted_lcas, keyword_lists)
+    fragments: List[Fragment] = []
+    for root in sorted_lcas:
+        keyword_nodes = assignment[root]
+        if not keyword_nodes:
+            continue
+        fragments.append(
+            build_fragment(tree, root, keyword_nodes, is_slca=flag_by_code[root])
+        )
+    return fragments
+
+
+def _nearest_enclosing(sorted_lcas: Sequence[DeweyCode],
+                       node: DeweyCode) -> DeweyCode:
+    """The deepest LCA node that is an ancestor-or-self of ``node``.
+
+    ``sorted_lcas`` is in document order, so every ancestor-or-self of
+    ``node`` precedes (or equals) it; scanning backwards from the insertion
+    point finds the nearest one — the "last RTF whose root is an ancestor of
+    or the same as d" of Algorithm 1.
+    """
+    position = bisect_right(sorted_lcas, node)
+    for index in range(position - 1, -1, -1):
+        candidate = sorted_lcas[index]
+        if candidate.is_ancestor_or_self(node):
+            # Among the ancestors of ``node``, deeper ones come later in
+            # document order, so the first ancestor found scanning backwards
+            # is the nearest enclosing one.
+            return candidate
+    return None

@@ -1,0 +1,121 @@
+"""The *valid contributor* filtering mechanism (Definition 4) — the paper's core.
+
+A child ``v`` of ``u`` (both in an RTF) is a **valid contributor** iff
+
+1. ``v`` is the unique child of ``u`` carrying its label, or
+2. among the same-label siblings ``v1..vm``:
+   (a) no sibling's tree keyword set strictly covers ``v``'s
+       (``¬∃ vi: TK_v ⊂ TK_vi``), and
+   (b) among siblings with an *equal* keyword set, ``v``'s tree content is
+       distinct (``TC_v ≠ TC_vi``).  Operationally (Algorithm 1, lines 21–25)
+       the first sibling of each (keyword set, content feature) pair in
+       document order is kept as the representative and later duplicates are
+       discarded — this is how "one of them should be discarded" is realized.
+
+Rule 1 fixes MaxMatch's false-positive problem, rule 2(a) keeps the good part
+of the contributor filter and rule 2(b) fixes the redundancy problem.
+
+Content equality uses the node record's content feature: the paper's
+``(min, max)`` word pair (``cid_mode="minmax"``) or the exact tree content set
+(``cid_mode="exact"``, ablation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..xmltree import DeweyCode
+from .fragments import Fragment, PrunedFragment
+from .node_record import ContentFeature, LabelGroup, NodeRecord, RecordTree
+
+
+def is_valid_contributor(record: NodeRecord, group: Sequence[NodeRecord]) -> bool:
+    """Definition 4 test for one node against its same-label siblings.
+
+    ``group`` must be the children of the node's parent that share its label
+    (including the node itself), in document order.  The duplicate-content
+    rule 2(b) keeps the *first* sibling of each (key number, content feature)
+    pair, so the test depends on document order for exact ties.
+    """
+    members = list(group)
+    if len(members) <= 1:
+        return True
+    mask = record.keyword_mask
+    for sibling in members:
+        if sibling.dewey == record.dewey:
+            continue
+        other = sibling.keyword_mask
+        # Rule 2(a): discarded when a same-label sibling strictly covers it.
+        if mask != other and (mask & other) == mask:
+            return False
+        # Rule 2(b): equal keyword sets with identical content keep only the
+        # earliest sibling in document order.
+        if mask == other and sibling.content_feature == record.content_feature \
+                and sibling.dewey < record.dewey:
+            return False
+    return True
+
+
+def prune_with_valid_contributor(record_tree: RecordTree,
+                                 algorithm: str = "validrtf") -> PrunedFragment:
+    """The pruning step of ``pruneRTF`` (Algorithm 1, lines 16–26).
+
+    Breadth-first traversal of the record tree; for every node, its children
+    are examined per distinct label:
+
+    * a label group with a single child keeps that child (rule 1, line 26),
+    * otherwise each child is kept iff (i) its key number is not strictly
+      covered by a larger key number in the group (rule 2(a)) and (ii) no
+      earlier kept sibling with the same key number had the same content
+      feature (rule 2(b)).
+
+    Children that are discarded are not traversed further, so their whole
+    subtrees leave the meaningful RTF.
+    """
+    fragment = record_tree.fragment
+    kept: List[DeweyCode] = [fragment.root]
+    queue = deque([record_tree.root])
+    while queue:
+        parent = queue.popleft()
+        for group in parent.label_groups():
+            for child in _select_valid_children(group):
+                kept.append(child.dewey)
+                queue.append(child)
+    return PrunedFragment(fragment=fragment, kept_nodes=tuple(sorted(set(kept))),
+                          algorithm=algorithm)
+
+
+def _select_valid_children(group: LabelGroup) -> List[NodeRecord]:
+    """The children of one label group that are valid contributors."""
+    children = sorted(group.children, key=lambda record: record.dewey)
+    if len(children) == 1:
+        return children
+
+    key_numbers = [child.key_number for child in children]
+    survivors: List[NodeRecord] = []
+    used_contents: Dict[int, Set[ContentFeature]] = {}
+    for child in children:
+        key = child.key_number
+        if _is_covered(key, key_numbers):
+            continue
+        seen = used_contents.setdefault(key, set())
+        feature = child.content_feature
+        if feature in seen:
+            continue
+        seen.add(feature)
+        survivors.append(child)
+    return survivors
+
+
+def _is_covered(key: int, key_numbers: Sequence[int]) -> bool:
+    """True iff some other key number is a strict superset of ``key``."""
+    for other in key_numbers:
+        if other != key and (key & other) == key:
+            return True
+    return False
+
+
+def valid_contributor_survivors(record_tree: RecordTree) -> List[DeweyCode]:
+    """The kept node list only (convenience wrapper used in tests)."""
+    return list(prune_with_valid_contributor(record_tree).kept_nodes)

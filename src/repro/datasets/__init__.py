@@ -1,0 +1,49 @@
+"""Datasets: paper figure instances, synthetic DBLP / XMark generators, workloads."""
+
+from .figures import PAPER_QUERIES, paper_query, publications_tree, team_tree
+from .vocabulary import (
+    DBLP_ABBREVIATIONS,
+    DBLP_PAPER_FREQUENCIES,
+    FILLER_WORDS,
+    XMARK_ABBREVIATIONS,
+    XMARK_PAPER_FREQUENCIES,
+    dblp_target_frequencies,
+    xmark_target_frequencies,
+)
+from .dblp import DBLPConfig, default_dblp_tree, generate_dblp
+from .xmark import XMARK_SCALES, XMarkConfig, generate_xmark, xmark_suite
+from .workload import (
+    WorkloadQuery,
+    dblp_workload,
+    validate_workloads,
+    workload_for,
+    workload_summary,
+    xmark_workload,
+)
+
+__all__ = [
+    "PAPER_QUERIES",
+    "paper_query",
+    "publications_tree",
+    "team_tree",
+    "DBLP_PAPER_FREQUENCIES",
+    "XMARK_PAPER_FREQUENCIES",
+    "DBLP_ABBREVIATIONS",
+    "XMARK_ABBREVIATIONS",
+    "FILLER_WORDS",
+    "dblp_target_frequencies",
+    "xmark_target_frequencies",
+    "DBLPConfig",
+    "generate_dblp",
+    "default_dblp_tree",
+    "XMarkConfig",
+    "generate_xmark",
+    "xmark_suite",
+    "XMARK_SCALES",
+    "WorkloadQuery",
+    "dblp_workload",
+    "xmark_workload",
+    "workload_for",
+    "workload_summary",
+    "validate_workloads",
+]

@@ -1,0 +1,145 @@
+"""The paper's running-example documents (Figure 1) and queries Q1–Q5.
+
+The paper never prints the full documents, but Examples 1–7 pin down their
+structure precisely: which nodes exist, their Dewey codes, labels, and which
+keywords each contains.  The two instances below reproduce all of those facts,
+so the worked examples (Figures 2–4) can be replayed as tests:
+
+* :func:`publications_tree` — Figure 1(a), a ``Publications`` collection with
+  two ``article`` elements (an XML-keyword-search paper by Liu & Chen and a
+  skyline paper by Wong & Fu).
+* :func:`team_tree` — Figure 1(b):(1), the ``Grizzlies`` team with three
+  ``player`` elements, borrowed from the MaxMatch paper.
+* :data:`PAPER_QUERIES` — the sample keyword queries Q1–Q5 of Figure 1(b):(2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..xmltree import XMLTree, spec, tree_from_spec
+
+#: The sample keyword queries of Figure 1(b):(2), reconstructed from the
+#: examples that use them.
+PAPER_QUERIES: Dict[str, str] = {
+    # Example 2 / Figure 3(b)-(c): false-positive scenario on Figure 1(a).
+    "Q1": "Wong Fu dynamic skyline query",
+    # Examples 1, 3, 4 / Figure 2(a)-(b): SLCA vs LCA on Figure 1(a).
+    "Q2": "Liu keyword",
+    # Examples 1, 6, 7 / Figure 2(c)-(d): papers published in VLDB 2008 on XML
+    # keyword search.
+    "Q3": "VLDB title XML keyword search",
+    # Example 2 / Figure 3(d): redundancy scenario on Figure 1(b).
+    "Q4": "Grizzlies position",
+    # Examples 2, 5 / Figure 3(a): positive contributor example on Figure 1(b).
+    "Q5": "Grizzlies Gassol position",
+}
+
+
+def publications_tree() -> XMLTree:
+    """The Figure 1(a) ``Publications`` instance.
+
+    Dewey codes match the paper: the Liu & Chen article is ``0.2.0``, the
+    Wong & Fu article is ``0.2.1``, the cited reference is ``0.2.0.3.0`` and
+    the proceedings title node is ``0.0``.
+    """
+    document = spec(
+        "Publications", None,
+        # 0.0 — carries both "VLDB" and (via its label) "title".
+        spec("title", "VLDB 2008 Proceedings"),
+        # 0.1 — filler metadata; contains no query keyword.
+        spec("year", "2008"),
+        # 0.2 — the article collection.
+        spec(
+            "Articles", None,
+            # 0.2.0 — the XML keyword search article (Liu & Chen).
+            spec(
+                "article", None,
+                spec(
+                    "authors", None,
+                    spec("author", None, spec("name", "Ziyang Liu")),
+                    spec("author", None, spec("name", "Yi Chen")),
+                ),
+                spec("title",
+                     "Reasoning and Identifying Relevant Matches for XML "
+                     "Keyword Search"),
+                spec("abstract",
+                     "Keyword search lets users retrieve relevant matches "
+                     "from XML data without learning a structured language; "
+                     "we reason about which XML nodes form meaningful "
+                     "answers."),
+                spec(
+                    "references", None,
+                    # 0.2.0.3.0 — contains Liu, XML, keyword and search.
+                    spec("ref",
+                         "Ziyang Liu and Yi Chen: Identifying Meaningful "
+                         "Return Information for XML Keyword Search, "
+                         "SIGMOD 2007"),
+                ),
+            ),
+            # 0.2.1 — the skyline article (Wong & Fu).
+            spec(
+                "article", None,
+                spec(
+                    "authors", None,
+                    spec("author", None, spec("name", "Raymond Chi-Wing Wong")),
+                    spec("author", None, spec("name", "Ada Wai-Chee Fu")),
+                ),
+                spec("title",
+                     "Efficient Skyline Query Processing with Variable User "
+                     "Preferences on Nominal Attributes"),
+                spec("abstract",
+                     "We study dynamic skyline query evaluation when user "
+                     "preferences over nominal attributes change at run "
+                     "time."),
+            ),
+        ),
+    )
+    return tree_from_spec(document, name="figure-1a-publications")
+
+
+def team_tree() -> XMLTree:
+    """The Figure 1(b):(1) ``team`` instance borrowed from the MaxMatch paper.
+
+    Dewey codes match the paper: the three players are ``0.1.0``, ``0.1.1``
+    and ``0.1.2``; two of them play the same position ("forward"), which is
+    what triggers MaxMatch's redundancy problem on Q4.
+    """
+    document = spec(
+        "team", None,
+        # 0.0 — the team name.
+        spec("name", "Grizzlies"),
+        # 0.1 — the roster.
+        spec(
+            "players", None,
+            spec(
+                "player", None,
+                spec("name", "Pau Gassol"),
+                spec("position", "forward"),
+                spec("number", "16"),
+            ),
+            spec(
+                "player", None,
+                spec("name", "Mike Conley"),
+                spec("position", "guard"),
+                spec("number", "11"),
+            ),
+            spec(
+                "player", None,
+                spec("name", "Rudy Gay"),
+                spec("position", "forward"),
+                spec("number", "22"),
+            ),
+        ),
+    )
+    return tree_from_spec(document, name="figure-1b-team")
+
+
+def paper_query(name: str) -> str:
+    """The raw text of one of the paper's queries (``"Q1"`` .. ``"Q5"``)."""
+    try:
+        return PAPER_QUERIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown paper query {name!r}; expected one of {sorted(PAPER_QUERIES)}"
+        ) from None

@@ -1,0 +1,157 @@
+"""Vocabularies and target keyword frequencies for the synthetic datasets.
+
+Section 5.1 lists, for each dataset, the exact keywords the query workloads
+are built from together with their document frequencies.  The generators in
+:mod:`repro.datasets.dblp` and :mod:`repro.datasets.xmark` plant those
+keywords so that the *relative* frequencies (rare vs frequent keywords and the
+roughly x1 / x3 / x6 growth across the XMark scales) match the paper at a
+laptop-scale document size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: DBLP workload keywords with the frequencies reported in Section 5.1
+#: (dataset dblp20040213, 197.6 MB).
+DBLP_PAPER_FREQUENCIES: Dict[str, int] = {
+    "keyword": 90,
+    "similarity": 1242,
+    "recognition": 6447,
+    "algorithm": 14181,
+    "data": 25840,
+    "probabilistic": 2284,
+    "xml": 2121,
+    "dynamic": 7281,
+    "sigmod": 3983,
+    "tree": 3549,
+    "query": 3560,
+    "automata": 3337,
+    "pattern": 6513,
+    "retrieval": 5111,
+    "efficient": 8279,
+    "understanding": 1450,
+    "searching": 4618,
+    "vldb": 2313,
+    "henry": 1322,
+    "semantics": 3694,
+}
+
+#: XMark workload keywords with the (standard, data1, data2) frequencies
+#: reported in Section 5.1.
+XMARK_PAPER_FREQUENCIES: Dict[str, Sequence[int]] = {
+    "particle": (12, 33, 69),
+    "dominator": (56, 150, 285),
+    "threshold": (123, 405, 804),
+    "chronicle": (426, 1286, 2568),
+    "method": (552, 1667, 3356),
+    "strings": (615, 1847, 3620),
+    "unjust": (1000, 3044, 6150),
+    "invention": (1546, 4715, 9404),
+    "egypt": (2064, 5255, 12466),
+    "leon": (2519, 7647, 15210),
+    "preventions": (66216, 199365, 397672),
+    "description": (11681, 35168, 70230),
+    "order": (12705, 38141, 76271),
+}
+
+#: Abbreviation letters used to name workload queries (the paper abbreviates
+#: each keyword by an underlined letter; the exact letters are unreadable in
+#: the figure axes, so a deterministic mapping is fixed here and documented in
+#: EXPERIMENTS.md).
+DBLP_ABBREVIATIONS: Dict[str, str] = {
+    "keyword": "k", "similarity": "s", "recognition": "r", "algorithm": "a",
+    "data": "d", "probabilistic": "p", "xml": "x", "dynamic": "y",
+    "sigmod": "g", "tree": "t", "query": "q", "automata": "u", "pattern": "n",
+    "retrieval": "l", "efficient": "e", "understanding": "i", "searching": "c",
+    "vldb": "v", "henry": "h", "semantics": "m",
+}
+
+XMARK_ABBREVIATIONS: Dict[str, str] = {
+    "particle": "a", "dominator": "t", "threshold": "d", "chronicle": "c",
+    "method": "m", "strings": "s", "unjust": "u", "invention": "i",
+    "egypt": "e", "leon": "l", "preventions": "v", "description": "d2",
+    "order": "o",
+}
+
+#: Generic filler words used to pad titles, abstracts and descriptions.  None
+#: of them collides with a workload keyword or with a word used by the
+#: figure-1 instances' queries.
+FILLER_WORDS: List[str] = [
+    "analysis", "approach", "architecture", "benchmark", "cluster", "complex",
+    "compression", "concurrent", "database", "design", "distributed",
+    "evaluation", "experiment", "framework", "graph", "hardware", "index",
+    "integration", "language", "learning", "logic", "management", "memory",
+    "model", "network", "optimization", "parallel", "performance", "planning",
+    "processing", "protocol", "relational", "robust", "scalable", "schema",
+    "stream", "storage", "system", "technique", "theory", "transaction",
+    "verification", "visualization", "workload", "adaptive", "incremental",
+    "partition", "replication", "sampling", "scheduling",
+]
+
+#: First and last names used for synthetic authors and people.
+FIRST_NAMES: List[str] = [
+    "alice", "bruno", "carla", "daniel", "elena", "felix", "grace", "hugo",
+    "irene", "jonas", "karin", "lucas", "maria", "nadia", "oscar", "paula",
+    "quentin", "rosa", "stefan", "tanja", "ulrich", "vera", "walter", "xenia",
+    "yann", "zoe",
+]
+
+LAST_NAMES: List[str] = [
+    "anders", "bauer", "costa", "duval", "ekman", "ferrara", "garnier",
+    "hansen", "ibarra", "jensen", "keller", "lombard", "moreau", "novak",
+    "olsen", "petit", "quiroga", "ricci", "silva", "tanaka", "ueda", "varga",
+    "weber", "xavier", "yamada", "zimmer",
+]
+
+#: Venue names for the synthetic bibliography (the workload keywords
+#: ``sigmod`` and ``vldb`` appear in documents through these).
+VENUES: List[str] = ["sigmod", "vldb", "icde", "edbt", "cikm", "www", "kdd"]
+
+#: Countries / cities for the synthetic auction site.
+PLACES: List[str] = [
+    "argentina", "brazil", "canada", "denmark", "estonia", "finland",
+    "germany", "hungary", "iceland", "japan", "kenya", "lisbon", "madrid",
+    "norway", "oslo", "portugal", "quebec", "rome", "sweden", "tokyo",
+]
+
+#: Small vocabulary used for the auction-site free-text fields.  Real XMark
+#: generates its text from a fixed Shakespeare word list, which makes the
+#: keyword distribution "less meaningful" (Section 5.3); keeping this pool
+#: deliberately small reproduces that behaviour — many text fields end up with
+#: identical content features, which is what drives the large APR'/Max APR
+#: values on the synthetic datasets.
+XMARK_TEXT_WORDS: List[str] = [
+    "gold", "honour", "kingdom", "merchant", "noble", "purse", "quarrel",
+    "sailor", "sonnet", "tempest", "throne", "voyage",
+]
+
+#: Auction item adjectives and nouns.
+ITEM_WORDS: List[str] = [
+    "antique", "brass", "ceramic", "copper", "crystal", "engraved", "gilded",
+    "handmade", "ivory", "lacquered", "marble", "ornate", "painted", "rustic",
+    "silver", "velvet", "vintage", "walnut", "wooden", "woven",
+]
+
+
+def scaled_frequency(paper_frequency: int, scale: float, minimum: int = 1) -> int:
+    """Scale a paper-reported frequency down to laptop-size documents."""
+    return max(minimum, round(paper_frequency * scale))
+
+
+def dblp_target_frequencies(scale: float) -> Dict[str, int]:
+    """Target plant counts for the DBLP keywords at a given down-scale."""
+    return {keyword: scaled_frequency(frequency, scale)
+            for keyword, frequency in DBLP_PAPER_FREQUENCIES.items()}
+
+
+def xmark_target_frequencies(scale_index: int, scale: float) -> Dict[str, int]:
+    """Target plant counts for the XMark keywords at one of the three scales.
+
+    ``scale_index`` selects the paper column (0 = standard, 1 = data1,
+    2 = data2); ``scale`` down-scales the paper's absolute counts.
+    """
+    if scale_index not in (0, 1, 2):
+        raise ValueError("scale_index must be 0 (standard), 1 (data1) or 2 (data2)")
+    return {keyword: scaled_frequency(frequencies[scale_index], scale)
+            for keyword, frequencies in XMARK_PAPER_FREQUENCIES.items()}

@@ -1,0 +1,143 @@
+"""Query workloads for the Figure 5 / Figure 6 experiments.
+
+Section 5.1 builds keyword queries "by randomly combining" the workload
+keywords so the queries "cover different frequency requirements".  The exact
+query compositions are only given through abbreviated axis labels that are not
+fully recoverable from the paper, so this module constructs a comparable
+deterministic workload: for each dataset, a fixed list of queries mixing two
+to six keywords drawn from the low-, medium- and high-frequency tiers of the
+published keyword table (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .vocabulary import (
+    DBLP_ABBREVIATIONS,
+    DBLP_PAPER_FREQUENCIES,
+    XMARK_ABBREVIATIONS,
+    XMARK_PAPER_FREQUENCIES,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload query: a short label and its keyword list."""
+
+    label: str
+    keywords: Tuple[str, ...]
+
+    @property
+    def text(self) -> str:
+        """The query as a whitespace-separated string."""
+        return " ".join(self.keywords)
+
+    @property
+    def size(self) -> int:
+        """Number of keywords."""
+        return len(self.keywords)
+
+
+#: The DBLP workload (20 queries, mirroring the 20-query DBLP axis of
+#: Figures 5(a)/6(a)).  Keywords are referred to by name; labels concatenate
+#: their abbreviation letters like the paper does ("kr" = keyword recognition).
+_DBLP_QUERY_KEYWORDS: Sequence[Tuple[str, ...]] = (
+    ("keyword", "searching"),
+    ("keyword", "recognition"),
+    ("keyword", "algorithm"),
+    ("data", "retrieval"),
+    ("probabilistic", "xml"),
+    ("algorithm", "dynamic"),
+    ("sigmod", "tree"),
+    ("tree", "query", "semantics"),
+    ("probabilistic", "similarity", "xml"),
+    ("tree", "pattern", "algorithm"),
+    ("xml", "keyword", "retrieval"),
+    ("dynamic", "probabilistic", "efficient"),
+    ("dynamic", "probabilistic", "efficient", "retrieval"),
+    ("xml", "keyword", "retrieval", "algorithm", "automata"),
+    ("similarity", "searching", "xml", "efficient", "tree", "data", "recognition"),
+    ("xml", "data", "keyword", "retrieval", "algorithm"),
+    ("xml", "algorithm", "dynamic", "pattern", "vldb", "efficient"),
+    ("xml", "data", "keyword", "retrieval"),
+    ("understanding", "similarity", "henry", "searching"),
+    ("keyword", "probabilistic", "sigmod", "query", "semantics", "efficient"),
+)
+
+#: The XMark workload (18 queries, mirroring the 18-query XMark axes of
+#: Figures 5(b)–(d) / 6(b)–(d)).  The same queries run on all three scales.
+_XMARK_QUERY_KEYWORDS: Sequence[Tuple[str, ...]] = (
+    ("particle", "dominator"),
+    ("particle", "threshold"),
+    ("particle", "preventions"),
+    ("chronicle", "method"),
+    ("description", "order"),
+    ("preventions", "threshold"),
+    ("dominator", "chronicle", "method"),
+    ("chronicle", "method", "strings"),
+    ("invention", "egypt", "leon"),
+    ("strings", "threshold", "chronicle"),
+    ("preventions", "description", "order"),
+    ("particle", "dominator", "chronicle", "method"),
+    ("chronicle", "method", "strings", "unjust"),
+    ("strings", "unjust", "invention", "egypt"),
+    ("invention", "particle", "threshold", "method"),
+    ("preventions", "description", "order", "invention"),
+    ("dominator", "chronicle", "method", "strings", "unjust"),
+    ("particle", "dominator", "chronicle", "method", "strings", "unjust"),
+)
+
+
+def dblp_workload() -> List[WorkloadQuery]:
+    """The 20-query DBLP workload."""
+    return [_make_query(keywords, DBLP_ABBREVIATIONS)
+            for keywords in _DBLP_QUERY_KEYWORDS]
+
+
+def xmark_workload() -> List[WorkloadQuery]:
+    """The 18-query XMark workload (shared by all three scales)."""
+    return [_make_query(keywords, XMARK_ABBREVIATIONS)
+            for keywords in _XMARK_QUERY_KEYWORDS]
+
+
+def workload_for(dataset: str) -> List[WorkloadQuery]:
+    """The workload of a dataset name (``"dblp"`` or ``"xmark*"``)."""
+    if dataset.startswith("dblp"):
+        return dblp_workload()
+    if dataset.startswith("xmark"):
+        return xmark_workload()
+    raise ValueError(f"no workload defined for dataset {dataset!r}")
+
+
+def workload_summary(queries: Sequence[WorkloadQuery],
+                     frequencies: Dict[str, object]) -> List[Dict[str, object]]:
+    """Tabular summary of a workload (per-query size and keyword frequencies)."""
+    rows: List[Dict[str, object]] = []
+    for query in queries:
+        rows.append({
+            "label": query.label,
+            "keywords": query.text,
+            "size": query.size,
+            "paper_frequencies": [frequencies.get(keyword) for keyword in query.keywords],
+        })
+    return rows
+
+
+def _make_query(keywords: Tuple[str, ...],
+                abbreviations: Dict[str, str]) -> WorkloadQuery:
+    label = "".join(abbreviations.get(keyword, keyword[0]) for keyword in keywords)
+    return WorkloadQuery(label=label, keywords=keywords)
+
+
+def validate_workloads() -> None:
+    """Sanity check: every workload keyword appears in the published tables."""
+    for keywords in _DBLP_QUERY_KEYWORDS:
+        for keyword in keywords:
+            if keyword not in DBLP_PAPER_FREQUENCIES:
+                raise ValueError(f"DBLP workload uses unknown keyword {keyword!r}")
+    for keywords in _XMARK_QUERY_KEYWORDS:
+        for keyword in keywords:
+            if keyword not in XMARK_PAPER_FREQUENCIES:
+                raise ValueError(f"XMark workload uses unknown keyword {keyword!r}")

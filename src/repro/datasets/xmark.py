@@ -1,0 +1,304 @@
+"""Synthetic XMark-like auction-site generator.
+
+The paper's synthetic experiments use three XMark documents (standard /
+data1 / data2, 111–670 MB).  XMark itself is a C generator that is not
+available offline, so this module generates a structurally similar auction
+site — ``site`` with ``regions`` / ``people`` / ``open_auctions`` /
+``closed_auctions`` / ``categories`` — at three scale factors, planting the
+paper's XMark workload keywords so their frequencies grow across the scales
+with the same ×1 / ×3 / ×6 progression the paper reports (see DESIGN.md).
+
+Unlike the bibliography generator, keywords are planted *uniformly across
+unrelated text fields* (item descriptions, person watches, auction
+annotations); this reproduces the "less meaningful keyword distribution" of
+synthetic data that makes APR' > 0 and Max APR ≈ 1 in Figure 6(b)–(d).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..xmltree import TreeBuilder, XMLTree
+from .vocabulary import (
+    FILLER_WORDS,
+    FIRST_NAMES,
+    ITEM_WORDS,
+    LAST_NAMES,
+    PLACES,
+    XMARK_PAPER_FREQUENCIES,
+    XMARK_TEXT_WORDS,
+    xmark_target_frequencies,
+)
+
+#: The names of the three scales used in the paper.
+XMARK_SCALES = ("standard", "data1", "data2")
+
+#: Relative document sizes of the three scales (the paper's documents grow
+#: roughly ×3 and ×6 over the standard one).
+_SCALE_MULTIPLIERS = {"standard": 1.0, "data1": 3.0, "data2": 6.0}
+
+
+@dataclass(frozen=True)
+class XMarkConfig:
+    """Configuration of the synthetic auction site.
+
+    Attributes
+    ----------
+    scale:
+        One of ``"standard"``, ``"data1"``, ``"data2"``.
+    base_items:
+        Number of items in the *standard* document; the other scales multiply
+        this by 3 and 6 respectively (people and auctions follow).
+    keyword_scale:
+        Down-scale factor applied to the paper's absolute keyword counts.
+    min_occurrences:
+        Floor (at the *standard* scale) for every keyword's plant count; the
+        other scales multiply it by their size multiplier.  The paper's rarest
+        XMark keyword still has 12/33/69 occurrences, so without a floor the
+        down-scaling would collapse rare keywords to a single occurrence and
+        the workload queries would stop producing multi-fragment results.
+    seed:
+        Seed of the deterministic random generator.
+    """
+
+    scale: str = "standard"
+    base_items: int = 120
+    keyword_scale: float = 0.004
+    min_occurrences: int = 6
+    seed: int = 2009
+
+    def __post_init__(self):
+        if self.scale not in XMARK_SCALES:
+            raise ValueError(f"scale must be one of {XMARK_SCALES}")
+        if self.base_items < 1:
+            raise ValueError("base_items must be positive")
+        if self.keyword_scale <= 0:
+            raise ValueError("keyword_scale must be positive")
+        if self.min_occurrences < 1:
+            raise ValueError("min_occurrences must be positive")
+
+    @property
+    def multiplier(self) -> float:
+        return _SCALE_MULTIPLIERS[self.scale]
+
+    @property
+    def items(self) -> int:
+        return max(1, round(self.base_items * self.multiplier))
+
+    @property
+    def people(self) -> int:
+        return max(1, round(self.base_items * 0.8 * self.multiplier))
+
+    @property
+    def open_auctions(self) -> int:
+        return max(1, round(self.base_items * 0.6 * self.multiplier))
+
+    @property
+    def closed_auctions(self) -> int:
+        return max(1, round(self.base_items * 0.4 * self.multiplier))
+
+    @property
+    def categories(self) -> int:
+        return max(1, round(self.base_items * 0.2 * self.multiplier))
+
+    @property
+    def scale_index(self) -> int:
+        return XMARK_SCALES.index(self.scale)
+
+
+def generate_xmark(config: XMarkConfig = XMarkConfig()) -> XMLTree:
+    """Generate one synthetic auction-site document."""
+    # Derive a per-scale seed deterministically (string hashes are randomized
+    # between interpreter runs, so they must not be used here).
+    rng = random.Random(config.seed * 31 + config.scale_index)
+    scaled = xmark_target_frequencies(config.scale_index, config.keyword_scale)
+    floor = max(1, round(config.min_occurrences * config.multiplier))
+    targets = {keyword: max(floor, count) for keyword, count in scaled.items()}
+
+    slots = _text_slot_count(config)
+    plan = _keyword_plan(rng, targets, slots)
+    slot_cursor = _SlotCursor(plan)
+
+    builder = TreeBuilder("site", name=f"xmark-{config.scale}")
+    _emit_regions(builder, rng, config, slot_cursor)
+    _emit_people(builder, rng, config, slot_cursor)
+    _emit_open_auctions(builder, rng, config, slot_cursor)
+    _emit_closed_auctions(builder, rng, config, slot_cursor)
+    _emit_categories(builder, rng, config, slot_cursor)
+    return builder.build()
+
+
+def xmark_suite(base_items: int = 120, keyword_scale: float = 0.002,
+                seed: int = 2009) -> Dict[str, XMLTree]:
+    """The three documents of the paper's scaling experiment."""
+    return {
+        scale: generate_xmark(XMarkConfig(scale=scale, base_items=base_items,
+                                          keyword_scale=keyword_scale, seed=seed))
+        for scale in XMARK_SCALES
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Keyword planting
+# ---------------------------------------------------------------------- #
+class _SlotCursor:
+    """Hands out the planted keywords for consecutive text slots."""
+
+    def __init__(self, plan: Dict[int, List[str]]):
+        self._plan = plan
+        self._next = 0
+
+    def take(self) -> List[str]:
+        planted = self._plan.get(self._next, [])
+        self._next += 1
+        return planted
+
+
+def _text_slot_count(config: XMarkConfig) -> int:
+    # One description per item, one annotation per auction, one watch-list
+    # entry per person, one description per category.
+    return (config.items + config.open_auctions + config.closed_auctions
+            + config.people + config.categories)
+
+
+def _keyword_plan(rng: random.Random, targets: Dict[str, int],
+                  slots: int) -> Dict[int, List[str]]:
+    plan: Dict[int, List[str]] = {}
+    for keyword, count in targets.items():
+        for _ in range(count):
+            slot = rng.randrange(slots)
+            plan.setdefault(slot, []).append(keyword)
+    return plan
+
+
+# ---------------------------------------------------------------------- #
+# Sections
+# ---------------------------------------------------------------------- #
+def _emit_regions(builder: TreeBuilder, rng: random.Random, config: XMarkConfig,
+                  slots: _SlotCursor) -> None:
+    region_names = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+    builder.element("regions")
+    items_per_region = _spread(config.items, len(region_names))
+    item_id = 0
+    for region_name, item_count in zip(region_names, items_per_region):
+        builder.element(region_name)
+        for _ in range(item_count):
+            builder.element("item", attributes={"id": f"item{item_id}"})
+            builder.text_element("name", _item_name(rng))
+            builder.text_element("location", rng.choice(PLACES))
+            builder.text_element("quantity", str(rng.randint(1, 5)))
+            builder.element("description")
+            builder.text_element("text", _sentence(rng, 12, extra=slots.take()))
+            builder.up()
+            builder.text_element("shipping", rng.choice(
+                ("internationally", "regionally", "locally")))
+            builder.up()
+            item_id += 1
+        builder.up()
+    builder.up()
+
+
+def _emit_people(builder: TreeBuilder, rng: random.Random, config: XMarkConfig,
+                 slots: _SlotCursor) -> None:
+    builder.element("people")
+    for person_id in range(config.people):
+        builder.element("person", attributes={"id": f"person{person_id}"})
+        name = f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+        builder.text_element("name", name)
+        builder.text_element("emailaddress",
+                             f"{name.split()[0]}@{rng.choice(PLACES)}.example")
+        builder.element("address")
+        builder.text_element("city", rng.choice(PLACES))
+        builder.text_element("country", rng.choice(PLACES))
+        builder.up()
+        builder.element("profile")
+        builder.text_element("interest", _sentence(rng, 6, extra=slots.take()))
+        builder.text_element("education", rng.choice(
+            ("graduate", "college", "highschool", "other")))
+        builder.up()
+        builder.up()
+    builder.up()
+
+
+def _emit_open_auctions(builder: TreeBuilder, rng: random.Random,
+                        config: XMarkConfig, slots: _SlotCursor) -> None:
+    builder.element("open_auctions")
+    for auction_id in range(config.open_auctions):
+        builder.element("open_auction", attributes={"id": f"open{auction_id}"})
+        builder.text_element("initial", f"{rng.uniform(1, 200):.2f}")
+        builder.text_element("current", f"{rng.uniform(10, 900):.2f}")
+        for _ in range(rng.randint(0, 3)):
+            builder.element("bidder")
+            builder.text_element("date", _date(rng))
+            builder.text_element("increase", f"{rng.uniform(1, 30):.2f}")
+            builder.up()
+        builder.text_element("itemref", f"item{rng.randrange(config.items)}")
+        builder.element("annotation")
+        builder.element("description")
+        builder.text_element("text", _sentence(rng, 10, extra=slots.take()))
+        builder.up()
+        builder.up()
+        builder.up()
+    builder.up()
+
+
+def _emit_closed_auctions(builder: TreeBuilder, rng: random.Random,
+                          config: XMarkConfig, slots: _SlotCursor) -> None:
+    builder.element("closed_auctions")
+    for auction_id in range(config.closed_auctions):
+        builder.element("closed_auction", attributes={"id": f"closed{auction_id}"})
+        builder.text_element("buyer", f"person{rng.randrange(config.people)}")
+        builder.text_element("seller", f"person{rng.randrange(config.people)}")
+        builder.text_element("price", f"{rng.uniform(5, 500):.2f}")
+        builder.text_element("date", _date(rng))
+        builder.text_element("itemref", f"item{rng.randrange(config.items)}")
+        builder.element("annotation")
+        builder.element("description")
+        builder.text_element("text", _sentence(rng, 10, extra=slots.take()))
+        builder.up()
+        builder.up()
+        builder.up()
+    builder.up()
+
+
+def _emit_categories(builder: TreeBuilder, rng: random.Random, config: XMarkConfig,
+                     slots: _SlotCursor) -> None:
+    builder.element("categories")
+    for category_id in range(config.categories):
+        builder.element("category", attributes={"id": f"category{category_id}"})
+        builder.text_element("name", rng.choice(FILLER_WORDS))
+        builder.element("description")
+        builder.text_element("text", _sentence(rng, 8, extra=slots.take()))
+        builder.up()
+        builder.up()
+    builder.up()
+
+
+# ---------------------------------------------------------------------- #
+# Small helpers
+# ---------------------------------------------------------------------- #
+def _spread(total: int, buckets: int) -> List[int]:
+    base = total // buckets
+    remainder = total % buckets
+    return [base + (1 if index < remainder else 0) for index in range(buckets)]
+
+
+def _sentence(rng: random.Random, length: int,
+              extra: Optional[Sequence[str]] = None) -> str:
+    # Free text comes from the deliberately small XMark word pool (see
+    # vocabulary.XMARK_TEXT_WORDS); shorter sentences and a small pool make
+    # content-feature collisions frequent, as on the real synthetic data.
+    words = [rng.choice(XMARK_TEXT_WORDS) for _ in range(max(2, length // 2))]
+    for word in extra or ():
+        words.insert(rng.randrange(len(words) + 1), word)
+    return " ".join(words)
+
+
+def _item_name(rng: random.Random) -> str:
+    return f"{rng.choice(ITEM_WORDS)} {rng.choice(ITEM_WORDS)}"
+
+
+def _date(rng: random.Random) -> str:
+    return f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/{rng.randint(1999, 2008)}"

@@ -1,0 +1,24 @@
+"""Inverted index substrate: keyword posting lists and corpus statistics."""
+
+from .inverted import InvertedIndex, PostingList, build_index, merge_keyword_nodes
+from .statistics import (
+    DocumentProfile,
+    KeywordFrequency,
+    document_profile,
+    frequency_table,
+    keyword_frequencies,
+    top_keywords,
+)
+
+__all__ = [
+    "InvertedIndex",
+    "PostingList",
+    "build_index",
+    "merge_keyword_nodes",
+    "KeywordFrequency",
+    "DocumentProfile",
+    "keyword_frequencies",
+    "frequency_table",
+    "document_profile",
+    "top_keywords",
+]

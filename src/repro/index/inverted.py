@@ -1,0 +1,119 @@
+"""Inverted keyword index over an XML tree.
+
+The first stage of both MaxMatch and ValidRTF (``getKeywordNodes``) retrieves,
+for each query keyword ``w_i``, the sorted Dewey-code list ``D_i`` of nodes
+whose content contains ``w_i``.  This module builds that mapping once per
+document so repeated queries only cost a dictionary lookup per keyword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+from ..text import ContentAnalyzer, DEFAULT_TOKENIZER, Tokenizer
+from ..xmltree import DeweyCode, XMLTree
+
+
+@dataclass(frozen=True)
+class PostingList:
+    """The sorted Dewey codes of the nodes containing one keyword."""
+
+    keyword: str
+    deweys: Sequence[DeweyCode]
+
+    def __len__(self) -> int:
+        return len(self.deweys)
+
+    def __iter__(self):
+        return iter(self.deweys)
+
+    def __bool__(self) -> bool:
+        return bool(self.deweys)
+
+
+class InvertedIndex:
+    """word -> sorted list of Dewey codes of keyword nodes.
+
+    Parameters
+    ----------
+    tree:
+        The document to index.
+    tokenizer:
+        Tokenizer shared with the query side so document words and query
+        keywords normalize identically.
+    """
+
+    def __init__(self, tree: XMLTree, tokenizer: Tokenizer = DEFAULT_TOKENIZER):
+        self.tree = tree
+        self.tokenizer = tokenizer
+        self.analyzer = ContentAnalyzer(tree, tokenizer)
+        self._postings: Dict[str, List[DeweyCode]] = {}
+        self._node_words: Dict[DeweyCode, FrozenSet[str]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for node in self.tree.iter_preorder():
+            words = self.analyzer.node_content(node)
+            self._node_words[node.dewey] = words
+            for word in words:
+                self._postings.setdefault(word, []).append(node.dewey)
+        for posting in self._postings.values():
+            posting.sort()
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def postings(self, keyword: str) -> PostingList:
+        """The posting list for a (raw, un-normalized) keyword."""
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        return PostingList(normalized, tuple(self._postings.get(normalized, ())))
+
+    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, List[DeweyCode]]:
+        """The ``D_i`` lists for every keyword of a query (getKeywordNodes).
+
+        The result maps each *normalized* keyword to its sorted Dewey list;
+        keywords with no match map to an empty list.
+        """
+        result: Dict[str, List[DeweyCode]] = {}
+        for keyword in self.tokenizer.normalize_query(query):
+            result[keyword] = list(self._postings.get(keyword, ()))
+        return result
+
+    def frequency(self, keyword: str) -> int:
+        """Number of keyword nodes containing ``keyword``."""
+        return len(self.postings(keyword))
+
+    def node_words(self, dewey: DeweyCode) -> FrozenSet[str]:
+        """The indexed content word set of one node."""
+        return self._node_words.get(dewey, frozenset())
+
+    def vocabulary(self) -> List[str]:
+        """Every indexed word, sorted."""
+        return sorted(self._postings)
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed words."""
+        return len(self._postings)
+
+    def total_postings(self) -> int:
+        """Total number of (word, node) pairs in the index."""
+        return sum(len(posting) for posting in self._postings.values())
+
+    def __contains__(self, keyword: str) -> bool:
+        return self.tokenizer.normalize_keyword(keyword) in self._postings
+
+    def __repr__(self) -> str:
+        return (f"InvertedIndex(words={self.vocabulary_size()}, "
+                f"postings={self.total_postings()})")
+
+
+def build_index(tree: XMLTree, tokenizer: Optional[Tokenizer] = None) -> InvertedIndex:
+    """Convenience factory mirroring the facade naming used in examples."""
+    return InvertedIndex(tree, tokenizer or DEFAULT_TOKENIZER)
+
+
+def merge_keyword_nodes(lists: Mapping[str, Sequence[DeweyCode]]) -> List[DeweyCode]:
+    """Union of all ``D_i`` lists, deduplicated, in document order."""
+    merged = {dewey for deweys in lists.values() for dewey in deweys}
+    return sorted(merged)

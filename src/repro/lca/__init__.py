@@ -1,0 +1,65 @@
+"""LCA-family algorithms over Dewey posting lists (SLCA, ELCA, references)."""
+
+from .base import (
+    EmptyKeywordList,
+    KeywordLists,
+    KeywordMatch,
+    common_ancestor_masks,
+    full_mask,
+    keyword_bit_index,
+    merge_matches,
+    normalize_lists,
+    remove_ancestors,
+    remove_descendants,
+)
+from .naive import (
+    naive_common_ancestors,
+    naive_elca,
+    naive_elca_exhaustive,
+    naive_lca_candidates,
+    naive_slca,
+)
+from .indexed_lookup import closest_match_lca, indexed_lookup_eager_slca
+from .scan_eager import scan_eager_slca
+from .stack_slca import stack_slca
+from .indexed_stack import elca_is_slca, indexed_stack_elca
+
+# Registry used by the engine, the CLI and the ablation benchmarks.
+SLCA_ALGORITHMS = {
+    "naive": naive_slca,
+    "indexed-lookup-eager": indexed_lookup_eager_slca,
+    "scan-eager": scan_eager_slca,
+    "stack": stack_slca,
+}
+
+ELCA_ALGORITHMS = {
+    "naive": naive_elca,
+    "naive-exhaustive": naive_elca_exhaustive,
+    "indexed-stack": indexed_stack_elca,
+}
+
+__all__ = [
+    "EmptyKeywordList",
+    "KeywordLists",
+    "KeywordMatch",
+    "normalize_lists",
+    "full_mask",
+    "merge_matches",
+    "remove_ancestors",
+    "remove_descendants",
+    "common_ancestor_masks",
+    "keyword_bit_index",
+    "naive_lca_candidates",
+    "naive_common_ancestors",
+    "naive_slca",
+    "naive_elca",
+    "naive_elca_exhaustive",
+    "indexed_lookup_eager_slca",
+    "closest_match_lca",
+    "scan_eager_slca",
+    "stack_slca",
+    "indexed_stack_elca",
+    "elca_is_slca",
+    "SLCA_ALGORITHMS",
+    "ELCA_ALGORITHMS",
+]

@@ -1,0 +1,66 @@
+"""Indexed Lookup Eager SLCA computation (Xu & Papakonstantinou, SIGMOD 2005).
+
+The algorithm exploits two facts proved in that paper:
+
+1. ``slca(S_1, ..., S_k) = slca(slca(S_1, ..., S_{k-1}), S_k)`` — the SLCA of
+   many lists can be computed by folding the lists two at a time.
+2. For a single node ``v`` and a list ``S``, the deepest ancestor of ``v``
+   that is a CA of ``{v} ∪ S`` is the deeper of ``lca(v, pred(v, S))`` and
+   ``lca(v, succ(v, S))`` where ``pred``/``succ`` are the closest neighbours
+   of ``v`` in ``S`` in document order — found by binary search on the sorted
+   Dewey list (the "indexed lookup").
+
+The fold starts from the smallest list so the per-step work is
+``O(|S_min| · log |S_max| · depth)``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional, Sequence
+
+from ..xmltree import DeweyCode
+from .base import EmptyKeywordList, KeywordLists, normalize_lists, remove_ancestors
+
+
+def indexed_lookup_eager_slca(lists: KeywordLists) -> List[DeweyCode]:
+    """SLCA nodes of the posting lists via the Indexed Lookup Eager strategy."""
+    try:
+        normalized = normalize_lists(lists)
+    except EmptyKeywordList:
+        return []
+    # Fold starting from the smallest list (the paper's eager strategy).
+    ordered = sorted(normalized, key=len)
+    current = remove_ancestors(ordered[0])
+    for other in ordered[1:]:
+        current = _slca_of_two(current, other)
+        if not current:
+            return []
+    return sorted(current)
+
+
+def closest_match_lca(node: DeweyCode, sorted_list: Sequence[DeweyCode]) -> DeweyCode:
+    """The deepest LCA of ``node`` with any element of ``sorted_list``.
+
+    Implements the predecessor/successor lookup of the Indexed Lookup
+    algorithm: only the two neighbours of ``node`` in document order can give
+    the deepest LCA.
+    """
+    if not sorted_list:
+        raise EmptyKeywordList("cannot match against an empty list")
+    position = bisect_left(sorted_list, node)
+    best: Optional[DeweyCode] = None
+    for index in (position - 1, position):
+        if 0 <= index < len(sorted_list):
+            candidate = node.common_prefix(sorted_list[index])
+            if best is None or len(candidate) > len(best):
+                best = candidate
+    assert best is not None  # at least one neighbour exists
+    return best
+
+
+def _slca_of_two(left: Sequence[DeweyCode],
+                 right: Sequence[DeweyCode]) -> List[DeweyCode]:
+    """``slca(left, right)`` where both inputs are document-order sorted."""
+    candidates = [closest_match_lca(node, right) for node in left]
+    return remove_ancestors(candidates)

@@ -1,0 +1,70 @@
+"""Scan Eager SLCA computation (Xu & Papakonstantinou, SIGMOD 2005).
+
+Variant of the Indexed Lookup algorithm for the case where the keyword
+frequencies are of comparable size: instead of binary-searching the closest
+match of every node of the smallest list, all lists are scanned with cursors
+that only move forward.  The asymptotic cost is the sum of the list lengths
+(times the tree depth for the Dewey prefix operations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..xmltree import DeweyCode
+from .base import EmptyKeywordList, KeywordLists, normalize_lists, remove_ancestors
+
+
+def scan_eager_slca(lists: KeywordLists) -> List[DeweyCode]:
+    """SLCA nodes computed with forward-only cursors over every list."""
+    try:
+        normalized = normalize_lists(lists)
+    except EmptyKeywordList:
+        return []
+    if len(normalized) == 1:
+        return remove_ancestors(normalized[0])
+
+    anchor = min(normalized, key=len)
+    others = [deweys for deweys in normalized if deweys is not anchor]
+    cursors = [0] * len(others)
+
+    candidates: List[DeweyCode] = []
+    for node in anchor:
+        deepest: Optional[DeweyCode] = None
+        for which, deweys in enumerate(others):
+            cursors[which] = _advance(deweys, cursors[which], node)
+            best = _closest_lca(node, deweys, cursors[which])
+            deepest = best if deepest is None else _shallower(deepest, best)
+        if deepest is not None:
+            candidates.append(deepest)
+    return remove_ancestors(candidates)
+
+
+def _advance(deweys: Sequence[DeweyCode], cursor: int, node: DeweyCode) -> int:
+    """Move the cursor forward to the first element >= node (never backward)."""
+    while cursor < len(deweys) and deweys[cursor] < node:
+        cursor += 1
+    return cursor
+
+
+def _closest_lca(node: DeweyCode, deweys: Sequence[DeweyCode], cursor: int) -> DeweyCode:
+    """Deepest LCA of ``node`` with the predecessor/successor at the cursor."""
+    best: Optional[DeweyCode] = None
+    for index in (cursor - 1, cursor):
+        if 0 <= index < len(deweys):
+            candidate = node.common_prefix(deweys[index])
+            if best is None or len(candidate) > len(best):
+                best = candidate
+    assert best is not None
+    return best
+
+
+def _shallower(first: DeweyCode, second: DeweyCode) -> DeweyCode:
+    """Of two ancestors of a common node, the one closer to the root.
+
+    When folding the per-list deepest LCAs for one anchor node, the combined
+    SLCA candidate is the shallowest of them (every keyword must be reachable
+    below it), and since both are ancestors of the same anchor they are
+    comparable by depth.
+    """
+    return first if len(first) <= len(second) else second

@@ -1,0 +1,80 @@
+"""Stack-based SLCA computation over the merged keyword-node stream.
+
+This is the classic one-pass stack algorithm: the keyword nodes of all lists
+are merged into a single document-order stream; a stack mirrors the
+root-to-current-node path; every frame accumulates the keyword bitmask seen in
+its subtree; a frame popped with a full mask is an SLCA unless one of its
+descendants already was (tracked with a per-frame flag).
+
+It is provided both as an additional baseline for the ablation benchmark and
+as an independent implementation to cross-check the Indexed Lookup / Scan
+Eager algorithms in the property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..xmltree import DeweyCode
+from .base import (
+    EmptyKeywordList,
+    KeywordLists,
+    full_mask,
+    merge_matches,
+    normalize_lists,
+)
+
+
+@dataclass
+class _Frame:
+    """One entry of the path stack."""
+
+    component: int
+    mask: int = 0
+    descendant_slca: bool = False
+    results: List[DeweyCode] = field(default_factory=list)
+
+
+def stack_slca(lists: KeywordLists) -> List[DeweyCode]:
+    """SLCA nodes computed with the merged-stream stack algorithm."""
+    try:
+        normalized = normalize_lists(lists)
+    except EmptyKeywordList:
+        return []
+    matches = merge_matches(normalized)
+    target = full_mask(len(normalized))
+
+    stack: List[_Frame] = []
+    results: List[DeweyCode] = []
+
+    def pop_frame() -> None:
+        frame = stack.pop()
+        dewey = DeweyCode([entry.component for entry in stack] + [frame.component])
+        is_slca = frame.mask == target and not frame.descendant_slca
+        if is_slca:
+            results.append(dewey)
+        if stack:
+            parent = stack[-1]
+            parent.mask |= frame.mask
+            parent.descendant_slca = (
+                parent.descendant_slca or frame.descendant_slca or is_slca
+            )
+
+    for match in matches:
+        components = match.dewey.components
+        # Pop frames that are not ancestors of the incoming match.
+        shared = 0
+        while shared < len(stack) and shared < len(components) \
+                and stack[shared].component == components[shared]:
+            shared += 1
+        while len(stack) > shared:
+            pop_frame()
+        # Push the remaining components of the new path.
+        for component in components[len(stack):]:
+            stack.append(_Frame(component))
+        stack[-1].mask |= match.mask
+
+    while stack:
+        pop_frame()
+    return sorted(results)

@@ -1,0 +1,33 @@
+"""Relational shredding store: the Section 5.2 schema on sqlite3 / in-memory."""
+
+from .errors import DocumentAlreadyStored, DocumentNotFound, StorageError
+from .schema import (
+    CREATE_TABLES_SQL,
+    ElementRow,
+    LabelRow,
+    ValueRow,
+    decode_dewey,
+    encode_dewey,
+)
+from .shredder import ShreddedDocument, shred_tree
+from .memory_backend import MemoryStore
+from .sqlite_backend import SQLiteStore
+from .query import StoredDocumentSearch, agreement_with_index
+
+__all__ = [
+    "StorageError",
+    "DocumentNotFound",
+    "DocumentAlreadyStored",
+    "LabelRow",
+    "ElementRow",
+    "ValueRow",
+    "CREATE_TABLES_SQL",
+    "encode_dewey",
+    "decode_dewey",
+    "ShreddedDocument",
+    "shred_tree",
+    "MemoryStore",
+    "SQLiteStore",
+    "StoredDocumentSearch",
+    "agreement_with_index",
+]

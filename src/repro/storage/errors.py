@@ -1,0 +1,15 @@
+"""Exception types raised by the relational storage substrate."""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for errors raised by :mod:`repro.storage`."""
+
+
+class DocumentNotFound(StorageError):
+    """Raised when a document name is not present in the store."""
+
+
+class DocumentAlreadyStored(StorageError):
+    """Raised when shredding a document under an already-used name."""

@@ -1,0 +1,92 @@
+"""Running the XKS pipeline on top of the relational store.
+
+The paper retrieves keyword nodes with SQL against the shredded ``value``
+table and only then runs MaxMatch / ValidRTF on the returned Dewey codes.
+:class:`StoredDocumentSearch` reproduces that flow: stage 1
+(``getKeywordNodes``) is served by a store backend, stages 2–4 run on the
+in-memory tree.  It also lets the test suite check that the store-backed
+posting lists agree with the in-memory inverted index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..core import (
+    MaxMatch,
+    PrunedFragment,
+    Query,
+    QueryLike,
+    SearchResult,
+    ValidRTF,
+    build_record_tree,
+    build_rtfs,
+    prune_with_contributor,
+    prune_with_valid_contributor,
+)
+from ..core.pipeline import elca_roots
+from ..index import InvertedIndex
+from ..lca import elca_is_slca
+from ..text import ContentAnalyzer
+from ..xmltree import DeweyCode, XMLTree
+from .memory_backend import MemoryStore
+from .sqlite_backend import SQLiteStore
+
+StoreBackend = Union[MemoryStore, SQLiteStore]
+
+
+class StoredDocumentSearch:
+    """XKS over a document whose keyword lookups run against a store backend."""
+
+    def __init__(self, tree: XMLTree, store: Optional[StoreBackend] = None,
+                 name: str = "", cid_mode: str = "minmax"):
+        self.tree = tree
+        self.name = name or tree.name or "document"
+        self.store: StoreBackend = store if store is not None else MemoryStore()
+        if self.name not in self.store.documents():
+            self.store.store_tree(tree, self.name)
+        self.analyzer = ContentAnalyzer(tree)
+        self.cid_mode = cid_mode
+
+    # ------------------------------------------------------------------ #
+    def keyword_nodes(self, query: QueryLike) -> Dict[str, List[DeweyCode]]:
+        """Stage 1 served by the relational store (SQL on the value table)."""
+        parsed = Query.parse(query)
+        return self.store.keyword_nodes(self.name, parsed.keywords)
+
+    def search(self, query: QueryLike, algorithm: str = "validrtf") -> SearchResult:
+        """Stages 2–4 on the store-provided posting lists."""
+        parsed = Query.parse(query)
+        lists = self.keyword_nodes(parsed)
+        roots = elca_roots(lists)
+        fragments: List[PrunedFragment] = []
+        if roots:
+            flags = elca_is_slca(roots)
+            for fragment in build_rtfs(self.tree, parsed, roots, lists, flags):
+                records = build_record_tree(self.tree, self.analyzer, parsed,
+                                            fragment, cid_mode=self.cid_mode)
+                if algorithm == "validrtf":
+                    fragments.append(prune_with_valid_contributor(records))
+                elif algorithm == "maxmatch":
+                    fragments.append(prune_with_contributor(records))
+                else:
+                    raise ValueError(f"unknown algorithm {algorithm!r}")
+        return SearchResult(query=parsed, algorithm=f"{algorithm}@store",
+                            fragments=tuple(fragments), lca_nodes=tuple(roots))
+
+    def frequency_report(self, keywords) -> Dict[str, int]:
+        """Keyword frequencies as seen by the store (Section 5.1 table)."""
+        return {keyword: self.store.keyword_frequency(self.name, keyword)
+                for keyword in keywords}
+
+
+def agreement_with_index(tree: XMLTree, store: StoreBackend, name: str,
+                         keywords) -> Dict[str, bool]:
+    """Check that store-backed posting lists equal the inverted-index ones."""
+    index = InvertedIndex(tree)
+    agreement: Dict[str, bool] = {}
+    for keyword in keywords:
+        from_store = store.keyword_deweys(name, keyword)
+        from_index = list(index.postings(keyword).deweys)
+        agreement[keyword] = from_store == from_index
+    return agreement

@@ -1,0 +1,108 @@
+"""The relational schema the documents are shredded into.
+
+Section 5.2 stores the shredded records in PostgreSQL using three tables:
+
+* ``label (label, id)`` — every distinct element label and its number;
+* ``element (label, dewey, level, label_number_sequence, content_feature)`` —
+  one row per node, where ``label_number_sequence`` encodes the labels of the
+  node's ancestors from the root (used to rebuild ancestor information) and
+  ``content_feature`` is the node's cID;
+* ``value (label, dewey, attribute, keyword)`` — one row per (node, word)
+  pair over the node's label, text and attributes; this is the table keyword
+  lookups run against.
+
+This module defines the row dataclasses and the SQL DDL shared by the sqlite
+and in-memory backends (the PostgreSQL → sqlite substitution is documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class LabelRow:
+    """One row of the ``label`` table."""
+
+    label: str
+    label_id: int
+
+
+@dataclass(frozen=True)
+class ElementRow:
+    """One row of the ``element`` table."""
+
+    document: str
+    label: str
+    dewey: str
+    level: int
+    label_number_sequence: str
+    content_feature_min: str
+    content_feature_max: str
+
+
+@dataclass(frozen=True)
+class ValueRow:
+    """One row of the ``value`` table."""
+
+    document: str
+    label: str
+    dewey: str
+    attribute: str
+    keyword: str
+
+
+#: SQL DDL for the sqlite backend.  The ``document`` column lets one store
+#: hold several shredded documents (the paper uses one database per dataset).
+CREATE_TABLES_SQL: Tuple[str, ...] = (
+    """
+    CREATE TABLE IF NOT EXISTS label (
+        document TEXT NOT NULL,
+        label    TEXT NOT NULL,
+        id       INTEGER NOT NULL,
+        PRIMARY KEY (document, label)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS element (
+        document              TEXT NOT NULL,
+        label                 TEXT NOT NULL,
+        dewey                 TEXT NOT NULL,
+        level                 INTEGER NOT NULL,
+        label_number_sequence TEXT NOT NULL,
+        content_feature_min   TEXT NOT NULL,
+        content_feature_max   TEXT NOT NULL,
+        PRIMARY KEY (document, dewey)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS value (
+        document  TEXT NOT NULL,
+        label     TEXT NOT NULL,
+        dewey     TEXT NOT NULL,
+        attribute TEXT NOT NULL,
+        keyword   TEXT NOT NULL
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_value_keyword ON value (document, keyword)",
+    "CREATE INDEX IF NOT EXISTS idx_value_dewey ON value (document, dewey)",
+    "CREATE INDEX IF NOT EXISTS idx_element_label ON element (document, label)",
+)
+
+#: Dewey codes are stored as dotted strings; padding each component keeps the
+#: lexicographic string order identical to document order for components below
+#: this width.
+DEWEY_COMPONENT_WIDTH = 6
+
+
+def encode_dewey(components: Tuple[int, ...]) -> str:
+    """Encode Dewey components as a sortable dotted string."""
+    return ".".join(f"{component:0{DEWEY_COMPONENT_WIDTH}d}"
+                    for component in components)
+
+
+def decode_dewey(text: str) -> Tuple[int, ...]:
+    """Decode the sortable dotted string back into integer components."""
+    return tuple(int(piece) for piece in text.split("."))

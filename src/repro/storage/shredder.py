@@ -1,0 +1,100 @@
+"""Shredding XML trees into the relational schema of Section 5.2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..text import DEFAULT_TOKENIZER, Tokenizer
+from ..xmltree import XMLNode, XMLTree
+from .schema import ElementRow, LabelRow, ValueRow, encode_dewey
+
+
+@dataclass(frozen=True)
+class ShreddedDocument:
+    """All rows produced by shredding one document."""
+
+    name: str
+    labels: Tuple[LabelRow, ...]
+    elements: Tuple[ElementRow, ...]
+    values: Tuple[ValueRow, ...]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.elements)
+
+    @property
+    def value_count(self) -> int:
+        return len(self.values)
+
+
+def shred_tree(tree: XMLTree, name: str = "",
+               tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> ShreddedDocument:
+    """Shred a tree into ``label`` / ``element`` / ``value`` rows.
+
+    The ``value`` table receives one row per (node, word) pair, split by
+    origin: the node's label words carry ``attribute=""``, attribute words
+    carry the attribute name and text words carry ``attribute="#text"`` — this
+    mirrors the paper's value table with its ``(node's label, Dewey,
+    attribute, keyword)`` columns.
+    """
+    document = name or tree.name or "document"
+    label_ids: Dict[str, int] = {}
+    elements: List[ElementRow] = []
+    values: List[ValueRow] = []
+
+    for node in tree.iter_preorder():
+        label_id = label_ids.setdefault(node.label, len(label_ids))
+        dewey_text = encode_dewey(node.dewey.components)
+        sequence = _label_number_sequence(node, label_ids)
+        feature = _content_feature(node, tokenizer)
+        elements.append(ElementRow(
+            document=document,
+            label=node.label,
+            dewey=dewey_text,
+            level=node.dewey.level,
+            label_number_sequence=sequence,
+            content_feature_min=feature[0],
+            content_feature_max=feature[1],
+        ))
+        values.extend(_value_rows(document, node, dewey_text, tokenizer))
+
+    labels = tuple(LabelRow(label=label, label_id=label_id)
+                   for label, label_id in sorted(label_ids.items(),
+                                                 key=lambda item: item[1]))
+    return ShreddedDocument(name=document, labels=labels,
+                            elements=tuple(elements), values=tuple(values))
+
+
+def _label_number_sequence(node: XMLNode, label_ids: Dict[str, int]) -> str:
+    """Label numbers of the ancestors from the root down to the node itself."""
+    chain = list(node.iter_ancestors(include_self=True))
+    chain.reverse()
+    numbers = []
+    for member in chain:
+        numbers.append(str(label_ids.setdefault(member.label, len(label_ids))))
+    return ".".join(numbers)
+
+
+def _content_feature(node: XMLNode, tokenizer: Tokenizer) -> Tuple[str, str]:
+    words = sorted(tokenizer.word_set(node.raw_strings()))
+    if not words:
+        return ("", "")
+    return (words[0], words[-1])
+
+
+def _value_rows(document: str, node: XMLNode, dewey_text: str,
+                tokenizer: Tokenizer) -> Iterator[ValueRow]:
+    for word in tokenizer.tokenize(node.label):
+        yield ValueRow(document=document, label=node.label, dewey=dewey_text,
+                       attribute="", keyword=word)
+    if node.text:
+        for word in set(tokenizer.tokenize(node.text)):
+            yield ValueRow(document=document, label=node.label, dewey=dewey_text,
+                           attribute="#text", keyword=word)
+    for attribute, value in node.attributes.items():
+        attribute_words = set(tokenizer.tokenize(attribute))
+        attribute_words |= set(tokenizer.tokenize(value or ""))
+        for word in attribute_words:
+            yield ValueRow(document=document, label=node.label, dewey=dewey_text,
+                           attribute=attribute, keyword=word)

@@ -1,0 +1,183 @@
+"""sqlite3 backend for the shredded relational store.
+
+Plays the role of the PostgreSQL 8.2 instance of Section 5.2 (substitution
+documented in DESIGN.md): documents are shredded into the ``label`` /
+``element`` / ``value`` tables and keyword-node retrieval is a SQL query
+against the ``value`` table.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..text import DEFAULT_TOKENIZER, Tokenizer
+from ..xmltree import DeweyCode, XMLTree
+from .errors import DocumentAlreadyStored, DocumentNotFound
+from .schema import CREATE_TABLES_SQL, decode_dewey, encode_dewey
+from .shredder import ShreddedDocument, shred_tree
+
+
+class SQLiteStore:
+    """sqlite3-backed implementation of the shredded document store.
+
+    Parameters
+    ----------
+    path:
+        Database file path, or ``":memory:"`` (default) for an in-process
+        database.
+    tokenizer:
+        Tokenizer shared with the query side.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:",
+                 tokenizer: Tokenizer = DEFAULT_TOKENIZER):
+        self.path = str(path)
+        self.tokenizer = tokenizer
+        self._connection = sqlite3.connect(self.path)
+        self._connection.execute("PRAGMA journal_mode = MEMORY")
+        for statement in CREATE_TABLES_SQL:
+            self._connection.execute(statement)
+        self._connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def store_tree(self, tree: XMLTree, name: str = "") -> ShreddedDocument:
+        """Shred and store one document; returns the shredded rows."""
+        shredded = shred_tree(tree, name, self.tokenizer)
+        return self.store_shredded(shredded)
+
+    def store_shredded(self, shredded: ShreddedDocument) -> ShreddedDocument:
+        """Insert already-shredded rows."""
+        if shredded.name in self.documents():
+            raise DocumentAlreadyStored(f"document {shredded.name!r} already stored")
+        cursor = self._connection.cursor()
+        cursor.executemany(
+            "INSERT INTO label (document, label, id) VALUES (?, ?, ?)",
+            [(shredded.name, row.label, row.label_id) for row in shredded.labels],
+        )
+        cursor.executemany(
+            "INSERT INTO element (document, label, dewey, level, "
+            "label_number_sequence, content_feature_min, content_feature_max) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [(shredded.name, row.label, row.dewey, row.level,
+              row.label_number_sequence, row.content_feature_min,
+              row.content_feature_max) for row in shredded.elements],
+        )
+        cursor.executemany(
+            "INSERT INTO value (document, label, dewey, attribute, keyword) "
+            "VALUES (?, ?, ?, ?, ?)",
+            [(shredded.name, row.label, row.dewey, row.attribute, row.keyword)
+             for row in shredded.values],
+        )
+        self._connection.commit()
+        return shredded
+
+    def drop_document(self, name: str) -> None:
+        """Delete all rows of one document."""
+        self._require(name)
+        cursor = self._connection.cursor()
+        for table in ("label", "element", "value"):
+            cursor.execute(f"DELETE FROM {table} WHERE document = ?", (name,))
+        self._connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def documents(self) -> List[str]:
+        """Names of the stored documents."""
+        rows = self._connection.execute(
+            "SELECT DISTINCT document FROM element ORDER BY document"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def document_stats(self, name: str) -> Dict[str, int]:
+        """Node / value / label counts of one document."""
+        self._require(name)
+        nodes = self._scalar("SELECT COUNT(*) FROM element WHERE document = ?", name)
+        values = self._scalar("SELECT COUNT(*) FROM value WHERE document = ?", name)
+        labels = self._scalar("SELECT COUNT(*) FROM label WHERE document = ?", name)
+        return {"nodes": nodes, "values": values, "labels": labels}
+
+    def keyword_deweys(self, name: str, keyword: str) -> List[DeweyCode]:
+        """Sorted Dewey codes of the nodes containing ``keyword``."""
+        self._require(name)
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        rows = self._connection.execute(
+            "SELECT DISTINCT dewey FROM value WHERE document = ? AND keyword = ? "
+            "ORDER BY dewey",
+            (name, normalized),
+        ).fetchall()
+        return [DeweyCode(decode_dewey(row[0])) for row in rows]
+
+    def keyword_nodes(self, name: str, keywords: Iterable[str]
+                      ) -> Dict[str, List[DeweyCode]]:
+        """The ``D_i`` posting lists for a whole query."""
+        result: Dict[str, List[DeweyCode]] = {}
+        for keyword in self.tokenizer.normalize_query(keywords):
+            result[keyword] = self.keyword_deweys(name, keyword)
+        return result
+
+    def keyword_frequency(self, name: str, keyword: str) -> int:
+        """Number of nodes containing ``keyword``."""
+        self._require(name)
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        return self._scalar(
+            "SELECT COUNT(DISTINCT dewey) FROM value "
+            "WHERE document = ? AND keyword = ?",
+            name, normalized,
+        )
+
+    def label_of(self, name: str, dewey: DeweyCode) -> Optional[str]:
+        """The label of one node, or ``None`` if absent."""
+        self._require(name)
+        row = self._connection.execute(
+            "SELECT label FROM element WHERE document = ? AND dewey = ?",
+            (name, encode_dewey(dewey.components)),
+        ).fetchone()
+        return row[0] if row else None
+
+    def labels(self, name: str) -> List[str]:
+        """The distinct labels of one document."""
+        self._require(name)
+        rows = self._connection.execute(
+            "SELECT label FROM label WHERE document = ? ORDER BY label", (name,)
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def label_number_sequence(self, name: str, dewey: DeweyCode) -> Optional[str]:
+        """The stored ancestor-label-number path of one node."""
+        self._require(name)
+        row = self._connection.execute(
+            "SELECT label_number_sequence FROM element "
+            "WHERE document = ? AND dewey = ?",
+            (name, encode_dewey(dewey.components)),
+        ).fetchone()
+        return row[0] if row else None
+
+    # ------------------------------------------------------------------ #
+    def _scalar(self, sql: str, *params) -> int:
+        row = self._connection.execute(sql, params).fetchone()
+        return int(row[0]) if row and row[0] is not None else 0
+
+    def _require(self, name: str) -> None:
+        exists = self._scalar(
+            "SELECT COUNT(*) FROM element WHERE document = ?", name
+        )
+        if not exists:
+            raise DocumentNotFound(f"no stored document named {name!r}")

@@ -1,0 +1,15 @@
+"""Text analysis substrate: tokenization, stop words, node content extraction."""
+
+from .stopwords import DEFAULT_STOPWORDS, filter_stopwords, is_stopword
+from .tokenizer import DEFAULT_TOKENIZER, Tokenizer, TokenizerConfig
+from .analyzer import ContentAnalyzer
+
+__all__ = [
+    "DEFAULT_STOPWORDS",
+    "is_stopword",
+    "filter_stopwords",
+    "Tokenizer",
+    "TokenizerConfig",
+    "DEFAULT_TOKENIZER",
+    "ContentAnalyzer",
+]

@@ -1,0 +1,93 @@
+"""Content extraction for XML nodes.
+
+Implements the paper's notions of node content and tree content:
+
+* ``C_v`` — the word set implied in a node's label, text and attributes
+  (Section 1).
+* ``TC_v`` — the *tree content set* of a node: the union of the contents of
+  all keyword nodes in the subtree rooted at ``v`` (Definition 3).
+* ``TK_v`` — the *tree keyword set*: ``TC_v ∩ Q`` (equal to MaxMatch's
+  ``dMatch``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from ..xmltree import DeweyCode, XMLNode, XMLTree
+from .tokenizer import DEFAULT_TOKENIZER, Tokenizer
+
+
+class ContentAnalyzer:
+    """Compute node content sets over an :class:`XMLTree`.
+
+    Results are memoized per node (keyed by Dewey code) because the search
+    algorithms repeatedly ask for the same contents while building RTFs.
+    """
+
+    def __init__(self, tree: XMLTree, tokenizer: Tokenizer = DEFAULT_TOKENIZER):
+        self.tree = tree
+        self.tokenizer = tokenizer
+        self._content_cache: Dict[DeweyCode, FrozenSet[str]] = {}
+        self._subtree_cache: Dict[DeweyCode, FrozenSet[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Node-level content
+    # ------------------------------------------------------------------ #
+    def node_content(self, node: XMLNode) -> FrozenSet[str]:
+        """The content word set ``C_v`` of a single node."""
+        cached = self._content_cache.get(node.dewey)
+        if cached is not None:
+            return cached
+        words = frozenset(self.tokenizer.word_set(node.raw_strings()))
+        self._content_cache[node.dewey] = words
+        return words
+
+    def is_keyword_node(self, node: XMLNode, keywords: Iterable[str]) -> bool:
+        """True iff the node's own content intersects the query."""
+        content = self.node_content(node)
+        return any(keyword in content for keyword in keywords)
+
+    def matched_keywords(self, node: XMLNode, keywords: Iterable[str]) -> Set[str]:
+        """The query keywords present in the node's own content."""
+        content = self.node_content(node)
+        return {keyword for keyword in keywords if keyword in content}
+
+    # ------------------------------------------------------------------ #
+    # Subtree-level content (Definition 3)
+    # ------------------------------------------------------------------ #
+    def subtree_content(self, node: XMLNode) -> FrozenSet[str]:
+        """All content words in the subtree rooted at ``node``.
+
+        This is the unrestricted variant of ``TC_v`` where every descendant
+        contributes; the RTF-restricted variant (only keyword nodes inside the
+        fragment contribute) is computed by the node-record construction in
+        :mod:`repro.core.node_record`.
+        """
+        cached = self._subtree_cache.get(node.dewey)
+        if cached is not None:
+            return cached
+        words: Set[str] = set()
+        for member in node.iter_subtree():
+            words |= self.node_content(member)
+        frozen = frozenset(words)
+        self._subtree_cache[node.dewey] = frozen
+        return frozen
+
+    def subtree_keywords(self, node: XMLNode, keywords: Iterable[str]) -> Set[str]:
+        """``TK_v`` over the full subtree: subtree content intersected with Q."""
+        content = self.subtree_content(node)
+        return {keyword for keyword in keywords if keyword in content}
+
+    # ------------------------------------------------------------------ #
+    # Query helpers
+    # ------------------------------------------------------------------ #
+    def keyword_nodes(self, keyword: str):
+        """All nodes whose own content contains ``keyword`` (document order)."""
+        return [node for node in self.tree.iter_preorder()
+                if keyword in self.node_content(node)]
+
+    def clear_cache(self) -> None:
+        """Drop memoized content sets (after tree mutation in tests)."""
+        self._content_cache.clear()
+        self._subtree_cache.clear()

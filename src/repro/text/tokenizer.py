@@ -1,0 +1,95 @@
+"""Tokenization of element names, text values and attribute strings.
+
+Keyword matching in the paper is word based: the content ``C_v`` of a node is
+a *word set*, and a node is a keyword node when its content intersects the
+query.  The tokenizer therefore lower-cases, splits on non-alphanumeric
+boundaries and (optionally) removes stop words and single characters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Set
+
+from .stopwords import DEFAULT_STOPWORDS
+
+_WORD_PATTERN = re.compile(r"[A-Za-z0-9]+")
+
+
+@dataclass(frozen=True)
+class TokenizerConfig:
+    """Configuration of the tokenizer.
+
+    Attributes
+    ----------
+    lowercase:
+        Lower-case every token (the paper's matching is case-insensitive).
+    remove_stopwords:
+        Drop English stop words (the paper filters them with Lucene).
+    min_token_length:
+        Drop tokens shorter than this many characters.
+    stopwords:
+        The stop-word set used when ``remove_stopwords`` is true.
+    """
+
+    lowercase: bool = True
+    remove_stopwords: bool = True
+    min_token_length: int = 1
+    stopwords: FrozenSet[str] = field(default=DEFAULT_STOPWORDS)
+
+
+class Tokenizer:
+    """Split raw strings into the word tokens used for keyword matching."""
+
+    def __init__(self, config: TokenizerConfig = TokenizerConfig()):
+        self.config = config
+
+    def tokenize(self, text: str) -> List[str]:
+        """Tokenize one string into a list of tokens (order preserved)."""
+        if not text:
+            return []
+        tokens = _WORD_PATTERN.findall(text)
+        if self.config.lowercase:
+            tokens = [token.lower() for token in tokens]
+        if self.config.min_token_length > 1:
+            tokens = [t for t in tokens if len(t) >= self.config.min_token_length]
+        if self.config.remove_stopwords:
+            stop = self.config.stopwords
+            tokens = [t for t in tokens if t.lower() not in stop]
+        return tokens
+
+    def tokenize_many(self, texts: Iterable[str]) -> List[str]:
+        """Tokenize several strings and concatenate the token lists."""
+        tokens: List[str] = []
+        for text in texts:
+            tokens.extend(self.tokenize(text))
+        return tokens
+
+    def word_set(self, texts: Iterable[str]) -> Set[str]:
+        """The set of distinct tokens across several strings."""
+        return set(self.tokenize_many(texts))
+
+    def normalize_keyword(self, keyword: str) -> str:
+        """Normalize a query keyword the same way document words are."""
+        tokens = self.tokenize(keyword)
+        if not tokens:
+            # A keyword that is entirely a stop word still needs a canonical
+            # form so queries like "the" do not silently vanish.
+            fallback = _WORD_PATTERN.findall(keyword)
+            return fallback[0].lower() if fallback else keyword.strip().lower()
+        return tokens[0]
+
+    def normalize_query(self, keywords: Iterable[str]) -> List[str]:
+        """Normalize a whole keyword query, dropping duplicates in order."""
+        seen: Set[str] = set()
+        result: List[str] = []
+        for keyword in keywords:
+            normalized = self.normalize_keyword(keyword)
+            if normalized and normalized not in seen:
+                seen.add(normalized)
+                result.append(normalized)
+        return result
+
+
+DEFAULT_TOKENIZER = Tokenizer()

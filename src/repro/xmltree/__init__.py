@@ -1,0 +1,45 @@
+"""XML tree substrate: Dewey codes, node/tree model, parsing and rendering."""
+
+from .dewey import DeweyCode, lca_of_codes, sort_document_order
+from .errors import (
+    DuplicateNode,
+    InvalidDeweyCode,
+    NodeNotFound,
+    ParseError,
+    XMLTreeError,
+)
+from .node import XMLNode
+from .tree import SubtreeSpec, XMLTree
+from .builder import TreeBuilder, spec, tree_from_spec
+from .parser import parse_file, parse_string, to_xml_string, write_xml_file
+from .serializer import (
+    fragment_summary,
+    render_fragment_xml,
+    render_nodes,
+    render_tree,
+)
+
+__all__ = [
+    "DeweyCode",
+    "lca_of_codes",
+    "sort_document_order",
+    "XMLTreeError",
+    "InvalidDeweyCode",
+    "NodeNotFound",
+    "DuplicateNode",
+    "ParseError",
+    "XMLNode",
+    "XMLTree",
+    "SubtreeSpec",
+    "TreeBuilder",
+    "spec",
+    "tree_from_spec",
+    "parse_string",
+    "parse_file",
+    "to_xml_string",
+    "write_xml_file",
+    "render_tree",
+    "render_nodes",
+    "render_fragment_xml",
+    "fragment_summary",
+]

@@ -1,0 +1,229 @@
+"""Dewey codes: hierarchical node identifiers for XML trees.
+
+A Dewey code identifies a node by the path of child ordinals from the root,
+e.g. ``0.2.0.1`` is the second child of the first child of the third child of
+the root ``0``.  Dewey codes are the backbone of the paper's algorithms:
+
+* they are compatible with pre-order document order (lexicographic comparison
+  of the component tuples equals pre-order comparison of nodes),
+* ancestor/descendant tests are prefix tests,
+* the LCA of two nodes is the longest common prefix of their codes.
+
+The class is an immutable value object so codes can be used as dictionary
+keys, set members and sort keys throughout the library.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from .errors import InvalidDeweyCode
+
+DeweyLike = Union["DeweyCode", str, Sequence[int]]
+
+
+@total_ordering
+class DeweyCode:
+    """An immutable Dewey code.
+
+    Parameters
+    ----------
+    components:
+        The integer components of the code, e.g. ``(0, 2, 0, 1)`` for
+        ``"0.2.0.1"``.  Every component must be a non-negative integer and the
+        sequence must be non-empty.
+    """
+
+    __slots__ = ("_components", "_hash")
+
+    def __init__(self, components: Iterable[int]):
+        parts = tuple(components)
+        if not parts:
+            raise InvalidDeweyCode("a Dewey code needs at least one component")
+        for part in parts:
+            if not isinstance(part, int) or isinstance(part, bool):
+                raise InvalidDeweyCode(f"Dewey component {part!r} is not an integer")
+            if part < 0:
+                raise InvalidDeweyCode(f"Dewey component {part!r} is negative")
+        self._components: Tuple[int, ...] = parts
+        self._hash = hash(parts)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, text: str) -> "DeweyCode":
+        """Parse the dotted string form, e.g. ``"0.2.0.1"``."""
+        if not isinstance(text, str) or not text:
+            raise InvalidDeweyCode(f"cannot parse Dewey code from {text!r}")
+        try:
+            return cls(int(piece) for piece in text.split("."))
+        except ValueError as exc:
+            raise InvalidDeweyCode(f"cannot parse Dewey code from {text!r}") from exc
+
+    @classmethod
+    def coerce(cls, value: DeweyLike) -> "DeweyCode":
+        """Convert a :class:`DeweyCode`, string or int sequence into a code."""
+        if isinstance(value, DeweyCode):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        return cls(value)
+
+    @classmethod
+    def root(cls) -> "DeweyCode":
+        """The conventional root code ``0``."""
+        return cls((0,))
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def components(self) -> Tuple[int, ...]:
+        """The tuple of integer components."""
+        return self._components
+
+    @property
+    def depth(self) -> int:
+        """Number of components; the root has depth 1."""
+        return len(self._components)
+
+    @property
+    def level(self) -> int:
+        """Zero-based tree level (root is level 0)."""
+        return len(self._components) - 1
+
+    @property
+    def ordinal(self) -> int:
+        """The last component: the index of this node among its siblings."""
+        return self._components[-1]
+
+    def parent(self) -> Optional["DeweyCode"]:
+        """The parent code, or ``None`` for the root-level code."""
+        if len(self._components) == 1:
+            return None
+        return DeweyCode(self._components[:-1])
+
+    def child(self, ordinal: int) -> "DeweyCode":
+        """The code of the ``ordinal``-th child of this node."""
+        if ordinal < 0:
+            raise InvalidDeweyCode(f"child ordinal {ordinal} is negative")
+        return DeweyCode(self._components + (ordinal,))
+
+    def ancestors(self, include_self: bool = False) -> Iterator["DeweyCode"]:
+        """Yield ancestor codes from the root down to the parent (or self)."""
+        stop = len(self._components) if include_self else len(self._components) - 1
+        for size in range(1, stop + 1):
+            yield DeweyCode(self._components[:size])
+
+    def ancestors_bottom_up(self, include_self: bool = False) -> Iterator["DeweyCode"]:
+        """Yield ancestor codes from the parent (or self) up to the root."""
+        start = len(self._components) if include_self else len(self._components) - 1
+        for size in range(start, 0, -1):
+            yield DeweyCode(self._components[:size])
+
+    # ------------------------------------------------------------------ #
+    # Relationships
+    # ------------------------------------------------------------------ #
+    def is_ancestor_of(self, other: "DeweyCode") -> bool:
+        """True iff ``self`` is a strict ancestor of ``other``."""
+        return (
+            len(self._components) < len(other._components)
+            and other._components[: len(self._components)] == self._components
+        )
+
+    def is_descendant_of(self, other: "DeweyCode") -> bool:
+        """True iff ``self`` is a strict descendant of ``other``."""
+        return other.is_ancestor_of(self)
+
+    def is_ancestor_or_self(self, other: "DeweyCode") -> bool:
+        """True iff ``self`` is ``other`` or an ancestor of it."""
+        return (
+            len(self._components) <= len(other._components)
+            and other._components[: len(self._components)] == self._components
+        )
+
+    def is_sibling_of(self, other: "DeweyCode") -> bool:
+        """True iff the two codes share a parent and differ."""
+        if self == other:
+            return False
+        return self._components[:-1] == other._components[:-1]
+
+    def common_prefix(self, other: "DeweyCode") -> "DeweyCode":
+        """The Dewey code of the lowest common ancestor of the two nodes.
+
+        Raises :class:`InvalidDeweyCode` if the codes share no prefix (they
+        then belong to different trees / different roots).
+        """
+        shared = []
+        for mine, theirs in zip(self._components, other._components):
+            if mine != theirs:
+                break
+            shared.append(mine)
+        if not shared:
+            raise InvalidDeweyCode(
+                f"{self} and {other} share no common prefix (different roots)"
+            )
+        return DeweyCode(shared)
+
+    def relative_to(self, ancestor: "DeweyCode") -> Tuple[int, ...]:
+        """The component suffix of ``self`` below ``ancestor``.
+
+        ``ancestor`` must be ``self`` or one of its ancestors.
+        """
+        if not ancestor.is_ancestor_or_self(self):
+            raise InvalidDeweyCode(f"{ancestor} is not an ancestor of {self}")
+        return self._components[len(ancestor._components):]
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DeweyCode):
+            return self._components == other._components
+        return NotImplemented
+
+    def __lt__(self, other: "DeweyCode") -> bool:
+        if not isinstance(other, DeweyCode):
+            return NotImplemented
+        return self._components < other._components
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._components)
+
+    def __getitem__(self, index):
+        return self._components[index]
+
+    def __str__(self) -> str:
+        return ".".join(str(part) for part in self._components)
+
+    def __repr__(self) -> str:
+        return f"DeweyCode({str(self)!r})"
+
+
+def lca_of_codes(codes: Iterable[DeweyLike]) -> DeweyCode:
+    """Lowest common ancestor (longest common prefix) of a set of codes.
+
+    Raises :class:`InvalidDeweyCode` when the iterable is empty.
+    """
+    iterator = iter(codes)
+    try:
+        first = DeweyCode.coerce(next(iterator))
+    except StopIteration:
+        raise InvalidDeweyCode("cannot compute the LCA of zero codes") from None
+    result = first
+    for raw in iterator:
+        result = result.common_prefix(DeweyCode.coerce(raw))
+    return result
+
+
+def sort_document_order(codes: Iterable[DeweyLike]) -> list:
+    """Return the codes sorted in pre-order (document) order."""
+    return sorted(DeweyCode.coerce(code) for code in codes)

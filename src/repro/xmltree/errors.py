@@ -1,0 +1,28 @@
+"""Exception types raised by the XML tree substrate.
+
+Keeping a small, explicit exception hierarchy lets callers distinguish
+structural problems (malformed Dewey codes, detached nodes) from parsing
+problems without catching broad built-in exceptions.
+"""
+
+from __future__ import annotations
+
+
+class XMLTreeError(Exception):
+    """Base class for every error raised by :mod:`repro.xmltree`."""
+
+
+class InvalidDeweyCode(XMLTreeError):
+    """Raised when a Dewey code string or component sequence is malformed."""
+
+
+class NodeNotFound(XMLTreeError):
+    """Raised when a Dewey code does not identify a node in the tree."""
+
+
+class DuplicateNode(XMLTreeError):
+    """Raised when a node with an already-used Dewey code is inserted."""
+
+
+class ParseError(XMLTreeError):
+    """Raised when an XML document cannot be parsed into a tree."""

@@ -1,0 +1,95 @@
+"""Rendering of trees and search-result fragments for humans.
+
+The search algorithms return fragments as node sets; this module renders them
+as indented text trees or as XML snippets, mirroring the fragment figures of
+the paper (Figures 2 and 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .dewey import DeweyCode, DeweyLike
+from .node import XMLNode
+from .tree import XMLTree
+
+
+def render_tree(tree: XMLTree, max_nodes: Optional[int] = None,
+                show_text: bool = True) -> str:
+    """Render a whole tree as an indented outline."""
+    return render_nodes(tree, (node.dewey for node in tree.iter_preorder()),
+                        max_nodes=max_nodes, show_text=show_text)
+
+
+def render_nodes(tree: XMLTree, deweys: Iterable[DeweyLike],
+                 max_nodes: Optional[int] = None, show_text: bool = True,
+                 highlight: Optional[Callable[[XMLNode], bool]] = None) -> str:
+    """Render the given node set (a fragment) as an indented outline.
+
+    The fragment is rendered relative to its shallowest node so the output
+    matches the fragment drawings in the paper.  ``highlight`` may mark nodes
+    (e.g. keyword nodes) with a trailing ``*``.
+    """
+    codes = sorted(DeweyCode.coerce(code) for code in deweys)
+    if not codes:
+        return "(empty fragment)"
+    if max_nodes is not None:
+        codes = codes[:max_nodes]
+    base_level = min(code.level for code in codes)
+    lines: List[str] = []
+    for code in codes:
+        node = tree.node(code)
+        indent = "  " * (code.level - base_level)
+        text = f' "{_truncate(node.text)}"' if show_text and node.text else ""
+        marker = " *" if highlight is not None and highlight(node) else ""
+        lines.append(f"{indent}{code} {node.label}{text}{marker}")
+    return "\n".join(lines)
+
+
+def render_fragment_xml(tree: XMLTree, deweys: Sequence[DeweyLike]) -> str:
+    """Render a fragment as a nested XML snippet containing only its nodes."""
+    codes = sorted(DeweyCode.coerce(code) for code in deweys)
+    if not codes:
+        return ""
+    keep = set(codes)
+    root_code = codes[0]
+    lines: List[str] = []
+    _render_xml_node(tree.node(root_code), keep, lines, 0)
+    return "\n".join(lines)
+
+
+def fragment_summary(tree: XMLTree, deweys: Sequence[DeweyLike]) -> str:
+    """A one-line summary of a fragment: root label, node count, leaf labels."""
+    codes = sorted(DeweyCode.coerce(code) for code in deweys)
+    if not codes:
+        return "empty fragment"
+    root = tree.node(codes[0])
+    leaf_labels = sorted({tree.node(code).label for code in codes[1:]})
+    return (f"fragment rooted at {root.dewey} ({root.label}) with "
+            f"{len(codes)} nodes; labels: {', '.join(leaf_labels) or '-'}")
+
+
+def _render_xml_node(node: XMLNode, keep: set, lines: List[str], level: int) -> None:
+    if node.dewey not in keep:
+        return
+    indent = "  " * level
+    kept_children = [child for child in node.children if child.dewey in keep]
+    attrs = "".join(f' {name}="{value}"' for name, value in node.attributes.items())
+    if not kept_children and node.text:
+        lines.append(f"{indent}<{node.label}{attrs}>{node.text}</{node.label}>")
+        return
+    if not kept_children:
+        lines.append(f"{indent}<{node.label}{attrs}/>")
+        return
+    lines.append(f"{indent}<{node.label}{attrs}>")
+    if node.text:
+        lines.append(f"{indent}  {node.text}")
+    for child in kept_children:
+        _render_xml_node(child, keep, lines, level + 1)
+    lines.append(f"{indent}</{node.label}>")
+
+
+def _truncate(text: Optional[str], limit: int = 60) -> str:
+    if not text:
+        return ""
+    return text if len(text) <= limit else text[: limit - 3] + "..."

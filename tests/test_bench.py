@@ -1,0 +1,137 @@
+"""Tests for the benchmark harness and the Figure 5 / Figure 6 drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DatasetSpec,
+    default_datasets,
+    figure5_rows,
+    figure5_series,
+    figure5_summary,
+    figure6_rows,
+    figure6_series,
+    figure6_summary,
+    format_series,
+    format_summary,
+    format_table,
+    measure_query,
+    render_figure5,
+    render_figure6,
+    run_workload,
+    time_algorithm,
+)
+from repro.core import SearchEngine
+from repro.datasets import WorkloadQuery, publications_tree
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    """A miniature dataset spec so harness tests stay fast."""
+    workload = (
+        WorkloadQuery(label="lk", keywords=("liu", "keyword")),
+        WorkloadQuery(label="xks", keywords=("xml", "keyword", "search")),
+    )
+    return DatasetSpec(name="figure-1a", tree_factory=publications_tree,
+                       workload=workload, description="paper figure instance")
+
+
+@pytest.fixture(scope="module")
+def tiny_run(tiny_spec):
+    return run_workload(tiny_spec, repetitions=1)
+
+
+class TestHarness:
+    def test_default_datasets_registered(self):
+        specs = default_datasets()
+        assert set(specs) == {"dblp", "xmark-standard", "xmark-data1",
+                              "xmark-data2"}
+        for spec in specs.values():
+            assert spec.workload
+
+    def test_time_algorithm_positive(self):
+        engine = SearchEngine(publications_tree())
+        elapsed = time_algorithm(engine, "liu keyword", "validrtf", repetitions=1)
+        assert elapsed > 0.0
+        with pytest.raises(ValueError):
+            time_algorithm(engine, "liu keyword", "validrtf", repetitions=0)
+
+    def test_measure_query_fields(self, tiny_spec):
+        engine = SearchEngine(tiny_spec.tree_factory())
+        measurement = measure_query(engine, tiny_spec.name,
+                                    tiny_spec.workload[0], repetitions=1)
+        assert measurement.dataset == "figure-1a"
+        assert measurement.rtf_count == 2
+        assert measurement.maxmatch_seconds > 0.0
+        row = measurement.as_row()
+        assert row["query"] == "lk"
+        assert row["cfr"] <= 1.0
+
+    def test_run_workload_collects_all_queries(self, tiny_run, tiny_spec):
+        assert len(tiny_run.measurements) == len(tiny_spec.workload)
+        assert len(tiny_run.rows()) == len(tiny_spec.workload)
+
+    def test_run_workload_query_subset(self, tiny_spec):
+        run = run_workload(tiny_spec, repetitions=1,
+                           queries=tiny_spec.workload[:1])
+        assert len(run.measurements) == 1
+
+
+class TestFigure5:
+    def test_rows_and_series(self, tiny_run):
+        rows = figure5_rows(tiny_run)
+        assert len(rows) == 2
+        assert {"query", "maxmatch_ms", "validrtf_ms", "rtfs",
+                "time_ratio"} <= set(rows[0])
+        series = figure5_series(tiny_run)
+        assert len(series["labels"]) == len(series["rtfs"]) == 2
+
+    def test_summary(self, tiny_run):
+        summary = figure5_summary(tiny_run)
+        assert summary["queries"] == 2
+        assert summary["mean_time_ratio"] > 0.0
+        assert summary["max_time_ratio"] >= summary["min_time_ratio"]
+
+    def test_render(self, tiny_run):
+        text = render_figure5(tiny_run)
+        assert "Figure 5" in text and "lk" in text and "summary:" in text
+
+
+class TestFigure6:
+    def test_rows_and_series(self, tiny_run):
+        rows = figure6_rows(tiny_run)
+        assert len(rows) == 2
+        assert {"cfr", "apr_prime", "max_apr"} <= set(rows[0])
+        series = figure6_series(tiny_run)
+        assert all(0.0 <= value <= 1.0 for value in series["cfr"])
+
+    def test_summary(self, tiny_run):
+        summary = figure6_summary(tiny_run)
+        assert summary["queries"] == 2
+        assert 0.0 <= summary["mean_cfr"] <= 1.0
+
+    def test_render(self, tiny_run):
+        text = render_figure6(tiny_run)
+        assert "Figure 6" in text and "CFR" in text
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "long-value"}, {"a": 22, "b": 0.5}]
+        text = format_table(rows, ("a", "b"), title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="demo")
+
+    def test_format_series(self):
+        text = format_series("rtfs", ["q1", "q2"], [1.0, 2.0], precision=1)
+        assert text == "rtfs: q1=1.0, q2=2.0"
+
+    def test_format_summary(self):
+        text = format_summary({"mean": 0.123456, "count": 3}, title="stats")
+        assert "stats" in text and "0.1235" in text and "count: 3" in text

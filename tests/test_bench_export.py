@@ -1,0 +1,112 @@
+"""Tests for benchmark-result export (CSV / JSON / ASCII charts)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.bench import (
+    DatasetSpec,
+    ascii_bar_chart,
+    chart_figure5,
+    chart_figure6,
+    export_run,
+    run_payload,
+    run_workload,
+    write_csv,
+    write_json,
+)
+from repro.datasets import WorkloadQuery, publications_tree
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    spec = DatasetSpec(
+        name="figure-1a",
+        tree_factory=publications_tree,
+        workload=(
+            WorkloadQuery(label="lk", keywords=("liu", "keyword")),
+            WorkloadQuery(label="xks", keywords=("xml", "keyword", "search")),
+        ),
+    )
+    return run_workload(spec, repetitions=1)
+
+
+class TestWriters:
+    def test_write_csv_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = write_csv(rows, tmp_path / "rows.csv")
+        with path.open() as handle:
+            read_back = list(csv.DictReader(handle))
+        assert read_back == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_write_csv_column_selection(self, tmp_path):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        path = write_csv(rows, tmp_path / "rows.csv", columns=("c", "a"))
+        header = path.read_text().splitlines()[0]
+        assert header == "c,a"
+
+    def test_write_csv_empty(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+    def test_write_json(self, tmp_path):
+        path = write_json({"x": [1, 2, 3]}, tmp_path / "data.json")
+        assert json.loads(path.read_text()) == {"x": [1, 2, 3]}
+
+
+class TestAsciiChart:
+    def test_basic_chart(self):
+        chart = ascii_bar_chart(["a", "bb"], [1.0, 2.0], title="demo")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("a ") and "#" in lines[1]
+        # The larger value gets the longer bar.
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_log_scale(self):
+        chart = ascii_bar_chart(["q1", "q2"], [1.0, 1000.0], log_scale=True)
+        lines = chart.splitlines()
+        # On a log axis the 1000x difference is only a 3x-ish bar difference.
+        assert lines[1].count("#") >= lines[0].count("#")
+        assert lines[1].count("#") <= lines[0].count("#") * 50
+
+    def test_zero_values(self):
+        chart = ascii_bar_chart(["a"], [0.0])
+        assert "0.000" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_bar_chart([], [], title="t")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+
+class TestRunExport:
+    def test_run_payload_structure(self, tiny_run):
+        payload = run_payload(tiny_run)
+        assert payload["dataset"] == "figure-1a"
+        assert len(payload["figure5"]["rows"]) == 2
+        assert "mean_cfr" in payload["figure6"]["summary"]
+
+    def test_export_run_writes_artifacts(self, tiny_run, tmp_path):
+        artefacts = export_run(tiny_run, tmp_path / "out")
+        assert sorted(artefacts) == ["figure5_csv", "figure6_csv", "json"]
+        for path in artefacts.values():
+            assert path.exists() and path.stat().st_size > 0
+        payload = json.loads(artefacts["json"].read_text())
+        assert payload["dataset"] == "figure-1a"
+
+    def test_export_run_custom_prefix(self, tiny_run, tmp_path):
+        artefacts = export_run(tiny_run, tmp_path, prefix="panelA")
+        assert artefacts["figure5_csv"].name == "panelA_figure5.csv"
+
+    def test_chart_renderers(self, tiny_run):
+        fig5 = chart_figure5(tiny_run)
+        fig6 = chart_figure6(tiny_run)
+        assert "MaxMatch elapsed time" in fig5 and "ValidRTF elapsed time" in fig5
+        assert "CFR" in fig6 and "Max APR" in fig6
+        assert "lk" in fig5 and "xks" in fig6

@@ -1,0 +1,75 @@
+"""Additional harness coverage: cached engines, run_all, figure wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DatasetSpec,
+    cached_engine,
+    default_datasets,
+    run_all,
+    run_figure5,
+    run_figure6,
+)
+from repro.core import SearchEngine
+from repro.datasets import WorkloadQuery, publications_tree, team_tree
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    return {
+        "figure-1a": DatasetSpec(
+            name="figure-1a", tree_factory=publications_tree,
+            workload=(WorkloadQuery("lk", ("liu", "keyword")),)),
+        "figure-1b": DatasetSpec(
+            name="figure-1b", tree_factory=team_tree,
+            workload=(WorkloadQuery("gp", ("grizzlies", "position")),)),
+    }
+
+
+class TestCachedEngine:
+    def test_same_instance_returned(self):
+        first = cached_engine("dblp", dblp_publications=40, xmark_base_items=10)
+        second = cached_engine("dblp", dblp_publications=40, xmark_base_items=10)
+        assert first is second
+        assert isinstance(first, SearchEngine)
+
+    def test_different_sizes_cached_separately(self):
+        small = cached_engine("xmark-standard", dblp_publications=40,
+                              xmark_base_items=10)
+        larger = cached_engine("xmark-standard", dblp_publications=40,
+                               xmark_base_items=12)
+        assert small is not larger
+        assert small.tree.size() < larger.tree.size()
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            cached_engine("unknown", dblp_publications=40, xmark_base_items=10)
+
+
+class TestRunAll:
+    def test_runs_every_spec(self, tiny_specs):
+        runs = run_all(tiny_specs, repetitions=1)
+        assert set(runs) == set(tiny_specs)
+        assert all(run.measurements for run in runs.values())
+
+    def test_default_dataset_names(self):
+        specs = default_datasets(dblp_publications=40, xmark_base_items=10)
+        assert set(specs) == {"dblp", "xmark-standard", "xmark-data1",
+                              "xmark-data2"}
+        for name, spec in specs.items():
+            assert spec.name == name
+            assert callable(spec.tree_factory)
+
+
+class TestFigureWrappers:
+    def test_run_figure5_and_6_share_measurement_schema(self, tiny_specs):
+        spec = tiny_specs["figure-1b"]
+        run5 = run_figure5(spec, repetitions=1)
+        run6 = run_figure6(spec)
+        assert run5.dataset == run6.dataset == "figure-1b"
+        assert run5.measurements[0].label == run6.measurements[0].label == "gp"
+        # Figure 6 ratios are identical regardless of timing repetitions.
+        assert run5.measurements[0].report.cfr == \
+            run6.measurements[0].report.cfr

@@ -1,0 +1,174 @@
+"""Tests for the pruning-explanation layer (repro.core.explain)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Decision,
+    DifferenceKind,
+    Query,
+    SearchEngine,
+    classify_differences,
+    explain_contributor,
+    explain_valid_contributor,
+    prune_with_contributor,
+    prune_with_valid_contributor,
+    render_explanation,
+)
+from repro.core.errors import UnknownAlgorithmError
+from repro.datasets import PAPER_QUERIES
+from repro.xmltree import DeweyCode
+
+D = DeweyCode.parse
+
+
+def _record_trees(engine, query_text):
+    pipeline = engine.algorithm("validrtf")
+    query = Query.parse(query_text)
+    return query, [pipeline.record_tree(query, fragment)
+                   for fragment in pipeline.raw_fragments(query)]
+
+
+class TestExplainValidContributor:
+    def test_decisions_cover_every_fragment_node(self, publications_engine):
+        query, record_trees = _record_trees(publications_engine,
+                                            PAPER_QUERIES["Q3"])
+        explanation = explain_valid_contributor(record_trees[0], query)
+        assert {decision.dewey for decision in explanation.decisions} == \
+            set(record_trees[0].fragment.nodes)
+
+    def test_kept_set_matches_pruner(self, publications_engine, team_engine):
+        scenarios = [
+            (publications_engine, "Q1"), (publications_engine, "Q2"),
+            (publications_engine, "Q3"), (team_engine, "Q4"),
+            (team_engine, "Q5"),
+        ]
+        for engine, query_name in scenarios:
+            query, record_trees = _record_trees(engine, PAPER_QUERIES[query_name])
+            for records in record_trees:
+                explanation = explain_valid_contributor(records, query)
+                explained_kept = {d.dewey for d in explanation.kept()}
+                pruned = prune_with_valid_contributor(records)
+                assert explained_kept == pruned.kept_set(), query_name
+
+    def test_q3_decisions(self, publications_engine):
+        query, record_trees = _record_trees(publications_engine,
+                                            PAPER_QUERIES["Q3"])
+        explanation = explain_valid_contributor(record_trees[0], query)
+        assert explanation.decision_for(D("0")).decision is Decision.ROOT
+        assert explanation.decision_for(D("0.0")).decision is Decision.UNIQUE_LABEL
+        covered = explanation.decision_for(D("0.2.1"))
+        assert covered.decision is Decision.COVERED
+        assert covered.because_of == D("0.2.0")
+        descendant = explanation.decision_for(D("0.2.1.1"))
+        assert descendant.decision is Decision.ANCESTOR_DISCARDED
+
+    def test_q4_duplicate_content_decision(self, team_engine):
+        query, record_trees = _record_trees(team_engine, PAPER_QUERIES["Q4"])
+        explanation = explain_valid_contributor(record_trees[0], query)
+        duplicate = explanation.decision_for(D("0.1.2"))
+        assert duplicate.decision is Decision.DUPLICATE_CONTENT
+        assert duplicate.because_of == D("0.1.0")
+        kept_guard = explanation.decision_for(D("0.1.1"))
+        assert kept_guard.kept
+        assert kept_guard.decision is Decision.DISTINCT_CONTENT
+
+    def test_summary_histogram(self, team_engine):
+        query, record_trees = _record_trees(team_engine, PAPER_QUERIES["Q4"])
+        explanation = explain_valid_contributor(record_trees[0], query)
+        summary = explanation.summary()
+        assert summary["ROOT"] == 1
+        assert summary["DUPLICATE_CONTENT"] == 1
+        assert sum(summary.values()) == len(explanation.decisions)
+
+    def test_decision_for_missing_node(self, team_engine):
+        query, record_trees = _record_trees(team_engine, PAPER_QUERIES["Q4"])
+        explanation = explain_valid_contributor(record_trees[0], query)
+        with pytest.raises(KeyError):
+            explanation.decision_for(D("0.9.9"))
+
+
+class TestExplainContributor:
+    def test_kept_set_matches_pruner(self, publications_engine, team_engine):
+        scenarios = [
+            (publications_engine, "Q1"), (publications_engine, "Q3"),
+            (team_engine, "Q4"), (team_engine, "Q5"),
+        ]
+        for engine, query_name in scenarios:
+            query, record_trees = _record_trees(engine, PAPER_QUERIES[query_name])
+            for records in record_trees:
+                explanation = explain_contributor(records, query)
+                explained_kept = {d.dewey for d in explanation.kept()}
+                pruned = prune_with_contributor(records)
+                assert explained_kept == pruned.kept_set(), query_name
+
+    def test_q1_title_discarded_because_of_abstract(self, publications_engine):
+        query, record_trees = _record_trees(publications_engine,
+                                            PAPER_QUERIES["Q1"])
+        explanation = explain_contributor(record_trees[0], query)
+        title = explanation.decision_for(D("0.2.1.1"))
+        assert not title.kept
+        assert title.decision is Decision.COVERED
+        assert title.because_of == D("0.2.1.2")
+
+
+class TestComparisonExplanation:
+    def test_q1_is_a_false_positive_fix(self, publications_engine):
+        comparison = publications_engine.explain_comparison(PAPER_QUERIES["Q1"])
+        kinds = {difference.dewey: difference.kind
+                 for difference in comparison.differences}
+        assert kinds[D("0.2.1.1")] is DifferenceKind.FALSE_POSITIVE_FIX
+        assert comparison.summary()["redundancy_fixes"] == 0
+
+    def test_q4_is_a_redundancy_fix(self, team_engine):
+        comparison = team_engine.explain_comparison(PAPER_QUERIES["Q4"])
+        kinds = {difference.dewey: difference.kind
+                 for difference in comparison.differences}
+        assert kinds[D("0.1.2")] is DifferenceKind.REDUNDANCY_FIX
+        assert kinds[D("0.1.2.1")] is DifferenceKind.REDUNDANCY_FIX
+        assert comparison.summary()["false_positive_fixes"] == 0
+
+    def test_q5_no_differences(self, team_engine):
+        comparison = team_engine.explain_comparison(PAPER_QUERIES["Q5"])
+        assert comparison.differences == ()
+
+    def test_difference_labels_filled(self, team_engine):
+        comparison = team_engine.explain_comparison(PAPER_QUERIES["Q4"])
+        assert all(difference.label for difference in comparison.differences)
+
+    def test_classify_differences_direct_call(self, team_engine, team):
+        query = Query.parse(PAPER_QUERIES["Q4"])
+        validrtf = team_engine.search(query, "validrtf")
+        maxmatch = team_engine.search(query, "maxmatch")
+        labels = {node.dewey: node.label for node in team.iter_preorder()}
+        comparison = classify_differences(query, validrtf, maxmatch, labels)
+        assert comparison.query == str(query)
+        assert len(comparison.differences) == 2
+
+
+class TestEngineAndRendering:
+    def test_engine_explain_validrtf(self, publications_engine):
+        explanations = publications_engine.explain(PAPER_QUERIES["Q2"])
+        assert len(explanations) == 2
+        assert {str(e.root) for e in explanations} == {"0.2.0", "0.2.0.3.0"}
+
+    def test_engine_explain_rejects_unknown(self, publications_engine):
+        with pytest.raises(UnknownAlgorithmError):
+            publications_engine.explain("xml", algorithm="validrtf-slca")
+
+    def test_render_explanation(self, team_engine):
+        explanation = team_engine.explain(PAPER_QUERIES["Q4"])[0]
+        text = render_explanation(explanation)
+        assert "fragment rooted at 0" in text
+        assert "duplicates an earlier sibling" in text
+        discarded_only = render_explanation(explanation, show_kept=False)
+        assert "unique label" not in discarded_only
+
+    def test_cli_explain(self, capsys):
+        from repro.cli import main
+        exit_code = main(["explain", "--dataset", "figure-1b", "Q4"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "redundancy fix" in output
+        assert "1 redundancy fix" not in output  # two nodes differ

@@ -1,0 +1,101 @@
+"""Property-based tests: the optimized LCA algorithms against the naive specs.
+
+Random Dewey-code posting lists are generated directly (no tree needed — every
+algorithm works purely on codes), and the optimized algorithms must agree with
+the naive reference implementations, plus the structural invariants relating
+CA, SLCA and ELCA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lca import (
+    indexed_lookup_eager_slca,
+    indexed_stack_elca,
+    naive_common_ancestors,
+    naive_elca,
+    naive_elca_exhaustive,
+    naive_slca,
+    scan_eager_slca,
+    stack_slca,
+)
+from repro.xmltree import DeweyCode
+
+# Dewey codes over a small component alphabet so collisions / nestings happen.
+dewey_codes = st.lists(
+    st.integers(min_value=0, max_value=2), min_size=0, max_size=4
+).map(lambda suffix: DeweyCode([0] + suffix))
+
+posting_list = st.lists(dewey_codes, min_size=1, max_size=6)
+
+keyword_lists = st.dictionaries(
+    keys=st.sampled_from(["w1", "w2", "w3"]),
+    values=posting_list,
+    min_size=1,
+    max_size=3,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(keyword_lists)
+def test_optimized_slca_algorithms_match_naive(lists: Dict[str, List[DeweyCode]]):
+    expected = naive_slca(lists)
+    assert indexed_lookup_eager_slca(lists) == expected
+    assert scan_eager_slca(lists) == expected
+    assert stack_slca(lists) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(keyword_lists)
+def test_indexed_stack_elca_matches_naive(lists: Dict[str, List[DeweyCode]]):
+    assert indexed_stack_elca(lists) == naive_elca(lists)
+
+
+@settings(max_examples=150, deadline=None)
+@given(keyword_lists)
+def test_naive_elca_variants_agree(lists: Dict[str, List[DeweyCode]]):
+    assert naive_elca(lists) == naive_elca_exhaustive(lists)
+
+
+@settings(max_examples=150, deadline=None)
+@given(keyword_lists)
+def test_slca_subset_of_elca_subset_of_ca(lists: Dict[str, List[DeweyCode]]):
+    slcas = set(naive_slca(lists))
+    elcas = set(naive_elca(lists))
+    cas = set(naive_common_ancestors(lists))
+    assert slcas <= elcas <= cas
+
+
+@settings(max_examples=150, deadline=None)
+@given(keyword_lists)
+def test_slca_nodes_are_incomparable(lists: Dict[str, List[DeweyCode]]):
+    slcas = naive_slca(lists)
+    for first in slcas:
+        for second in slcas:
+            if first != second:
+                assert not first.is_ancestor_of(second)
+
+
+@settings(max_examples=150, deadline=None)
+@given(keyword_lists)
+def test_elca_subtrees_contain_all_keywords(lists: Dict[str, List[DeweyCode]]):
+    elcas = naive_elca(lists)
+    for elca in elcas:
+        for keyword, deweys in lists.items():
+            if not deweys:
+                continue
+            assert any(elca.is_ancestor_or_self(dewey) for dewey in deweys), \
+                f"ELCA {elca} misses keyword {keyword}"
+
+
+@settings(max_examples=150, deadline=None)
+@given(keyword_lists)
+def test_results_sorted_and_unique(lists: Dict[str, List[DeweyCode]]):
+    for algorithm in (indexed_lookup_eager_slca, scan_eager_slca, stack_slca,
+                      indexed_stack_elca):
+        result = algorithm(lists)
+        assert result == sorted(result)
+        assert len(result) == len(set(result))

@@ -1,0 +1,160 @@
+"""Replay of the paper's worked examples (Examples 1–7, Figures 2–4).
+
+These are the headline reproduction tests: every qualitative claim the paper
+makes about Q1–Q5 on the Figure 1 instances is asserted here, for both the
+revised MaxMatch baseline and ValidRTF.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchEngine
+from repro.datasets import PAPER_QUERIES
+from repro.xmltree import DeweyCode
+
+D = DeweyCode.parse
+
+
+def kept(result, root):
+    fragment = result.by_root()[D(root)]
+    return sorted(str(code) for code in fragment.kept_nodes)
+
+
+class TestExample1SlcaVsLca:
+    def test_q2_slca_node_is_ref(self, publications_engine):
+        roots = publications_engine.lca_nodes(PAPER_QUERIES["Q2"], "maxmatch-slca")
+        assert [str(code) for code in roots] == ["0.2.0.3.0"]
+
+    def test_q2_lca_node_article_also_interesting(self, publications_engine):
+        roots = publications_engine.lca_nodes(PAPER_QUERIES["Q2"], "validrtf")
+        assert [str(code) for code in roots] == ["0.2.0", "0.2.0.3.0"]
+
+    def test_q3_only_lca_is_the_root(self, publications_engine):
+        roots = publications_engine.lca_nodes(PAPER_QUERIES["Q3"], "validrtf")
+        assert [str(code) for code in roots] == ["0"]
+
+
+class TestExample2MaxMatchProblems:
+    def test_q5_positive_example(self, team_engine):
+        """Figure 3(a): MaxMatch keeps only the Gassol player for Q5."""
+        result = team_engine.search(PAPER_QUERIES["Q5"], "maxmatch")
+        assert kept(result, "0") == \
+            ["0", "0.0", "0.1", "0.1.0", "0.1.0.0", "0.1.0.1"]
+
+    def test_q1_false_positive_problem(self, publications_engine):
+        """Figure 3(c): MaxMatch wrongly discards the title node for Q1."""
+        result = publications_engine.search(PAPER_QUERIES["Q1"], "maxmatch")
+        nodes = kept(result, "0.2.1")
+        assert "0.2.1.1" not in nodes
+        assert "0.2.1.2" in nodes
+
+    def test_q4_redundancy_problem(self, team_engine):
+        """Figure 3(d): MaxMatch keeps both "forward" players for Q4."""
+        result = team_engine.search(PAPER_QUERIES["Q4"], "maxmatch")
+        nodes = kept(result, "0")
+        assert "0.1.0.1" in nodes and "0.1.2.1" in nodes and "0.1.1.1" in nodes
+
+
+class TestExample5ValidContributor:
+    def test_q5_covers_the_positive_example(self, team_engine):
+        """ValidRTF returns the same Figure 3(a) fragment for Q5."""
+        result = team_engine.search(PAPER_QUERIES["Q5"], "validrtf")
+        assert kept(result, "0") == \
+            ["0", "0.0", "0.1", "0.1.0", "0.1.0.0", "0.1.0.1"]
+
+    def test_q1_false_positive_fixed(self, publications_engine):
+        """Figure 3(b): ValidRTF keeps the uniquely-labelled title node."""
+        result = publications_engine.search(PAPER_QUERIES["Q1"], "validrtf")
+        assert kept(result, "0.2.1") == [
+            "0.2.1", "0.2.1.0", "0.2.1.0.0", "0.2.1.0.0.0",
+            "0.2.1.0.1", "0.2.1.0.1.0", "0.2.1.1", "0.2.1.2",
+        ]
+
+    def test_q4_redundancy_fixed(self, team_engine):
+        """ValidRTF keeps one "forward" and one "guard" position for Q4."""
+        result = team_engine.search(PAPER_QUERIES["Q4"], "validrtf")
+        nodes = kept(result, "0")
+        assert "0.1.0.1" in nodes and "0.1.1.1" in nodes
+        assert "0.1.2" not in nodes and "0.1.2.1" not in nodes
+
+    def test_q3_meaningful_rtf(self, publications_engine):
+        """Figure 2(d): the meaningful RTF for Q3 drops the skyline article."""
+        result = publications_engine.search(PAPER_QUERIES["Q3"], "validrtf")
+        assert kept(result, "0") == [
+            "0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2",
+            "0.2.0.3", "0.2.0.3.0",
+        ]
+
+
+class TestExample6FirstStages:
+    def test_q3_keyword_node_sets(self, publications_engine):
+        lists = publications_engine.keyword_nodes(PAPER_QUERIES["Q3"])
+        as_strings = {keyword: [str(code) for code in deweys]
+                      for keyword, deweys in lists.items()}
+        assert as_strings == {
+            "vldb": ["0.0"],
+            "title": ["0.0", "0.2.0.1", "0.2.1.1"],
+            "xml": ["0.2.0.1", "0.2.0.2", "0.2.0.3.0"],
+            "keyword": ["0.2.0.1", "0.2.0.2", "0.2.0.3.0"],
+            "search": ["0.2.0.1", "0.2.0.2", "0.2.0.3.0"],
+        }
+
+    def test_q3_raw_rtf_keyword_nodes(self, publications_engine):
+        raw = publications_engine.algorithm("validrtf").raw_fragments(
+            PAPER_QUERIES["Q3"])
+        assert len(raw) == 1
+        assert [str(code) for code in raw[0].keyword_nodes] == \
+            ["0.0", "0.2.0.1", "0.2.0.2", "0.2.0.3.0", "0.2.1.1"]
+
+
+class TestExample7Pruning:
+    def test_articles_child_0_2_1_is_pruned(self, publications_engine):
+        """Example 7: child 0.2.1's key number is covered by 0.2.0's."""
+        result = publications_engine.search(PAPER_QUERIES["Q3"], "validrtf")
+        nodes = kept(result, "0")
+        assert "0.2.1" not in nodes and "0.2.1.1" not in nodes
+
+    def test_root_children_with_distinct_labels_kept(self, publications_engine):
+        result = publications_engine.search(PAPER_QUERIES["Q3"], "validrtf")
+        nodes = kept(result, "0")
+        assert "0.0" in nodes and "0.2" in nodes
+
+
+class TestQ2Fragments:
+    def test_two_rtfs_returned(self, publications_engine):
+        result = publications_engine.search(PAPER_QUERIES["Q2"], "validrtf")
+        assert [str(code) for code in result.roots()] == ["0.2.0", "0.2.0.3.0"]
+
+    def test_figure_2a_slca_fragment(self, publications_engine):
+        result = publications_engine.search(PAPER_QUERIES["Q2"], "validrtf")
+        assert kept(result, "0.2.0.3.0") == ["0.2.0.3.0"]
+
+    def test_figure_2b_lca_fragment(self, publications_engine):
+        result = publications_engine.search(PAPER_QUERIES["Q2"], "validrtf")
+        assert kept(result, "0.2.0") == [
+            "0.2.0", "0.2.0.0", "0.2.0.0.0", "0.2.0.0.0.0", "0.2.0.1", "0.2.0.2",
+        ]
+
+    def test_slca_flags_on_fragments(self, publications_engine):
+        result = publications_engine.search(PAPER_QUERIES["Q2"], "validrtf")
+        flags = {str(f.root): f.is_slca for f in result}
+        assert flags == {"0.2.0": False, "0.2.0.3.0": True}
+
+
+class TestCfrBehaviour:
+    def test_q1_validrtf_and_maxmatch_differ(self, publications_engine):
+        outcome = publications_engine.compare(PAPER_QUERIES["Q1"])
+        assert outcome.report.cfr < 1.0
+        # The difference is a false-positive fix: ValidRTF keeps more nodes,
+        # it does not prune more.
+        assert outcome.report.max_apr == 0.0
+
+    def test_q4_validrtf_prunes_more(self, team_engine):
+        outcome = team_engine.compare(PAPER_QUERIES["Q4"])
+        assert outcome.report.cfr < 1.0
+        assert outcome.report.max_apr > 0.0
+
+    def test_q5_identical_results(self, team_engine):
+        outcome = team_engine.compare(PAPER_QUERIES["Q5"])
+        assert outcome.report.cfr == 1.0

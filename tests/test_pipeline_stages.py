@@ -1,0 +1,97 @@
+"""Unit tests for the shared four-stage pipeline object itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Query
+from repro.core.pipeline import FragmentPipeline, elca_roots, slca_roots
+from repro.core.valid_contributor import prune_with_valid_contributor
+from repro.datasets import PAPER_QUERIES
+from repro.index import InvertedIndex
+from repro.lca import indexed_lookup_eager_slca, indexed_stack_elca
+from repro.xmltree import DeweyCode
+
+D = DeweyCode.parse
+
+
+@pytest.fixture
+def pipeline(publications):
+    return FragmentPipeline(
+        publications,
+        pruner=lambda records: prune_with_valid_contributor(records, "custom"),
+        name="custom-pipeline",
+    )
+
+
+class TestStageHelpers:
+    def test_keyword_nodes_stage(self, pipeline):
+        lists = pipeline.keyword_nodes("Liu keyword")
+        assert set(lists) == {"liu", "keyword"}
+        assert [str(code) for code in lists["liu"]] == \
+            ["0.2.0.0.0.0", "0.2.0.3.0"]
+
+    def test_lca_nodes_stage_uses_configured_semantics(self, publications):
+        elca_pipeline = FragmentPipeline(
+            publications, pruner=prune_with_valid_contributor,
+            lca_function=elca_roots)
+        slca_pipeline = FragmentPipeline(
+            publications, pruner=prune_with_valid_contributor,
+            lca_function=slca_roots)
+        lists = InvertedIndex(publications).keyword_nodes(
+            Query.parse("Liu keyword").keywords)
+        assert elca_pipeline.lca_nodes("Liu keyword") == indexed_stack_elca(lists)
+        assert slca_pipeline.lca_nodes("Liu keyword") == \
+            indexed_lookup_eager_slca(lists)
+
+    def test_raw_fragments_stage(self, pipeline):
+        fragments = pipeline.raw_fragments(PAPER_QUERIES["Q2"])
+        assert [str(fragment.root) for fragment in fragments] == \
+            ["0.2.0", "0.2.0.3.0"]
+        assert fragments[0].keyword_nodes
+
+    def test_raw_fragments_empty_when_keyword_missing(self, pipeline):
+        assert pipeline.raw_fragments("xml absentkeyword") == []
+
+    def test_record_tree_stage(self, pipeline):
+        fragments = pipeline.raw_fragments(PAPER_QUERIES["Q2"])
+        records = pipeline.record_tree(PAPER_QUERIES["Q2"], fragments[0])
+        assert records.root.dewey == fragments[0].root
+        assert records.size() == fragments[0].size
+
+
+class TestSearchBehaviour:
+    def test_search_uses_custom_pruner_name(self, pipeline):
+        result = pipeline.search(PAPER_QUERIES["Q2"])
+        assert result.algorithm == "custom-pipeline"
+        assert all(fragment.algorithm == "custom" for fragment in result)
+
+    def test_search_records_lca_nodes(self, pipeline):
+        result = pipeline.search(PAPER_QUERIES["Q2"])
+        assert [str(code) for code in result.lca_nodes] == ["0.2.0", "0.2.0.3.0"]
+
+    def test_search_accepts_query_objects_and_lists(self, pipeline):
+        from_string = pipeline.search("liu keyword")
+        from_list = pipeline.search(["liu", "keyword"])
+        from_query = pipeline.search(Query.parse("liu keyword"))
+        assert from_string.roots() == from_list.roots() == from_query.roots()
+
+    def test_index_built_on_demand(self, publications):
+        pipeline = FragmentPipeline(publications,
+                                    pruner=prune_with_valid_contributor)
+        assert pipeline.index is not None
+        assert pipeline.analyzer is pipeline.index.analyzer
+
+    def test_shared_index_instance(self, publications):
+        index = InvertedIndex(publications)
+        pipeline = FragmentPipeline(publications, index=index,
+                                    pruner=prune_with_valid_contributor)
+        assert pipeline.index is index
+
+    def test_cid_mode_forwarded_to_records(self, publications):
+        pipeline = FragmentPipeline(publications,
+                                    pruner=prune_with_valid_contributor,
+                                    cid_mode="exact")
+        fragments = pipeline.raw_fragments(PAPER_QUERIES["Q2"])
+        records = pipeline.record_tree(PAPER_QUERIES["Q2"], fragments[0])
+        assert isinstance(records.root.content_feature, frozenset)

@@ -1,0 +1,55 @@
+"""The public API surface: everything advertised in ``__all__`` exists."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.xmltree",
+    "repro.text",
+    "repro.index",
+    "repro.storage",
+    "repro.lca",
+    "repro.core",
+    "repro.datasets",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    assert hasattr(module, "__all__") and module.__all__
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package_name}.{name} is advertised but missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_no_duplicate_exports(package_name):
+    module = importlib.import_module(package_name)
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+def test_version_string():
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(part.isdigit() for part in parts)
+
+
+def test_top_level_quickstart_surface():
+    # The names the README quickstart relies on.
+    for name in ("SearchEngine", "parse_string", "parse_file", "Query",
+                 "ValidRTF", "MaxMatch", "publications_tree", "team_tree"):
+        assert hasattr(repro, name)
+
+
+def test_public_classes_have_docstrings():
+    for name in repro.__all__:
+        member = getattr(repro, name)
+        if isinstance(member, type) or callable(member):
+            assert getattr(member, "__doc__", None), f"{name} lacks a docstring"

@@ -1,0 +1,64 @@
+"""Tests for the RTF ranking extension (the paper's future-work item)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Query,
+    RankingWeights,
+    SearchEngine,
+    rank_fragments,
+    rank_result,
+)
+from repro.datasets import PAPER_QUERIES
+
+
+class TestRankingWeights:
+    def test_normalized_sums_to_one(self):
+        weights = RankingWeights(2.0, 1.0, 1.0).normalized()
+        assert weights.specificity + weights.compactness + weights.coverage == \
+            pytest.approx(1.0)
+        assert weights.specificity == pytest.approx(0.5)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            RankingWeights(0.0, 0.0, 0.0).normalized()
+
+
+class TestRankResult:
+    def test_empty_result_ranks_empty(self, publications):
+        assert rank_fragments(publications, Query.parse("xml"), []) == []
+
+    def test_deeper_root_ranks_first_for_q2(self, publications_engine, publications):
+        result = publications_engine.search(PAPER_QUERIES["Q2"], "validrtf")
+        ranked = rank_result(publications, result)
+        assert len(ranked) == 2
+        # The self-contained ref fragment is deeper and more compact than the
+        # article fragment, so it comes first.
+        assert str(ranked[0].fragment.root) == "0.2.0.3.0"
+        assert ranked[0].score >= ranked[1].score
+
+    def test_scores_monotone_in_order(self, publications_engine, publications):
+        result = publications_engine.search(PAPER_QUERIES["Q3"], "validrtf")
+        ranked = publications_engine.rank(result)
+        scores = [item.score for item in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_components_in_unit_range(self, publications_engine, publications):
+        result = publications_engine.search(PAPER_QUERIES["Q2"], "validrtf")
+        for item in publications_engine.rank(result):
+            assert 0.0 <= item.specificity <= 1.0
+            assert 0.0 <= item.coverage <= 1.0
+            assert item.compactness <= 1.0
+
+    def test_coverage_counts_all_keywords(self, publications_engine, publications):
+        result = publications_engine.search(PAPER_QUERIES["Q2"], "validrtf")
+        ranked = publications_engine.rank(result)
+        assert all(item.coverage == pytest.approx(1.0) for item in ranked)
+
+    def test_weights_change_order(self, team_engine, team):
+        result = team_engine.search(PAPER_QUERIES["Q4"], "validrtf")
+        default_ranked = team_engine.rank(result)
+        compact_only = team_engine.rank(result, RankingWeights(0.0001, 1.0, 0.0001))
+        assert len(default_ranked) == len(compact_only) == 1

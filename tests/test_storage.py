@@ -1,0 +1,189 @@
+"""Tests for the relational shredding store (schema, shredder, both backends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import (
+    DocumentAlreadyStored,
+    DocumentNotFound,
+    MemoryStore,
+    SQLiteStore,
+    StoredDocumentSearch,
+    agreement_with_index,
+    decode_dewey,
+    encode_dewey,
+    shred_tree,
+)
+from repro.datasets import PAPER_QUERIES
+from repro.index import InvertedIndex
+from repro.xmltree import DeweyCode
+
+D = DeweyCode.parse
+
+BACKENDS = [MemoryStore, SQLiteStore]
+
+
+class TestDeweyEncoding:
+    def test_round_trip(self):
+        components = (0, 2, 10, 3)
+        assert decode_dewey(encode_dewey(components)) == components
+
+    def test_string_order_matches_document_order(self):
+        first = encode_dewey((0, 2))
+        second = encode_dewey((0, 10))
+        assert first < second  # zero padding keeps 2 < 10
+
+
+class TestShredder:
+    def test_row_counts(self, publications):
+        shredded = shred_tree(publications, "pub")
+        assert shredded.name == "pub"
+        assert shredded.node_count == publications.size()
+        assert shredded.value_count > 0
+        assert len(shredded.labels) == len(publications.labels())
+
+    def test_label_number_sequence_matches_depth(self, publications):
+        shredded = shred_tree(publications, "pub")
+        by_dewey = {row.dewey: row for row in shredded.elements}
+        row = by_dewey[encode_dewey((0, 2, 0, 1))]
+        assert row.level == 3
+        assert len(row.label_number_sequence.split(".")) == 4
+
+    def test_content_feature_is_min_max(self, publications):
+        shredded = shred_tree(publications, "pub")
+        by_dewey = {row.dewey: row for row in shredded.elements}
+        row = by_dewey[encode_dewey((0, 0))]
+        assert row.content_feature_min <= row.content_feature_max
+
+    def test_value_rows_split_by_origin(self, team):
+        shredded = shred_tree(team, "team")
+        name_rows = [row for row in shredded.values
+                     if row.dewey == encode_dewey((0, 0))]
+        origins = {row.attribute for row in name_rows}
+        assert "" in origins          # label word
+        assert "#text" in origins     # text word
+
+
+@pytest.mark.parametrize("backend_class", BACKENDS)
+class TestBackends:
+    def test_store_and_stats(self, backend_class, publications):
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        stats = store.document_stats("pub")
+        assert stats["nodes"] == publications.size()
+        assert stats["labels"] == len(publications.labels())
+        assert store.documents() == ["pub"]
+
+    def test_duplicate_name_rejected(self, backend_class, publications):
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        with pytest.raises(DocumentAlreadyStored):
+            store.store_tree(publications, "pub")
+
+    def test_missing_document_raises(self, backend_class):
+        store = backend_class()
+        with pytest.raises(DocumentNotFound):
+            store.document_stats("missing")
+        with pytest.raises(DocumentNotFound):
+            store.keyword_deweys("missing", "xml")
+
+    def test_keyword_lookup_matches_paper_lists(self, backend_class, publications):
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        assert [str(code) for code in store.keyword_deweys("pub", "liu")] == \
+            ["0.2.0.0.0.0", "0.2.0.3.0"]
+        assert [str(code) for code in store.keyword_deweys("pub", "VLDB")] == ["0.0"]
+        assert store.keyword_deweys("pub", "absent") == []
+
+    def test_keyword_nodes_for_query(self, backend_class, publications):
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        lists = store.keyword_nodes("pub", ["Liu", "keyword"])
+        assert set(lists) == {"liu", "keyword"}
+        assert len(lists["keyword"]) == 3
+
+    def test_frequency_and_labels(self, backend_class, publications):
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        assert store.keyword_frequency("pub", "title") == 3
+        assert "article" in store.labels("pub")
+        assert store.label_of("pub", D("0.2.0")) == "article"
+        assert store.label_of("pub", D("0.9.9")) is None
+
+    def test_drop_document(self, backend_class, publications):
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        store.drop_document("pub")
+        assert store.documents() == []
+        with pytest.raises(DocumentNotFound):
+            store.drop_document("pub")
+
+    def test_agreement_with_inverted_index(self, backend_class, publications):
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        agreement = agreement_with_index(
+            publications, store, "pub",
+            ["xml", "keyword", "liu", "vldb", "skyline", "article"])
+        assert all(agreement.values())
+
+    def test_multiple_documents(self, backend_class, publications, team):
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        store.store_tree(team, "team")
+        assert store.documents() == ["pub", "team"]
+        assert store.keyword_frequency("team", "position") == 3
+        assert store.keyword_frequency("pub", "position") == 0
+
+
+class TestSQLiteSpecifics:
+    def test_file_database_persists(self, tmp_path, publications):
+        path = tmp_path / "store.db"
+        with SQLiteStore(path) as store:
+            store.store_tree(publications, "pub")
+        with SQLiteStore(path) as reopened:
+            assert reopened.documents() == ["pub"]
+            assert reopened.keyword_frequency("pub", "xml") == 3
+
+    def test_label_number_sequence_query(self, publications):
+        with SQLiteStore() as store:
+            store.store_tree(publications, "pub")
+            sequence = store.label_number_sequence("pub", D("0.2.0"))
+            assert sequence is not None
+            assert len(sequence.split(".")) == 3
+            assert store.label_number_sequence("pub", D("0.9")) is None
+
+
+class TestStoredDocumentSearch:
+    def test_search_matches_engine(self, publications, publications_engine):
+        search = StoredDocumentSearch(publications, SQLiteStore(), "pub")
+        for query_name in ("Q1", "Q2", "Q3"):
+            query = PAPER_QUERIES[query_name]
+            stored_result = search.search(query, "validrtf")
+            engine_result = publications_engine.search(query, "validrtf")
+            assert stored_result.roots() == engine_result.roots()
+            stored_nodes = [fragment.kept_set() for fragment in stored_result]
+            engine_nodes = [fragment.kept_set() for fragment in engine_result]
+            assert stored_nodes == engine_nodes
+
+    def test_maxmatch_via_store(self, team):
+        search = StoredDocumentSearch(team, MemoryStore(), "team")
+        result = search.search(PAPER_QUERIES["Q4"], "maxmatch")
+        assert result.count == 1
+        assert result.algorithm == "maxmatch@store"
+
+    def test_unknown_algorithm_rejected(self, team):
+        search = StoredDocumentSearch(team, MemoryStore(), "team")
+        with pytest.raises(ValueError):
+            search.search("grizzlies", "bogus")
+
+    def test_frequency_report(self, publications):
+        search = StoredDocumentSearch(publications, MemoryStore(), "pub")
+        report = search.frequency_report(["xml", "vldb", "absent"])
+        assert report == {"xml": 3, "vldb": 1, "absent": 0}
+
+    def test_reuses_existing_document(self, publications):
+        store = MemoryStore()
+        store.store_tree(publications, "pub")
+        search = StoredDocumentSearch(publications, store, "pub")
+        assert search.keyword_nodes("xml")["xml"]

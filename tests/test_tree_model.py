@@ -1,0 +1,182 @@
+"""Tests for the node/tree model, the builder and tree mutation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree import (
+    DeweyCode,
+    DuplicateNode,
+    NodeNotFound,
+    SubtreeSpec,
+    TreeBuilder,
+    XMLNode,
+    XMLTree,
+    XMLTreeError,
+    spec,
+    tree_from_spec,
+)
+
+
+@pytest.fixture
+def library_tree() -> XMLTree:
+    document = spec(
+        "library", None,
+        spec("book", None,
+             spec("title", "database systems"),
+             spec("author", "alice")),
+        spec("book", None,
+             spec("title", "xml processing"),
+             spec("author", "bob")),
+    )
+    return tree_from_spec(document, name="library")
+
+
+class TestNode:
+    def test_structure_accessors(self, library_tree):
+        root = library_tree.root
+        assert root.is_root and not root.is_leaf
+        assert root.child_count() == 2
+        first_book = root.children[0]
+        assert first_book.parent is root
+        assert first_book.depth == 1
+        title = first_book.children[0]
+        assert title.is_leaf
+        assert title.text == "database systems"
+
+    def test_iteration_orders(self, library_tree):
+        labels = [node.label for node in library_tree.root.iter_subtree()]
+        assert labels == ["library", "book", "title", "author", "book", "title",
+                          "author"]
+        descendants = list(library_tree.root.iter_descendants())
+        assert len(descendants) == library_tree.size() - 1
+
+    def test_iter_ancestors(self, library_tree):
+        title = library_tree.node("0.1.0")
+        chain = [node.label for node in title.iter_ancestors()]
+        assert chain == ["book", "library"]
+        chain_self = [node.label for node in title.iter_ancestors(include_self=True)]
+        assert chain_self == ["title", "book", "library"]
+
+    def test_find_children(self, library_tree):
+        books = library_tree.root.find_children("book")
+        assert len(books) == 2
+        assert library_tree.root.find_children("missing") == []
+
+    def test_raw_strings_include_label_text_attributes(self):
+        node = XMLNode(DeweyCode.root(), "item", "antique vase",
+                       {"id": "item1", "featured": ""})
+        strings = node.raw_strings()
+        assert "item" in strings
+        assert "antique vase" in strings
+        assert "id" in strings and "item1" in strings
+        assert "featured" in strings
+
+    def test_equality_and_hash(self, library_tree):
+        node = library_tree.node("0.0.0")
+        twin = XMLNode(DeweyCode.parse("0.0.0"), "title")
+        assert node == twin
+        assert hash(node) == hash(twin)
+
+
+class TestTree:
+    def test_lookup(self, library_tree):
+        assert library_tree.node("0.1.0").text == "xml processing"
+        assert library_tree.get("0.9") is None
+        with pytest.raises(NodeNotFound):
+            library_tree.node("0.9")
+        assert "0.1" in library_tree
+        assert "0.9" not in library_tree
+
+    def test_sizes_and_labels(self, library_tree):
+        assert library_tree.size() == 7
+        assert len(library_tree) == 7
+        assert library_tree.max_depth() == 2
+        assert library_tree.labels() == ["author", "book", "library", "title"]
+        histogram = library_tree.label_histogram()
+        assert histogram["book"] == 2
+        assert histogram["library"] == 1
+
+    def test_lca_and_paths(self, library_tree):
+        lca = library_tree.lca(["0.0.0", "0.1.1"])
+        assert lca.dewey == DeweyCode.root()
+        path = library_tree.path_nodes("0", "0.1.0")
+        assert [str(node.dewey) for node in path] == ["0", "0.1", "0.1.0"]
+        with pytest.raises(ValueError):
+            library_tree.path_nodes("0.1", "0.0.0")
+
+    def test_fragment_nodes_union_of_paths(self, library_tree):
+        fragment = library_tree.fragment_nodes("0", ["0.0.0", "0.1.1"])
+        assert [str(node.dewey) for node in fragment] == \
+            ["0", "0.0", "0.0.0", "0.1", "0.1.1"]
+
+    def test_duplicate_dewey_rejected(self):
+        root = XMLNode(DeweyCode.root(), "a")
+        child = XMLNode(DeweyCode.root(), "b")
+        root.attach_child(child)
+        with pytest.raises(DuplicateNode):
+            XMLTree(root)
+
+    def test_iter_leaves(self, library_tree):
+        leaves = [node.label for node in library_tree.iter_leaves()]
+        assert leaves == ["title", "author", "title", "author"]
+
+
+class TestTreeMutation:
+    def test_copy_is_deep(self, library_tree):
+        clone = library_tree.copy()
+        assert clone.size() == library_tree.size()
+        assert clone.node("0.0.0") is not library_tree.node("0.0.0")
+        assert clone.node("0.0.0").text == library_tree.node("0.0.0").text
+
+    def test_with_inserted_subtree(self, library_tree):
+        insertion = SubtreeSpec("book", None, children=[
+            SubtreeSpec("title", "graph databases"),
+        ])
+        grown = library_tree.with_inserted_subtree("0", insertion)
+        assert grown.size() == library_tree.size() + 2
+        assert grown.node("0.2").label == "book"
+        assert grown.node("0.2.0").text == "graph databases"
+        # The original tree is untouched.
+        assert library_tree.get("0.2") is None
+
+    def test_subtree_spec_node_count(self):
+        insertion = SubtreeSpec("a", children=[SubtreeSpec("b"), SubtreeSpec("c")])
+        assert insertion.node_count() == 3
+
+
+class TestBuilder:
+    def test_builds_document_order_deweys(self):
+        builder = TreeBuilder("root")
+        builder.element("child")
+        builder.text_element("leaf", "one")
+        builder.text_element("leaf", "two")
+        builder.up()
+        builder.text_element("other", "three")
+        tree = builder.build()
+        assert [str(node.dewey) for node in tree.iter_preorder()] == \
+            ["0", "0.0", "0.0.0", "0.0.1", "0.1"]
+        assert tree.node("0.0.1").text == "two"
+
+    def test_up_validation(self):
+        builder = TreeBuilder("root")
+        with pytest.raises(XMLTreeError):
+            builder.up()
+        builder.element("child")
+        with pytest.raises(XMLTreeError):
+            builder.up(5)
+
+    def test_builder_single_use(self):
+        builder = TreeBuilder("root")
+        builder.build()
+        with pytest.raises(XMLTreeError):
+            builder.element("child")
+        with pytest.raises(XMLTreeError):
+            builder.build()
+
+    def test_current_and_depth(self):
+        builder = TreeBuilder("root")
+        assert builder.depth == 1
+        builder.element("child")
+        assert builder.current.label == "child"
+        assert builder.depth == 2

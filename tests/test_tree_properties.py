@@ -1,0 +1,109 @@
+"""Property-based tests for the XML tree substrate (builder, specs, mutation)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmltree import (
+    DeweyCode,
+    SubtreeSpec,
+    XMLTree,
+    parse_string,
+    to_xml_string,
+    tree_from_spec,
+)
+
+LABELS = st.sampled_from(["a", "b", "c", "item", "entry"])
+WORDS = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+
+
+@st.composite
+def subtree_specs(draw, max_depth: int = 3) -> SubtreeSpec:
+    label = draw(LABELS)
+    text = draw(st.one_of(st.none(), st.lists(WORDS, min_size=1, max_size=3)
+                          .map(" ".join)))
+    node = SubtreeSpec(label, text)
+    if max_depth > 0:
+        children = draw(st.lists(subtree_specs(max_depth=max_depth - 1),
+                                 min_size=0, max_size=3))
+        for child in children:
+            node.add(child)
+    return node
+
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+
+@SETTINGS
+@given(subtree_specs())
+def test_tree_from_spec_node_count(spec):
+    tree = tree_from_spec(spec)
+    assert tree.size() == spec.node_count()
+
+
+@SETTINGS
+@given(subtree_specs())
+def test_dewey_codes_unique_and_document_ordered(spec):
+    tree = tree_from_spec(spec)
+    codes: List[DeweyCode] = [node.dewey for node in tree.iter_preorder()]
+    assert len(codes) == len(set(codes))
+    assert codes == sorted(codes)
+
+
+@SETTINGS
+@given(subtree_specs())
+def test_parent_child_consistency(spec):
+    tree = tree_from_spec(spec)
+    for node in tree.iter_preorder():
+        for child in node.children:
+            assert child.parent is node
+            assert child.dewey.parent() == node.dewey
+            assert node.dewey.is_ancestor_of(child.dewey)
+
+
+@SETTINGS
+@given(subtree_specs())
+def test_label_histogram_totals(spec):
+    tree = tree_from_spec(spec)
+    histogram = tree.label_histogram()
+    assert sum(histogram.values()) == tree.size()
+    assert set(histogram) == set(tree.labels())
+
+
+@SETTINGS
+@given(subtree_specs())
+def test_xml_round_trip_preserves_structure(spec):
+    tree = tree_from_spec(spec)
+    reparsed = parse_string(to_xml_string(tree))
+    assert reparsed.size() == tree.size()
+    assert [node.label for node in reparsed.iter_preorder()] == \
+        [node.label for node in tree.iter_preorder()]
+
+
+@SETTINGS
+@given(subtree_specs(), subtree_specs())
+def test_insertion_grows_tree_and_keeps_original_nodes(spec, insertion):
+    tree = tree_from_spec(spec)
+    target = max((node.dewey for node in tree.iter_preorder()
+                  if node.depth <= 1), default=tree.root.dewey)
+    grown = tree.with_inserted_subtree(target, insertion)
+    assert grown.size() == tree.size() + insertion.node_count()
+    # Every original node is still present with the same label.
+    for node in tree.iter_preorder():
+        assert grown.node(node.dewey).label == node.label
+    # The original tree itself is untouched.
+    assert tree.size() == spec.node_count()
+
+
+@SETTINGS
+@given(subtree_specs())
+def test_copy_is_independent(spec):
+    tree = tree_from_spec(spec)
+    clone = tree.copy()
+    assert clone.size() == tree.size()
+    clone_node = clone.root
+    clone_node.text = "mutated"
+    if tree.root.text is not None:
+        assert tree.root.text != "mutated" or spec.text == "mutated"

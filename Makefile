@@ -1,0 +1,18 @@
+# Convenience targets; every recipe works from a clean checkout with only
+# the in-tree sources (PYTHONPATH=src, no install step needed).
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-collect smoke
+
+test:            ## fast unit suite (tier-1)
+	$(PYTHON) -m pytest -x -q
+
+bench:           ## full benchmark suite (slow, opt-in)
+	$(PYTHON) -m pytest benchmarks -q
+
+bench-collect:   ## benchmark suite collection check only
+	$(PYTHON) -m pytest benchmarks --collect-only -q
+
+smoke:           ## tier-1 + collection guard + one tiny end-to-end bench query
+	bash scripts/smoke.sh

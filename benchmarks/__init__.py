@@ -1,0 +1,10 @@
+"""Benchmark suite package.
+
+This ``__init__.py`` makes ``benchmarks/`` a proper package so the test
+modules' ``from .conftest import ...`` relative imports resolve — without it,
+``python -m pytest`` from the repo root failed at collection with
+``ImportError: attempted relative import with no known parent package``.
+Benchmarks are excluded from the default test run (``testpaths = tests`` in
+``pyproject.toml``); run them explicitly with ``pytest benchmarks`` or
+``pytest -m bench benchmarks``.
+"""

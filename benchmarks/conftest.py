@@ -21,6 +21,13 @@ XMARK_BASE_ITEMS = 60
 REPETITIONS = 2
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark test ``bench`` so the suite is selectable
+    (``pytest -m bench benchmarks``) and deselectable (``-m 'not bench'``)."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def _specs():
     return default_datasets(dblp_publications=DBLP_PUBLICATIONS,
                             xmark_base_items=XMARK_BASE_ITEMS)

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Smoke check: tier-1 suite + benchmark collection + one tiny end-to-end
+# benchmark query.  Guards against the seed's failure mode where a collection
+# error in benchmarks/ silently broke `python -m pytest` from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: unit suite =="
+python -m pytest -x -q
+
+echo "== benchmarks: collection only (must be error-free) =="
+python -m pytest benchmarks --collect-only -q > /dev/null
+echo "ok"
+
+echo "== end-to-end: one search query =="
+python -m repro.cli search --dataset figure-1a "xml keyword search"
+
+echo "== end-to-end: tiny cached benchmark run =="
+python -m repro.cli bench --dataset dblp --figure 5 --repetitions 1 --cache
+
+echo "SMOKE OK"

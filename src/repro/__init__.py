@@ -18,8 +18,10 @@ Quickstart
 
 from .core import (
     ALGORITHM_NAMES,
+    CacheStats,
     ComparisonOutcome,
     Fragment,
+    QueryResultCache,
     MaxMatch,
     MaxMatchSLCA,
     PrunedFragment,
@@ -53,6 +55,8 @@ __all__ = [
     "SearchEngine",
     "ComparisonOutcome",
     "ALGORITHM_NAMES",
+    "QueryResultCache",
+    "CacheStats",
     "Query",
     "Fragment",
     "PrunedFragment",

@@ -104,6 +104,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--figure", default="both", choices=("5", "6", "both"))
     bench.add_argument("--repetitions", type=int, default=2,
                        help="timed repetitions per query (first run discarded)")
+    bench.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="enable the query-result cache, so repetitions "
+                            "after the first measure the hot (cache-hit) path; "
+                            "--no-cache (the default) reproduces the paper's "
+                            "cold per-repetition protocol")
+    bench.add_argument("--cache-size", type=int, default=256,
+                       help="LRU capacity of the query-result cache "
+                            "(only with --cache)")
     bench.set_defaults(handler=_command_bench)
 
     datasets = subparsers.add_parser("datasets",
@@ -184,12 +193,20 @@ def _command_explain(arguments: argparse.Namespace) -> int:
 def _command_bench(arguments: argparse.Namespace) -> int:
     specs = default_datasets()
     spec = specs[arguments.dataset]
-    run = run_workload(spec, repetitions=arguments.repetitions)
+    cache_size = arguments.cache_size if arguments.cache else 0
+    if arguments.cache and arguments.cache_size <= 0:
+        print("--cache requires a positive --cache-size", file=sys.stderr)
+        return 2
+    engine = SearchEngine(spec.tree_factory(), cache_size=cache_size)
+    run = run_workload(spec, engine=engine, repetitions=arguments.repetitions)
     if arguments.figure in ("5", "both"):
         print(render_figure5(run))
         print()
     if arguments.figure in ("6", "both"):
         print(render_figure6(run))
+    if arguments.cache:
+        print()
+        print(f"query cache: {engine.cache_stats()}")
     return 0
 
 

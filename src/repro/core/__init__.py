@@ -7,6 +7,7 @@ from .errors import (
     UnknownAlgorithmError,
 )
 from .query import Query, QueryLike, as_query, subset_masks
+from .cache import CacheKey, CacheStats, QueryResultCache
 from .fragments import (
     Fragment,
     PrunedFragment,
@@ -74,6 +75,9 @@ __all__ = [
     "QueryLike",
     "as_query",
     "subset_masks",
+    "CacheKey",
+    "CacheStats",
+    "QueryResultCache",
     "Fragment",
     "PrunedFragment",
     "SearchResult",

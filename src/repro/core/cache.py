@@ -1,0 +1,144 @@
+"""Shared query-result cache for the search fast path.
+
+Benchmark workloads (the Figure 5/6 drivers, the ablation suite, any
+repeated-traffic scenario) re-execute identical queries many times.  Every
+stage after ``getKeywordNodes`` is a pure function of the document, so the
+complete :class:`~repro.core.fragments.SearchResult` of a query can be reused
+as long as the cache key captures everything the answer depends on:
+
+* the algorithm name (each pipeline prunes differently),
+* the normalized keyword tuple (so ``"XML search"`` and ``["xml", "search"]``
+  share one entry),
+* the engine's ``cid_mode`` (the record-tree content features, and therefore
+  the pruning decisions, depend on it).
+
+The cache is a classic LRU over an :class:`collections.OrderedDict` with
+hit/miss/eviction counters so benchmarks can report exactly how much work was
+skipped.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .fragments import SearchResult
+from .query import Query
+
+#: A fully-resolved cache key: (algorithm, normalized keywords, cid_mode).
+CacheKey = Tuple[str, Tuple[str, ...], str]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a cache's counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def __str__(self) -> str:
+        return (f"hits={self.hits} misses={self.misses} "
+                f"evictions={self.evictions} size={self.size}/{self.max_size} "
+                f"hit_rate={self.hit_rate:.2%}")
+
+
+class QueryResultCache:
+    """LRU cache mapping ``(algorithm, keywords, cid_mode)`` -> result.
+
+    Parameters
+    ----------
+    max_size:
+        Maximum number of cached results; must be positive.  The least
+        recently *used* (read or written) entry is evicted on overflow.
+    """
+
+    def __init__(self, max_size: int = 128):
+        if max_size <= 0:
+            raise ValueError(f"cache max_size must be positive, got {max_size}")
+        self.max_size = max_size
+        self._entries: "OrderedDict[CacheKey, SearchResult]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Key construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_for(algorithm: str, query: Query, cid_mode: str) -> CacheKey:
+        """The cache key of one (already parsed/normalized) query."""
+        return (algorithm, query.keywords, cid_mode)
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def get(self, key: CacheKey) -> Optional[SearchResult]:
+        """The cached result for ``key``, or ``None``; counts a hit/miss."""
+        result = self._entries.get(key)
+        if result is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return result
+
+    def put(self, key: CacheKey, result: SearchResult) -> None:
+        """Insert (or refresh) one result, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = result
+        if len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def peek(self, key: CacheKey) -> Optional[SearchResult]:
+        """Like :meth:`get` but without touching recency or the counters."""
+        return self._entries.get(key)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (entries are preserved)."""
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of the current counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            max_size=self.max_size,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return f"QueryResultCache({self.stats})"

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..index import InvertedIndex
 from ..xmltree import DeweyCode, XMLTree, parse_file, parse_string, render_nodes
+from .cache import CacheStats, QueryResultCache
 from .errors import UnknownAlgorithmError
 from .explain import (
     ComparisonExplanation,
@@ -23,6 +24,7 @@ from .explain import (
 from .fragments import SearchResult
 from .maxmatch import MaxMatch, MaxMatchSLCA
 from .metrics import EffectivenessReport, effectiveness
+from .node_record import CID_MODES
 from .pipeline import FragmentPipeline
 from .query import Query, QueryLike
 from .ranking import RankedFragment, RankingWeights, rank_result
@@ -42,12 +44,34 @@ class ComparisonOutcome:
 
 
 class SearchEngine:
-    """XML keyword search over one document with selectable algorithms."""
+    """XML keyword search over one document with selectable algorithms.
 
-    def __init__(self, tree: XMLTree, cid_mode: str = "minmax"):
+    Parameters
+    ----------
+    tree:
+        The document to search.
+    cid_mode:
+        Content-feature mode forwarded to record-tree construction.
+    cache_size:
+        When positive, completed :class:`SearchResult` objects are kept in an
+        LRU :class:`~repro.core.cache.QueryResultCache` keyed on
+        ``(algorithm, normalized keywords, cid_mode)`` and repeated queries
+        are answered without re-running the pipeline.  ``0`` (the default)
+        disables caching, preserving the paper's measurement protocol where
+        every repetition pays full cost.
+    """
+
+    def __init__(self, tree: XMLTree, cid_mode: str = "minmax",
+                 cache_size: int = 0):
         self.tree = tree
         self.cid_mode = cid_mode
         self.index = InvertedIndex(tree)
+        self._cache: Optional[QueryResultCache] = (
+            QueryResultCache(cache_size) if cache_size else None)
+        self._build_algorithms()
+
+    def _build_algorithms(self) -> None:
+        tree, cid_mode = self.tree, self.cid_mode
         self._algorithms: Dict[str, FragmentPipeline] = {
             "validrtf": ValidRTF(tree, self.index, cid_mode=cid_mode),
             "maxmatch": MaxMatch(tree, self.index, cid_mode=cid_mode),
@@ -81,8 +105,102 @@ class SearchEngine:
             ) from None
 
     def search(self, query: QueryLike, algorithm: str = "validrtf") -> SearchResult:
-        """Run one query with the chosen algorithm."""
-        return self.algorithm(algorithm).search(query)
+        """Run one query with the chosen algorithm (served from cache if on)."""
+        pipeline = self.algorithm(algorithm)
+        if self._cache is None:
+            return pipeline.search(query)
+        parsed = Query.parse(query)
+        key = QueryResultCache.key_for(algorithm, parsed, self.cid_mode)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = pipeline.search(parsed)
+        self._cache.put(key, result)
+        return result
+
+    def search_many(self, queries: Sequence[QueryLike],
+                    algorithm: str = "validrtf") -> List[SearchResult]:
+        """Run a batch of queries, sharing posting-list retrieval.
+
+        The postings for the *union* of all (uncached) queries' keywords are
+        fetched from :meth:`InvertedIndex.keyword_nodes` once and shared
+        across the batch, so a keyword appearing in many queries pays its
+        ``getKeywordNodes`` cost once instead of once per query.  When the
+        result cache is enabled it is consulted per query first and updated
+        with every freshly computed result.  Results come back in input
+        order with the same answers (fragments, roots) as looping
+        :meth:`search` over ``queries`` — though duplicate queries within a
+        batch share one :class:`SearchResult` object, and the
+        ``elapsed_seconds`` of cached or batch-computed results reflects the
+        original computation, not this call.
+        """
+        pipeline = self.algorithm(algorithm)
+        parsed_queries = [Query.parse(query) for query in queries]
+        order = [QueryResultCache.key_for(algorithm, parsed, self.cid_mode)
+                 for parsed in parsed_queries]
+
+        # Resolve each distinct query once: duplicates within the batch share
+        # one computation (and one cache lookup at most).
+        resolved: Dict[Tuple, SearchResult] = {}
+        pending: Dict[Tuple, Query] = {}
+        for cache_key, parsed in zip(order, parsed_queries):
+            if cache_key in resolved or cache_key in pending:
+                continue
+            if self._cache is not None:
+                cached = self._cache.get(cache_key)
+                if cached is not None:
+                    resolved[cache_key] = cached
+                    continue
+            pending[cache_key] = parsed
+
+        if pending:
+            union: List[str] = []
+            seen: set = set()
+            for parsed in pending.values():
+                for keyword in parsed.keywords:
+                    if keyword not in seen:
+                        seen.add(keyword)
+                        union.append(keyword)
+            shared_lists = self.index.keyword_nodes(union)
+            for cache_key, parsed in pending.items():
+                result = pipeline.search_with_lists(parsed, shared_lists)
+                if self._cache is not None:
+                    self._cache.put(cache_key, result)
+                resolved[cache_key] = result
+
+        return [resolved[cache_key] for cache_key in order]
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_enabled(self) -> bool:
+        """True when a result cache was configured at construction."""
+        return self._cache is not None
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters (all zero when caching is disabled)."""
+        return self._cache.stats if self._cache is not None else CacheStats()
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (no-op when caching is disabled)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def set_cid_mode(self, cid_mode: str) -> None:
+        """Switch the content-feature mode, rebuilding the pipelines.
+
+        Cached results are keyed by ``cid_mode``, so entries computed under
+        the previous mode stay stored but can no longer be returned for the
+        new mode — and become valid again if the mode is switched back.
+        """
+        if cid_mode not in CID_MODES:
+            raise ValueError(
+                f"unknown cid_mode {cid_mode!r}; expected one of {CID_MODES}")
+        if cid_mode == self.cid_mode:
+            return
+        self.cid_mode = cid_mode
+        self._build_algorithms()
 
     def compare(self, query: QueryLike) -> ComparisonOutcome:
         """Run ValidRTF and revised MaxMatch and compute the Figure 6 metrics."""

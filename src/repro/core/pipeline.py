@@ -111,6 +111,29 @@ class FragmentPipeline:
         parsed = Query.parse(query)
         started = time.perf_counter()
         lists = self.index.keyword_nodes(parsed.keywords)
+        return self._run_stages(parsed, lists, started)
+
+    def search_with_lists(self, query: QueryLike,
+                          lists: Mapping[str, Sequence[DeweyCode]]) -> SearchResult:
+        """Run stages 2–4 on precomputed ``D_i`` posting lists.
+
+        This is the batch fast path used by ``SearchEngine.search_many``: the
+        caller fetches the postings for the union of several queries' keywords
+        once and shares them across the batch, so ``getKeywordNodes`` is not
+        re-run per query.  ``lists`` must map each normalized query keyword to
+        its sorted Dewey list (missing keywords mean an empty result, exactly
+        as in :meth:`search`).  The lists are never mutated.
+        """
+        parsed = Query.parse(query)
+        started = time.perf_counter()
+        per_query = {keyword: lists.get(keyword, ())
+                     for keyword in parsed.keywords}
+        return self._run_stages(parsed, per_query, started)
+
+    def _run_stages(self, parsed: Query,
+                    lists: Mapping[str, Sequence[DeweyCode]],
+                    started: float) -> SearchResult:
+        """Stages 2–4 (``getLCA``, ``getRTF``, ``pruneRTF``) on ready lists."""
         roots = self.lca_function(lists)
         fragments: List[PrunedFragment] = []
         if roots:

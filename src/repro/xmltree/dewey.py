@@ -15,7 +15,6 @@ keys, set members and sort keys throughout the library.
 
 from __future__ import annotations
 
-from functools import total_ordering
 from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from .errors import InvalidDeweyCode
@@ -23,7 +22,6 @@ from .errors import InvalidDeweyCode
 DeweyLike = Union["DeweyCode", str, Sequence[int]]
 
 
-@total_ordering
 class DeweyCode:
     """An immutable Dewey code.
 
@@ -52,6 +50,21 @@ class DeweyCode:
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
+    @classmethod
+    def _from_tuple(cls, parts: Tuple[int, ...]) -> "DeweyCode":
+        """Validation-free constructor for components known to be well formed.
+
+        Every derived code (parent, child, ancestor prefix, common prefix) is
+        built from the components of an already-validated code, so the
+        per-component checks of ``__init__`` would only re-prove what is
+        already known — and those checks dominate the cost of the millions of
+        codes the SLCA/RTF inner loops materialize.
+        """
+        code = object.__new__(cls)
+        code._components = parts
+        code._hash = hash(parts)
+        return code
+
     @classmethod
     def parse(cls, text: str) -> "DeweyCode":
         """Parse the dotted string form, e.g. ``"0.2.0.1"``."""
@@ -103,25 +116,27 @@ class DeweyCode:
         """The parent code, or ``None`` for the root-level code."""
         if len(self._components) == 1:
             return None
-        return DeweyCode(self._components[:-1])
+        return DeweyCode._from_tuple(self._components[:-1])
 
     def child(self, ordinal: int) -> "DeweyCode":
         """The code of the ``ordinal``-th child of this node."""
+        if not isinstance(ordinal, int) or isinstance(ordinal, bool):
+            raise InvalidDeweyCode(f"child ordinal {ordinal!r} is not an integer")
         if ordinal < 0:
             raise InvalidDeweyCode(f"child ordinal {ordinal} is negative")
-        return DeweyCode(self._components + (ordinal,))
+        return DeweyCode._from_tuple(self._components + (ordinal,))
 
     def ancestors(self, include_self: bool = False) -> Iterator["DeweyCode"]:
         """Yield ancestor codes from the root down to the parent (or self)."""
         stop = len(self._components) if include_self else len(self._components) - 1
         for size in range(1, stop + 1):
-            yield DeweyCode(self._components[:size])
+            yield DeweyCode._from_tuple(self._components[:size])
 
     def ancestors_bottom_up(self, include_self: bool = False) -> Iterator["DeweyCode"]:
         """Yield ancestor codes from the parent (or self) up to the root."""
         start = len(self._components) if include_self else len(self._components) - 1
         for size in range(start, 0, -1):
-            yield DeweyCode(self._components[:size])
+            yield DeweyCode._from_tuple(self._components[:size])
 
     # ------------------------------------------------------------------ #
     # Relationships
@@ -156,16 +171,17 @@ class DeweyCode:
         Raises :class:`InvalidDeweyCode` if the codes share no prefix (they
         then belong to different trees / different roots).
         """
-        shared = []
-        for mine, theirs in zip(self._components, other._components):
-            if mine != theirs:
-                break
-            shared.append(mine)
+        mine = self._components
+        theirs = other._components
+        limit = min(len(mine), len(theirs))
+        shared = 0
+        while shared < limit and mine[shared] == theirs[shared]:
+            shared += 1
         if not shared:
             raise InvalidDeweyCode(
                 f"{self} and {other} share no common prefix (different roots)"
             )
-        return DeweyCode(shared)
+        return DeweyCode._from_tuple(mine[:shared])
 
     def relative_to(self, ancestor: "DeweyCode") -> Tuple[int, ...]:
         """The component suffix of ``self`` below ``ancestor``.
@@ -184,10 +200,34 @@ class DeweyCode:
             return self._components == other._components
         return NotImplemented
 
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, DeweyCode):
+            return self._components != other._components
+        return NotImplemented
+
+    # The four ordering dunders are written out by hand (instead of
+    # ``functools.total_ordering``) because the wrapper indirection is
+    # measurable in the SLCA/RTF inner loops, where Dewey comparison is the
+    # single hottest operation.
     def __lt__(self, other: "DeweyCode") -> bool:
         if not isinstance(other, DeweyCode):
             return NotImplemented
         return self._components < other._components
+
+    def __le__(self, other: "DeweyCode") -> bool:
+        if not isinstance(other, DeweyCode):
+            return NotImplemented
+        return self._components <= other._components
+
+    def __gt__(self, other: "DeweyCode") -> bool:
+        if not isinstance(other, DeweyCode):
+            return NotImplemented
+        return self._components > other._components
+
+    def __ge__(self, other: "DeweyCode") -> bool:
+        if not isinstance(other, DeweyCode):
+            return NotImplemented
+        return self._components >= other._components
 
     def __hash__(self) -> int:
         return self._hash

@@ -11,6 +11,8 @@ from repro.bench import (
     run_all,
     run_figure5,
     run_figure6,
+    run_workload,
+    time_batch,
 )
 from repro.core import SearchEngine
 from repro.datasets import WorkloadQuery, publications_tree, team_tree
@@ -61,6 +63,41 @@ class TestRunAll:
         for name, spec in specs.items():
             assert spec.name == name
             assert callable(spec.tree_factory)
+
+
+class TestCacheToggle:
+    def test_cached_engine_cache_size_memoized_separately(self):
+        cold = cached_engine("dblp", dblp_publications=40, xmark_base_items=10)
+        warm = cached_engine("dblp", dblp_publications=40, xmark_base_items=10,
+                             cache_size=16)
+        assert cold is not warm
+        assert not cold.cache_enabled
+        assert warm.cache_enabled
+
+    def test_run_workload_cache_size(self, tiny_specs):
+        spec = tiny_specs["figure-1a"]
+        cold = run_workload(spec, repetitions=1)
+        warm = run_workload(spec, repetitions=1, cache_size=32)
+        assert [m.rtf_count for m in cold.measurements] == \
+            [m.rtf_count for m in warm.measurements]
+        assert [m.report.cfr for m in cold.measurements] == \
+            [m.report.cfr for m in warm.measurements]
+
+    def test_time_batch_matches_protocol(self, tiny_specs):
+        spec = tiny_specs["figure-1b"]
+        engine = SearchEngine(spec.tree_factory(), cache_size=8)
+        texts = [query.text for query in spec.workload]
+        seconds = time_batch(engine, texts, "validrtf", repetitions=2)
+        assert seconds > 0
+        stats = engine.cache_stats()
+        assert stats.misses == len(texts)
+        assert stats.hits == 2 * len(texts)  # warm-up discarded, passes hit
+
+    def test_time_batch_rejects_non_positive_repetitions(self, tiny_specs):
+        spec = tiny_specs["figure-1b"]
+        engine = SearchEngine(spec.tree_factory())
+        with pytest.raises(ValueError):
+            time_batch(engine, ["grizzlies"], "validrtf", repetitions=0)
 
 
 class TestFigureWrappers:

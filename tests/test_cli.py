@@ -67,6 +67,29 @@ class TestDatasetsCommand:
         assert exported.root.label == "team"
 
 
+class TestBenchCommand:
+    def test_bench_figure5_with_cache(self, capsys):
+        exit_code = main(["bench", "--dataset", "dblp", "--figure", "5",
+                          "--repetitions", "1", "--cache"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "query cache:" in output
+        assert "hits=" in output
+
+    def test_bench_no_cache_prints_no_stats(self, capsys):
+        exit_code = main(["bench", "--dataset", "dblp", "--figure", "6",
+                          "--repetitions", "1", "--no-cache"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "query cache:" not in output
+
+    def test_bench_rejects_non_positive_cache_size(self, capsys):
+        exit_code = main(["bench", "--dataset", "dblp", "--figure", "5",
+                          "--repetitions", "1", "--cache", "--cache-size", "0"])
+        assert exit_code == 2
+        assert "positive" in capsys.readouterr().err
+
+
 class TestArgumentHandling:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

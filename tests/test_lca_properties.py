@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lca import (
@@ -99,3 +100,18 @@ def test_results_sorted_and_unique(lists: Dict[str, List[DeweyCode]]):
         result = algorithm(lists)
         assert result == sorted(result)
         assert len(result) == len(set(result))
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("keyword_count", (1, 2, 3, 4))
+def test_stack_slca_cross_check_on_random_trees(seed, keyword_count,
+                                                make_random_tree,
+                                                make_random_keyword_lists):
+    """``stack_slca`` agrees with Indexed Lookup Eager and Scan Eager on
+    posting lists drawn from real (randomly generated) trees, which are
+    deeper and denser than the hypothesis strategy above produces."""
+    tree = make_random_tree(seed, max_children=4, max_depth=5, max_nodes=60)
+    lists = make_random_keyword_lists(tree, seed, keyword_count=keyword_count)
+    expected = indexed_lookup_eager_slca(lists)
+    assert stack_slca(lists) == expected, (seed, keyword_count)
+    assert scan_eager_slca(lists) == expected, (seed, keyword_count)

@@ -3,10 +3,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-collect smoke
+.PHONY: test test-all coverage bench bench-collect smoke
 
 test:            ## fast unit suite (tier-1)
 	$(PYTHON) -m pytest -x -q
+
+test-all:        ## tier-1 (incl. parity/property/golden) + benchmark suite
+	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest benchmarks -q --benchmark-disable
+
+coverage:        ## coverage run with a floor on repro.storage + repro.index
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+	    $(PYTHON) -m pytest -q --cov=repro.storage --cov=repro.index \
+	        --cov-report=term-missing --cov-fail-under=85; \
+	else \
+	    echo "pytest-cov is not installed; skipping the coverage run"; \
+	fi
 
 bench:           ## full benchmark suite (slow, opt-in)
 	$(PYTHON) -m pytest benchmarks -q

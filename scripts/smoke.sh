@@ -16,6 +16,12 @@ echo "ok"
 echo "== end-to-end: one search query =="
 python -m repro.cli search --dataset figure-1a "xml keyword search"
 
+echo "== end-to-end: index + disk-backed sqlite query =="
+smoke_db="$(mktemp -d)/smoke.db"
+python -m repro.cli index --dataset figure-1a --db "$smoke_db"
+python -m repro.cli search --db "$smoke_db" --backend sqlite "xml keyword search"
+rm -rf "$(dirname "$smoke_db")"
+
 echo "== end-to-end: tiny cached benchmark run =="
 python -m repro.cli bench --dataset dblp --figure 5 --repetitions 1 --cache
 

@@ -15,6 +15,11 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core import SearchEngine, effectiveness
 from ..core.metrics import EffectivenessReport
+from ..storage import (
+    ShardedPostingSource,
+    SQLitePostingSource,
+    SQLiteStore,
+)
 from ..datasets import (
     DBLPConfig,
     WorkloadQuery,
@@ -124,6 +129,53 @@ def cached_engine(dataset_name: str, dblp_publications: int = 600,
 
 
 # ---------------------------------------------------------------------- #
+# Backend selection
+# ---------------------------------------------------------------------- #
+#: Backends accepted by :func:`engine_for_backend` / ``run_workload``.
+BACKEND_NAMES = ("memory", "sqlite", "sharded")
+
+
+def engine_for_backend(tree: XMLTree, backend: str = "memory",
+                       cache_size: int = 0, shards: int = 2,
+                       db_path: Optional[str] = None,
+                       document: str = "bench") -> SearchEngine:
+    """Build a :class:`SearchEngine` over ``tree`` for one posting backend.
+
+    ``memory`` builds the classic in-memory inverted index (tree resident).
+    ``sqlite`` shreds the document into a :class:`SQLiteStore` (an on-disk
+    file when ``db_path`` is given, in-process otherwise) and searches purely
+    through the disk-backed posting source — no tree resident, so the
+    measured times include SQL posting retrieval and SQL-backed record
+    construction, the cold-disk counterpart the Figure 5/6 drivers compare
+    against hot-memory retrieval.  ``sharded`` fans the document out over
+    ``shards`` sqlite stores and merge-sorts posting lists at query time.
+    """
+    if backend == "memory":
+        return SearchEngine(tree, cache_size=cache_size)
+    if backend == "sqlite":
+        store = SQLiteStore(db_path if db_path else ":memory:")
+        if document in store.documents():
+            # Reuse an already-indexed file only when it still matches the
+            # generated tree (node count is a cheap fingerprint); a stale
+            # corpus would silently skew every measurement.
+            if store.document_stats(document)["nodes"] != tree.size():
+                store.drop_document(document)
+                store.store_tree(tree, document)
+        else:
+            store.store_tree(tree, document)
+        return SearchEngine(source=SQLitePostingSource(store, document),
+                            cache_size=cache_size)
+    if backend == "sharded":
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        source = ShardedPostingSource.from_tree(tree, shard_count=shards,
+                                                name=document)
+        return SearchEngine(source=source, cache_size=cache_size)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")
+
+
+# ---------------------------------------------------------------------- #
 # Measurement
 # ---------------------------------------------------------------------- #
 def _average_timed_passes(run: Callable[[], object], repetitions: int) -> float:
@@ -179,16 +231,22 @@ def measure_query(engine: SearchEngine, dataset: str, query: WorkloadQuery,
 def run_workload(spec: DatasetSpec, engine: Optional[SearchEngine] = None,
                  repetitions: int = 3,
                  queries: Optional[Sequence[WorkloadQuery]] = None,
-                 cache_size: int = 0) -> WorkloadRun:
+                 cache_size: int = 0, backend: str = "memory",
+                 shards: int = 2,
+                 db_path: Optional[str] = None) -> WorkloadRun:
     """Run a dataset's whole workload and collect every measurement.
 
     ``cache_size`` > 0 builds the engine with a query-result cache, so the
     timed repetitions measure the hot (cache-hit) path instead of paying full
     pipeline cost every time.  Keep it at 0 to reproduce the paper's cold
-    per-repetition protocol.  Ignored when an ``engine`` is passed in.
+    per-repetition protocol.  ``backend`` selects the posting backend the
+    engine is built over (see :func:`engine_for_backend`), so the figure
+    drivers can compare cold-disk (``sqlite``/``sharded``) against hot-memory
+    retrieval.  All of these are ignored when an ``engine`` is passed in.
     """
-    engine = engine if engine is not None else SearchEngine(
-        spec.tree_factory(), cache_size=cache_size)
+    engine = engine if engine is not None else engine_for_backend(
+        spec.tree_factory(), backend, cache_size=cache_size, shards=shards,
+        db_path=db_path, document=spec.name)
     run = WorkloadRun(dataset=spec.name)
     for query in (queries if queries is not None else spec.workload):
         run.measurements.append(measure_query(engine, spec.name, query, repetitions))
@@ -196,9 +254,10 @@ def run_workload(spec: DatasetSpec, engine: Optional[SearchEngine] = None,
 
 
 def run_all(specs: Optional[Mapping[str, DatasetSpec]] = None,
-            repetitions: int = 3, cache_size: int = 0) -> Dict[str, WorkloadRun]:
+            repetitions: int = 3, cache_size: int = 0,
+            backend: str = "memory") -> Dict[str, WorkloadRun]:
     """Run every dataset's workload (the full Figures 5 + 6 campaign)."""
     specs = specs if specs is not None else default_datasets()
     return {name: run_workload(spec, repetitions=repetitions,
-                               cache_size=cache_size)
+                               cache_size=cache_size, backend=backend)
             for name, spec in specs.items()}

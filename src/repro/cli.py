@@ -2,14 +2,20 @@
 
 Sub-commands
 ------------
+``index``
+    Shred an XML file (or a built-in dataset) into a sqlite database so later
+    queries can run disk-backed without re-parsing the document.
 ``search``
-    Run a keyword query against an XML file (or a built-in dataset) with
-    ValidRTF or MaxMatch and print the resulting fragments.
+    Run a keyword query against an XML file, a built-in dataset, or an
+    indexed sqlite store (``--db file.db --backend sqlite``) with ValidRTF or
+    MaxMatch and print the resulting fragments.
 ``compare``
     Run both algorithms on one query and print the CFR / APR' / Max APR
     metrics together with the differing fragments.
 ``bench``
-    Regenerate the Figure 5 / Figure 6 panels for the built-in datasets.
+    Regenerate the Figure 5 / Figure 6 panels for the built-in datasets,
+    optionally over the disk-backed (``--backend sqlite``) or sharded
+    posting backend.
 ``datasets``
     Generate and describe the built-in synthetic datasets (optionally writing
     them to XML files).
@@ -19,15 +25,18 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from .bench import (
+    BACKEND_NAMES,
     default_datasets,
     render_figure5,
     render_figure6,
     run_workload,
 )
 from .core import SearchEngine
+from .storage import SQLitePostingSource, SQLiteStore
 from .datasets import (
     DBLPConfig,
     PAPER_QUERIES,
@@ -55,7 +64,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     arguments = parser.parse_args(argv)
     handler = arguments.handler
-    return handler(arguments)
+    try:
+        return handler(arguments)
+    except CliError as error:
+        print(error, file=sys.stderr)
+        return 2
 
 
 # ---------------------------------------------------------------------- #
@@ -69,8 +82,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    index = subparsers.add_parser(
+        "index", help="shred a document into a sqlite store for disk-backed "
+                      "search")
+    index.add_argument("document", nargs="?", default=None,
+                       help="path to an XML file (or use --dataset)")
+    index.add_argument("--dataset", default=None, choices=sorted(_BUILTIN_TREES),
+                       help="index a built-in dataset instead of a file")
+    index.add_argument("--db", required=True, help="sqlite database file")
+    index.add_argument("--name", default=None,
+                       help="stored document name (default: file stem or "
+                            "dataset name)")
+    index.add_argument("--force", action="store_true",
+                       help="replace the document if already stored")
+    index.set_defaults(handler=_command_index)
+
     search = subparsers.add_parser("search", help="run one keyword query")
     _add_document_arguments(search)
+    _add_backend_arguments(search)
     search.add_argument("query", help="keyword query, e.g. 'xml keyword search' "
                                       "or a paper query name like Q3")
     search.add_argument("--algorithm", default="validrtf",
@@ -83,6 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare",
                                     help="run ValidRTF and MaxMatch side by side")
     _add_document_arguments(compare)
+    _add_backend_arguments(compare)
     compare.add_argument("query", help="keyword query or paper query name")
     compare.set_defaults(handler=_command_compare)
 
@@ -113,6 +143,14 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache-size", type=int, default=256,
                        help="LRU capacity of the query-result cache "
                             "(only with --cache)")
+    bench.add_argument("--backend", default="memory", choices=BACKEND_NAMES,
+                       help="posting backend: hot in-memory index, disk-backed "
+                            "sqlite, or sharded stores (default: memory)")
+    bench.add_argument("--db", default=None,
+                       help="sqlite database file for --backend sqlite "
+                            "(default: in-process database)")
+    bench.add_argument("--shards", type=int, default=2,
+                       help="shard count for --backend sharded")
     bench.set_defaults(handler=_command_bench)
 
     datasets = subparsers.add_parser("datasets",
@@ -134,24 +172,64 @@ def _add_document_arguments(parser: argparse.ArgumentParser) -> None:
                        help="use a built-in dataset (default: figure-1a)")
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                        help="posting backend (default: memory, or sqlite "
+                             "when --db is given)")
+    parser.add_argument("--db", default=None,
+                        help="sqlite database created with `repro-xks index`; "
+                             "queries then run disk-backed, no XML parse")
+    parser.add_argument("--doc", default=None,
+                        help="document name inside --db (default: the only "
+                             "stored document)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard count for --backend sharded")
+
+
 # ---------------------------------------------------------------------- #
 # Commands
 # ---------------------------------------------------------------------- #
+def _command_index(arguments: argparse.Namespace) -> int:
+    if arguments.document and arguments.dataset:
+        print("give either an XML file or --dataset, not both", file=sys.stderr)
+        return 2
+    if arguments.document:
+        tree = parse_file(arguments.document)
+        name = arguments.name or Path(arguments.document).stem
+    elif arguments.dataset:
+        tree = _BUILTIN_TREES[arguments.dataset]()
+        name = arguments.name or arguments.dataset
+    else:
+        print("nothing to index: give an XML file or --dataset",
+              file=sys.stderr)
+        return 2
+    store = SQLiteStore(arguments.db)
+    if name in store.documents():
+        if not arguments.force:
+            print(f"document {name!r} already stored in {arguments.db} "
+                  f"(use --force to replace)", file=sys.stderr)
+            return 1
+        store.drop_document(name)
+    store.store_tree(tree, name)
+    stats = store.document_stats(name)
+    print(f"indexed {name!r} into {arguments.db}: {stats['nodes']} element "
+          f"rows, {stats['values']} value rows, {stats['labels']} labels")
+    return 0
+
+
 def _command_search(arguments: argparse.Namespace) -> int:
-    tree = _load_tree(arguments)
+    engine = _build_engine(arguments)
     query = _resolve_query(arguments.query)
-    engine = SearchEngine(tree)
     result = engine.search(query, arguments.algorithm)
     print(f"query: {result.query}  algorithm: {result.algorithm}  "
-          f"fragments: {result.count}")
+          f"backend: {engine.backend_id}  fragments: {result.count}")
     print(engine.render_result(result, show_text=not arguments.no_text))
     return 0
 
 
 def _command_compare(arguments: argparse.Namespace) -> int:
-    tree = _load_tree(arguments)
+    engine = _build_engine(arguments)
     query = _resolve_query(arguments.query)
-    engine = SearchEngine(tree)
     outcome = engine.compare(query)
     report = outcome.report
     print(f"query: {query}")
@@ -191,13 +269,22 @@ def _command_explain(arguments: argparse.Namespace) -> int:
 
 
 def _command_bench(arguments: argparse.Namespace) -> int:
+    from .bench import engine_for_backend
+
     specs = default_datasets()
     spec = specs[arguments.dataset]
     cache_size = arguments.cache_size if arguments.cache else 0
     if arguments.cache and arguments.cache_size <= 0:
         print("--cache requires a positive --cache-size", file=sys.stderr)
         return 2
-    engine = SearchEngine(spec.tree_factory(), cache_size=cache_size)
+    try:
+        engine = engine_for_backend(spec.tree_factory(), arguments.backend,
+                                    cache_size=cache_size,
+                                    shards=arguments.shards,
+                                    db_path=arguments.db, document=spec.name)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     run = run_workload(spec, engine=engine, repetitions=arguments.repetitions)
     if arguments.figure in ("5", "both"):
         print(render_figure5(run))
@@ -232,6 +319,54 @@ def _load_tree(arguments: argparse.Namespace) -> XMLTree:
     if getattr(arguments, "file", None):
         return parse_file(arguments.file)
     return _BUILTIN_TREES[arguments.dataset]()
+
+
+class CliError(RuntimeError):
+    """Raised by helpers when a command cannot proceed; printed, exit 2."""
+
+
+def _build_engine(arguments: argparse.Namespace) -> SearchEngine:
+    """The engine for a search/compare invocation, per the chosen backend.
+
+    ``--backend memory`` (the default) parses/generates the document and
+    searches the in-memory index.  ``--backend sqlite`` with ``--db`` opens an
+    indexed store and searches **disk-backed, without the document in RAM**
+    (rendering degrades to Dewey/label output); without ``--db`` the document
+    is shredded into an in-process store first.  ``--backend sharded`` fans
+    the document out over ``--shards`` in-process stores.
+    """
+    from .bench import engine_for_backend
+
+    backend = arguments.backend or ("sqlite" if arguments.db else "memory")
+    if backend == "sqlite" and arguments.db:
+        # Disk-backed path: open an indexed database, no XML parse at all.
+        if arguments.file:
+            raise CliError("--db and --file are different documents; give "
+                           "one or the other")
+        if not Path(arguments.db).exists():
+            raise CliError(f"no such database file: {arguments.db} "
+                           f"(create it with `repro-xks index`)")
+        store = SQLiteStore(arguments.db)
+        documents = store.documents()
+        if not documents:
+            raise CliError(f"{arguments.db} holds no indexed documents "
+                           f"(run `repro-xks index` first)")
+        document = arguments.doc or (
+            documents[0] if len(documents) == 1 else None)
+        if document is None:
+            raise CliError(f"{arguments.db} holds several documents "
+                           f"({', '.join(documents)}); pick one with --doc")
+        if document not in documents:
+            raise CliError(f"no document {document!r} in {arguments.db}; "
+                           f"stored: {', '.join(documents)}")
+        return SearchEngine(source=SQLitePostingSource(store, document))
+    if arguments.db:
+        raise CliError(f"--db needs --backend sqlite, not {backend!r}")
+    try:
+        return engine_for_backend(_load_tree(arguments), backend,
+                                  shards=arguments.shards, document="cli")
+    except ValueError as error:
+        raise CliError(str(error)) from None
 
 
 def _resolve_query(raw: str) -> str:

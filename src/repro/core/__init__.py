@@ -13,6 +13,7 @@ from .fragments import (
     PrunedFragment,
     SearchResult,
     build_fragment,
+    dewey_fragment_nodes,
     fragments_equal,
     unpruned,
 )
@@ -29,6 +30,7 @@ from .node_record import (
     NodeRecord,
     RecordTree,
     build_record_tree,
+    build_record_tree_from_lookups,
 )
 from .contributor import is_contributor, prune_with_contributor
 from .valid_contributor import is_valid_contributor, prune_with_valid_contributor
@@ -82,6 +84,7 @@ __all__ = [
     "PrunedFragment",
     "SearchResult",
     "build_fragment",
+    "dewey_fragment_nodes",
     "unpruned",
     "fragments_equal",
     "enumerate_ectq",
@@ -95,6 +98,7 @@ __all__ = [
     "LabelGroup",
     "RecordTree",
     "build_record_tree",
+    "build_record_tree_from_lookups",
     "is_contributor",
     "prune_with_contributor",
     "is_valid_contributor",

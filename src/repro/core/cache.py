@@ -10,7 +10,12 @@ as long as the cache key captures everything the answer depends on:
 * the normalized keyword tuple (so ``"XML search"`` and ``["xml", "search"]``
   share one entry),
 * the engine's ``cid_mode`` (the record-tree content features, and therefore
-  the pruning decisions, depend on it).
+  the pruning decisions, depend on it),
+* the backend identity (``PostingSource.source_id``), so results computed
+  against one posting backend are never replayed for another (backends must
+  agree — the parity suite enforces it — but distinct stores behind one
+  shared cache must not mix).  Note the identity names the backend, not its
+  contents: after re-ingesting a database in place, call ``clear_cache()``.
 
 The cache is a classic LRU over an :class:`collections.OrderedDict` with
 hit/miss/eviction counters so benchmarks can report exactly how much work was
@@ -26,8 +31,9 @@ from typing import Optional, Tuple
 from .fragments import SearchResult
 from .query import Query
 
-#: A fully-resolved cache key: (algorithm, normalized keywords, cid_mode).
-CacheKey = Tuple[str, Tuple[str, ...], str]
+#: A fully-resolved cache key:
+#: (algorithm, normalized keywords, cid_mode, backend identity).
+CacheKey = Tuple[str, Tuple[str, ...], str, str]
 
 
 @dataclass(frozen=True)
@@ -80,9 +86,14 @@ class QueryResultCache:
     # Key construction
     # ------------------------------------------------------------------ #
     @staticmethod
-    def key_for(algorithm: str, query: Query, cid_mode: str) -> CacheKey:
-        """The cache key of one (already parsed/normalized) query."""
-        return (algorithm, query.keywords, cid_mode)
+    def key_for(algorithm: str, query: Query, cid_mode: str,
+                backend: str = "memory") -> CacheKey:
+        """The cache key of one (already parsed/normalized) query.
+
+        ``backend`` is the serving source's ``source_id``; it defaults to the
+        in-memory backend so existing three-argument callers keep their keys.
+        """
+        return (algorithm, query.keywords, cid_mode, backend)
 
     # ------------------------------------------------------------------ #
     # Core operations

@@ -10,10 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..index import InvertedIndex
+from ..index import InvertedIndex, PostingSource
+from ..text import ContentAnalyzer
 from ..xmltree import DeweyCode, XMLTree, parse_file, parse_string, render_nodes
 from .cache import CacheStats, QueryResultCache
-from .errors import UnknownAlgorithmError
+from .errors import SearchError, UnknownAlgorithmError
 from .explain import (
     ComparisonExplanation,
     FragmentExplanation,
@@ -49,35 +50,63 @@ class SearchEngine:
     Parameters
     ----------
     tree:
-        The document to search.
+        The document to search.  Optional when a ``source`` is given: the
+        engine then runs every stage off the posting source's node lookups
+        (disk-backed retrieval) and fragment rendering degrades gracefully
+        to Dewey/label output.
     cid_mode:
         Content-feature mode forwarded to record-tree construction.
     cache_size:
         When positive, completed :class:`SearchResult` objects are kept in an
         LRU :class:`~repro.core.cache.QueryResultCache` keyed on
-        ``(algorithm, normalized keywords, cid_mode)`` and repeated queries
-        are answered without re-running the pipeline.  ``0`` (the default)
-        disables caching, preserving the paper's measurement protocol where
-        every repetition pays full cost.
+        ``(algorithm, normalized keywords, cid_mode, backend identity)`` and
+        repeated queries are answered without re-running the pipeline.  ``0``
+        (the default) disables caching, preserving the paper's measurement
+        protocol where every repetition pays full cost.
+    source:
+        The :class:`~repro.index.source.PostingSource` serving posting lists.
+        Defaults to an in-memory :class:`InvertedIndex` over ``tree``; pass a
+        disk-backed or sharded source from :mod:`repro.storage` to search
+        without (re)building the memory index.
     """
 
-    def __init__(self, tree: XMLTree, cid_mode: str = "minmax",
-                 cache_size: int = 0):
+    def __init__(self, tree: Optional[XMLTree] = None, cid_mode: str = "minmax",
+                 cache_size: int = 0, source: Optional[PostingSource] = None):
+        if tree is None and source is None:
+            raise ValueError("SearchEngine needs a tree, a source=, or both")
         self.tree = tree
         self.cid_mode = cid_mode
-        self.index = InvertedIndex(tree)
+        self.source: PostingSource = (
+            source if source is not None else InvertedIndex(tree))
+        # Legacy alias: before the PostingSource seam the engine always owned
+        # an InvertedIndex under this name.
+        self.index = self.source
         self._cache: Optional[QueryResultCache] = (
             QueryResultCache(cache_size) if cache_size else None)
         self._build_algorithms()
 
     def _build_algorithms(self) -> None:
         tree, cid_mode = self.tree, self.cid_mode
+        # One content analyzer shared by all four pipelines, so they share
+        # one memoization cache instead of re-tokenizing per algorithm.
+        analyzer = getattr(self.source, "analyzer", None)
+        if analyzer is None and tree is not None:
+            analyzer = ContentAnalyzer(tree)
         self._algorithms: Dict[str, FragmentPipeline] = {
-            "validrtf": ValidRTF(tree, self.index, cid_mode=cid_mode),
-            "maxmatch": MaxMatch(tree, self.index, cid_mode=cid_mode),
-            "validrtf-slca": ValidRTFSLCA(tree, self.index, cid_mode=cid_mode),
-            "maxmatch-slca": MaxMatchSLCA(tree, self.index, cid_mode=cid_mode),
+            "validrtf": ValidRTF(tree, self.source, cid_mode=cid_mode,
+                                 analyzer=analyzer),
+            "maxmatch": MaxMatch(tree, self.source, cid_mode=cid_mode,
+                                 analyzer=analyzer),
+            "validrtf-slca": ValidRTFSLCA(tree, self.source, cid_mode=cid_mode,
+                                          analyzer=analyzer),
+            "maxmatch-slca": MaxMatchSLCA(tree, self.source, cid_mode=cid_mode,
+                                          analyzer=analyzer),
         }
+
+    @property
+    def backend_id(self) -> str:
+        """The serving source's identity (also part of every cache key)."""
+        return self.source.source_id
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -110,7 +139,8 @@ class SearchEngine:
         if self._cache is None:
             return pipeline.search(query)
         parsed = Query.parse(query)
-        key = QueryResultCache.key_for(algorithm, parsed, self.cid_mode)
+        key = QueryResultCache.key_for(algorithm, parsed, self.cid_mode,
+                                       self.backend_id)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
@@ -123,9 +153,10 @@ class SearchEngine:
         """Run a batch of queries, sharing posting-list retrieval.
 
         The postings for the *union* of all (uncached) queries' keywords are
-        fetched from :meth:`InvertedIndex.keyword_nodes` once and shared
-        across the batch, so a keyword appearing in many queries pays its
-        ``getKeywordNodes`` cost once instead of once per query.  When the
+        fetched from the posting source once and shared across the batch, so
+        a keyword appearing in many queries pays its ``getKeywordNodes`` cost
+        once instead of once per query — and a batching backend (the sqlite
+        source's ``IN (...)`` fetch) serves the whole union in one round-trip.  When the
         result cache is enabled it is consulted per query first and updated
         with every freshly computed result.  Results come back in input
         order with the same answers (fragments, roots) as looping
@@ -136,7 +167,8 @@ class SearchEngine:
         """
         pipeline = self.algorithm(algorithm)
         parsed_queries = [Query.parse(query) for query in queries]
-        order = [QueryResultCache.key_for(algorithm, parsed, self.cid_mode)
+        order = [QueryResultCache.key_for(algorithm, parsed, self.cid_mode,
+                                          self.backend_id)
                  for parsed in parsed_queries]
 
         # Resolve each distinct query once: duplicates within the batch share
@@ -161,7 +193,7 @@ class SearchEngine:
                     if keyword not in seen:
                         seen.add(keyword)
                         union.append(keyword)
-            shared_lists = self.index.keyword_nodes(union)
+            shared_lists = self.source.keyword_nodes(union)
             for cache_key, parsed in pending.items():
                 result = pipeline.search_with_lists(parsed, shared_lists)
                 if self._cache is not None:
@@ -213,6 +245,9 @@ class SearchEngine:
     def rank(self, result: SearchResult,
              weights: RankingWeights = RankingWeights()) -> List[RankedFragment]:
         """Rank a result's fragments (future-work extension, Section 7)."""
+        if self.tree is None:
+            raise SearchError("ranking needs a resident tree; this engine is "
+                              "running purely source-backed")
         return rank_result(self.tree, result, weights)
 
     # ------------------------------------------------------------------ #
@@ -241,7 +276,16 @@ class SearchEngine:
         parsed = Query.parse(query)
         validrtf_result = self.search(parsed, "validrtf")
         maxmatch_result = self.search(parsed, "maxmatch")
-        labels = {node.dewey: node.label for node in self.tree.iter_preorder()}
+        if self.tree is not None:
+            labels = {node.dewey: node.label
+                      for node in self.tree.iter_preorder()}
+        else:
+            involved = {dewey
+                        for result in (validrtf_result, maxmatch_result)
+                        for fragment in result.fragments
+                        for dewey in fragment.fragment.nodes}
+            labels = {dewey: self.source.node_label(dewey) or ""
+                      for dewey in involved}
         return classify_differences(parsed, validrtf_result, maxmatch_result,
                                     labels)
 
@@ -251,21 +295,36 @@ class SearchEngine:
     def keyword_nodes(self, query: QueryLike) -> Dict[str, List[DeweyCode]]:
         """The ``D_i`` posting lists of a query."""
         parsed = Query.parse(query)
-        return self.index.keyword_nodes(parsed.keywords)
+        return self.source.keyword_nodes(parsed.keywords)
 
     def lca_nodes(self, query: QueryLike, algorithm: str = "validrtf") -> List[DeweyCode]:
         """The interesting LCA roots the chosen algorithm would use."""
         return self.algorithm(algorithm).lca_nodes(query)
 
     def render_fragment(self, fragment, show_text: bool = True) -> str:
-        """Human-readable rendering of one result fragment."""
+        """Human-readable rendering of one result fragment.
+
+        With a resident tree this is the full XML-ish rendering.  On a purely
+        source-backed engine it degrades gracefully to one ``dewey <label>``
+        line per kept node (keyword nodes marked ``*``) — the fragment
+        structure without the document text.
+        """
         keyword_nodes = set(fragment.kept_keyword_nodes())
-        return render_nodes(
-            self.tree,
-            fragment.kept_nodes,
-            show_text=show_text,
-            highlight=lambda node: node.dewey in keyword_nodes,
-        )
+        if self.tree is not None:
+            return render_nodes(
+                self.tree,
+                fragment.kept_nodes,
+                show_text=show_text,
+                highlight=lambda node: node.dewey in keyword_nodes,
+            )
+        lines = []
+        root_depth = len(fragment.root)
+        for dewey in fragment.kept_nodes:
+            indent = "  " * (len(dewey) - root_depth)
+            label = self.source.node_label(dewey) or "?"
+            marker = " *" if dewey in keyword_nodes else ""
+            lines.append(f"{indent}{dewey} <{label}>{marker}")
+        return "\n".join(lines)
 
     def render_result(self, result: SearchResult, show_text: bool = True) -> str:
         """Render every fragment of a result, separated by blank lines."""

@@ -176,27 +176,60 @@ class SearchResult:
         return len(self.fragments)
 
 
-def build_fragment(tree: XMLTree, root, keyword_nodes,
+def build_fragment(tree: Optional[XMLTree], root, keyword_nodes,
                    is_slca: bool = True) -> Fragment:
-    """Construct the raw fragment ``I(root, keyword nodes)`` on a tree.
+    """Construct the raw fragment ``I(root, keyword nodes)``.
 
     ``root`` and ``keyword_nodes`` accept Dewey codes in any coercible form
     (code objects, dotted strings, int sequences).  The node set is the union
     of the paths from the root to every keyword node, sorted in document order
     (Definition 2).
+
+    ``tree`` may be ``None``: a root-to-node path is fully determined by the
+    Dewey codes themselves (every prefix of a node's code is an ancestor), so
+    disk-backed searches build fragments without a resident tree.  When a
+    tree *is* given it is used to resolve the paths, which also validates
+    that every code exists in the document.
     """
     root_code = DeweyCode.coerce(root)
     keyword_list: List[DeweyCode] = sorted(
         {DeweyCode.coerce(code) for code in keyword_nodes})
-    node_codes = [node.dewey for node in tree.fragment_nodes(root_code, keyword_list)]
-    if root_code not in node_codes:
-        node_codes.insert(0, root_code)
+    if tree is not None:
+        node_codes = [node.dewey
+                      for node in tree.fragment_nodes(root_code, keyword_list)]
+        if root_code not in node_codes:
+            node_codes.insert(0, root_code)
+    else:
+        node_codes = list(dewey_fragment_nodes(root_code, keyword_list))
     return Fragment(
         root=root_code,
         keyword_nodes=tuple(keyword_list),
         nodes=tuple(sorted(set(node_codes))),
         is_slca=is_slca,
     )
+
+
+def dewey_fragment_nodes(root: DeweyCode,
+                         keyword_nodes: Iterable[DeweyCode]) -> List[DeweyCode]:
+    """The fragment node set computed from Dewey codes alone.
+
+    The union of root-to-keyword-node paths, where each path is the set of
+    Dewey prefixes of the keyword node at least as deep as the root —
+    identical to :meth:`XMLTree.fragment_nodes` on any tree containing the
+    codes, but usable when no tree is resident.
+    """
+    codes = {root}
+    root_depth = len(root)
+    for keyword_node in keyword_nodes:
+        if not root.is_ancestor_or_self(keyword_node):
+            raise FragmentError(
+                f"keyword node {keyword_node} is outside fragment root {root}")
+        components = keyword_node.components
+        for size in range(root_depth, len(components) + 1):
+            # Prefix slices of a validated code are valid; skip re-validation
+            # on this per-fragment inner loop.
+            codes.add(DeweyCode._from_tuple(components[:size]))
+    return sorted(codes)
 
 
 def unpruned(fragment: Fragment, algorithm: str = "raw") -> PrunedFragment:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..index import InvertedIndex
+from ..index import PostingSource
 from ..xmltree import XMLTree
 from .contributor import prune_with_contributor
 from .fragments import SearchResult
@@ -25,14 +25,15 @@ from .query import QueryLike
 class MaxMatch(FragmentPipeline):
     """Revised MaxMatch over RTFs (the paper's experimental baseline)."""
 
-    def __init__(self, tree: XMLTree, index: Optional[InvertedIndex] = None,
-                 cid_mode: str = "minmax"):
+    def __init__(self, tree: Optional[XMLTree], index: Optional[PostingSource] = None,
+                 cid_mode: str = "minmax", analyzer=None):
         super().__init__(
             tree,
             pruner=lambda records: prune_with_contributor(records, "maxmatch"),
             index=index,
             lca_function=elca_roots,
             cid_mode=cid_mode,
+            analyzer=analyzer,
             name="maxmatch",
         )
 
@@ -40,20 +41,21 @@ class MaxMatch(FragmentPipeline):
 class MaxMatchSLCA(FragmentPipeline):
     """Original MaxMatch: SLCA-rooted fragments with the contributor filter."""
 
-    def __init__(self, tree: XMLTree, index: Optional[InvertedIndex] = None,
-                 cid_mode: str = "minmax"):
+    def __init__(self, tree: Optional[XMLTree], index: Optional[PostingSource] = None,
+                 cid_mode: str = "minmax", analyzer=None):
         super().__init__(
             tree,
             pruner=lambda records: prune_with_contributor(records, "maxmatch-slca"),
             index=index,
             lca_function=slca_roots,
             cid_mode=cid_mode,
+            analyzer=analyzer,
             name="maxmatch-slca",
         )
 
 
-def run_maxmatch(tree: XMLTree, query: QueryLike,
-                 index: Optional[InvertedIndex] = None,
+def run_maxmatch(tree: Optional[XMLTree], query: QueryLike,
+                 index: Optional[PostingSource] = None,
                  slca_only: bool = False) -> SearchResult:
     """One-shot convenience wrapper around the two MaxMatch variants."""
     algorithm = MaxMatchSLCA(tree, index) if slca_only else MaxMatch(tree, index)

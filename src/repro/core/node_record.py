@@ -25,7 +25,7 @@ Two content-feature modes are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..text import ContentAnalyzer
 from ..xmltree import DeweyCode, XMLTree
@@ -153,15 +153,38 @@ def build_record_tree(
     about: keyword-node information must reach every ancestor within the RTF,
     but keyword nodes belonging to other (deeper) RTFs never contribute.
     """
+    return build_record_tree_from_lookups(
+        label_of=lambda dewey: tree.node(dewey).label,
+        words_of=lambda dewey: analyzer.node_content(tree.node(dewey)),
+        query=query,
+        fragment=fragment,
+        cid_mode=cid_mode,
+    )
+
+
+def build_record_tree_from_lookups(
+    label_of: Callable[[DeweyCode], Optional[str]],
+    words_of: Callable[[DeweyCode], FrozenSet[str]],
+    query: Query,
+    fragment: Fragment,
+    cid_mode: str = "minmax",
+) -> RecordTree:
+    """The constructing step driven by node lookups instead of a tree.
+
+    ``label_of`` and ``words_of`` resolve a fragment node's label and content
+    word set; any :class:`~repro.index.source.PostingSource` provides both
+    (``node_label`` / ``node_words``), which is how disk-backed searches run
+    the pruning stage without the document resident in memory.  Semantics are
+    identical to :func:`build_record_tree` (which delegates here).
+    """
     if cid_mode not in CID_MODES:
         raise ValueError(f"unknown cid_mode {cid_mode!r}; expected one of {CID_MODES}")
 
     records: Dict[DeweyCode, NodeRecord] = {}
     for dewey in fragment.nodes:
-        node = tree.node(dewey)
         records[dewey] = NodeRecord(
             dewey=dewey,
-            label=node.label,
+            label=label_of(dewey) or "",
             cid_mode=cid_mode,
         )
 
@@ -186,8 +209,7 @@ def build_record_tree(
     # ancestors").
     query_keywords = set(query.keywords)
     for keyword_dewey in fragment.keyword_nodes:
-        node = tree.node(keyword_dewey)
-        content = analyzer.node_content(node)
+        content = words_of(keyword_dewey)
         mask = query.mask_of(keyword for keyword in query_keywords if keyword in content)
         record = records[keyword_dewey]
         record.is_keyword_node = True

@@ -12,12 +12,12 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..index import InvertedIndex
+from ..index import InvertedIndex, PostingSource
 from ..lca import elca_is_slca, indexed_stack_elca, indexed_lookup_eager_slca
 from ..text import ContentAnalyzer
 from ..xmltree import DeweyCode, XMLTree
 from .fragments import Fragment, PrunedFragment, SearchResult
-from .node_record import RecordTree, build_record_tree
+from .node_record import RecordTree, build_record_tree, build_record_tree_from_lookups
 from .query import Query, QueryLike
 from .rtf import build_rtfs
 
@@ -44,9 +44,13 @@ class FragmentPipeline:
     Parameters
     ----------
     tree:
-        The document.
+        The document, or ``None`` for a purely source-backed pipeline (every
+        stage then runs off the posting source's node lookups).
     index:
-        A prebuilt inverted index over ``tree`` (built on demand if omitted).
+        Any :class:`~repro.index.source.PostingSource` serving stage 1 —
+        the in-memory :class:`InvertedIndex`, a disk-backed source, or a
+        sharded one.  Built on demand (as an inverted index) when omitted
+        and a tree is given.
     lca_function:
         The ``getLCA`` stage; defaults to the ELCA (Indexed Stack) semantics
         used by the paper.
@@ -56,20 +60,37 @@ class FragmentPipeline:
         Content-feature mode forwarded to the record-tree construction.
     name:
         Algorithm name recorded on results.
+    analyzer:
+        A prebuilt :class:`ContentAnalyzer` to share across pipelines (the
+        engine passes one so all four algorithms share a memoization cache);
+        derived from the source or the tree when omitted.
     """
 
     def __init__(
         self,
-        tree: XMLTree,
+        tree: Optional[XMLTree],
         pruner: Pruner,
-        index: Optional[InvertedIndex] = None,
+        index: Optional[PostingSource] = None,
         lca_function: LcaFunction = elca_roots,
         cid_mode: str = "minmax",
         name: str = "pipeline",
+        analyzer: Optional[ContentAnalyzer] = None,
     ):
+        if index is None:
+            if tree is None:
+                raise ValueError(
+                    "FragmentPipeline needs a tree, a posting source, or both")
+            index = InvertedIndex(tree)
         self.tree = tree
-        self.index = index if index is not None else InvertedIndex(tree)
-        self.analyzer = self.index.analyzer
+        self.index = index
+        self.source: PostingSource = index
+        # Record-tree construction prefers the resident tree (authoritative
+        # and memoized); without one it falls back to the source's lookups.
+        if analyzer is None:
+            analyzer = getattr(index, "analyzer", None)
+            if analyzer is None and tree is not None:
+                analyzer = ContentAnalyzer(tree)
+        self.analyzer: Optional[ContentAnalyzer] = analyzer
         self.lca_function = lca_function
         self.pruner = pruner
         self.cid_mode = cid_mode
@@ -79,9 +100,9 @@ class FragmentPipeline:
     # Stage helpers (also exposed individually for tests and examples)
     # ------------------------------------------------------------------ #
     def keyword_nodes(self, query: QueryLike) -> Dict[str, List[DeweyCode]]:
-        """Stage 1 — ``getKeywordNodes``."""
+        """Stage 1 — ``getKeywordNodes`` (served by the posting source)."""
         parsed = Query.parse(query)
-        return self.index.keyword_nodes(parsed.keywords)
+        return self.source.keyword_nodes(parsed.keywords)
 
     def lca_nodes(self, query: QueryLike) -> List[DeweyCode]:
         """Stage 2 — ``getLCA`` on this pipeline's LCA semantics."""
@@ -90,7 +111,7 @@ class FragmentPipeline:
     def raw_fragments(self, query: QueryLike) -> List[Fragment]:
         """Stages 1–3 — the raw (unpruned) RTFs."""
         parsed = Query.parse(query)
-        lists = self.index.keyword_nodes(parsed.keywords)
+        lists = self.source.keyword_nodes(parsed.keywords)
         roots = self.lca_function(lists)
         if not roots:
             return []
@@ -100,8 +121,17 @@ class FragmentPipeline:
     def record_tree(self, query: QueryLike, fragment: Fragment) -> RecordTree:
         """The constructing step of ``pruneRTF`` for one fragment."""
         parsed = Query.parse(query)
-        return build_record_tree(self.tree, self.analyzer, parsed, fragment,
-                                 cid_mode=self.cid_mode)
+        if self.tree is not None:
+            return build_record_tree(self.tree, self.analyzer, parsed, fragment,
+                                     cid_mode=self.cid_mode)
+        # Batching sources warm their node caches in one round-trip per
+        # fragment instead of one per node.
+        prefetch = getattr(self.source, "prefetch_nodes", None)
+        if prefetch is not None:
+            prefetch(fragment.nodes, fragment.keyword_nodes)
+        return build_record_tree_from_lookups(
+            self.source.node_label, self.source.node_words, parsed, fragment,
+            cid_mode=self.cid_mode)
 
     # ------------------------------------------------------------------ #
     # Full run
@@ -110,7 +140,7 @@ class FragmentPipeline:
         """Run all four stages and return the pruned fragments."""
         parsed = Query.parse(query)
         started = time.perf_counter()
-        lists = self.index.keyword_nodes(parsed.keywords)
+        lists = self.source.keyword_nodes(parsed.keywords)
         return self._run_stages(parsed, lists, started)
 
     def search_with_lists(self, query: QueryLike,
@@ -139,9 +169,7 @@ class FragmentPipeline:
         if roots:
             flags = elca_is_slca(roots)
             for fragment in build_rtfs(self.tree, parsed, roots, lists, flags):
-                records = build_record_tree(self.tree, self.analyzer, parsed,
-                                            fragment, cid_mode=self.cid_mode)
-                fragments.append(self.pruner(records))
+                fragments.append(self.pruner(self.record_tree(parsed, fragment)))
         elapsed = time.perf_counter() - started
         return SearchResult(
             query=parsed,

@@ -15,7 +15,7 @@ query).
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..xmltree import DeweyCode, XMLTree
 from .fragments import Fragment, build_fragment
@@ -50,7 +50,7 @@ def assign_keyword_nodes(
 
 
 def build_rtfs(
-    tree: XMLTree,
+    tree: Optional[XMLTree],
     query: Query,
     lca_nodes: Sequence[DeweyCode],
     keyword_lists: Mapping[str, Sequence[DeweyCode]],
@@ -60,7 +60,9 @@ def build_rtfs(
 
     ``slca_flags`` (parallel to ``lca_nodes``) marks which roots are also SLCA
     nodes; when omitted it is derived from the node set itself (an LCA node is
-    an SLCA iff no other LCA node is its strict descendant).
+    an SLCA iff no other LCA node is its strict descendant).  ``tree`` may be
+    ``None``; fragments are then assembled from Dewey arithmetic alone (see
+    :func:`~repro.core.fragments.build_fragment`).
     """
     sorted_lcas = sorted(lca_nodes)
     if slca_flags and len(slca_flags) == len(lca_nodes):

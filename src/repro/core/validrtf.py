@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..index import InvertedIndex
+from ..index import PostingSource
 from ..xmltree import XMLTree
 from .fragments import SearchResult
 from .pipeline import FragmentPipeline, elca_roots, slca_roots
@@ -25,14 +25,15 @@ from .valid_contributor import prune_with_valid_contributor
 class ValidRTF(FragmentPipeline):
     """The paper's ValidRTF algorithm over all interesting LCA nodes."""
 
-    def __init__(self, tree: XMLTree, index: Optional[InvertedIndex] = None,
-                 cid_mode: str = "minmax"):
+    def __init__(self, tree: Optional[XMLTree], index: Optional[PostingSource] = None,
+                 cid_mode: str = "minmax", analyzer=None):
         super().__init__(
             tree,
             pruner=lambda records: prune_with_valid_contributor(records, "validrtf"),
             index=index,
             lca_function=elca_roots,
             cid_mode=cid_mode,
+            analyzer=analyzer,
             name="validrtf",
         )
 
@@ -40,8 +41,8 @@ class ValidRTF(FragmentPipeline):
 class ValidRTFSLCA(FragmentPipeline):
     """ValidRTF restricted to SLCA roots (used by ablation benchmarks)."""
 
-    def __init__(self, tree: XMLTree, index: Optional[InvertedIndex] = None,
-                 cid_mode: str = "minmax"):
+    def __init__(self, tree: Optional[XMLTree], index: Optional[PostingSource] = None,
+                 cid_mode: str = "minmax", analyzer=None):
         super().__init__(
             tree,
             pruner=lambda records: prune_with_valid_contributor(records,
@@ -49,12 +50,13 @@ class ValidRTFSLCA(FragmentPipeline):
             index=index,
             lca_function=slca_roots,
             cid_mode=cid_mode,
+            analyzer=analyzer,
             name="validrtf-slca",
         )
 
 
-def run_validrtf(tree: XMLTree, query: QueryLike,
-                 index: Optional[InvertedIndex] = None,
+def run_validrtf(tree: Optional[XMLTree], query: QueryLike,
+                 index: Optional[PostingSource] = None,
                  slca_only: bool = False,
                  cid_mode: str = "minmax") -> SearchResult:
     """One-shot convenience wrapper around the two ValidRTF variants."""

@@ -1,6 +1,7 @@
 """Inverted index substrate: keyword posting lists and corpus statistics."""
 
 from .inverted import InvertedIndex, PostingList, build_index, merge_keyword_nodes
+from .source import PostingSource
 from .statistics import (
     DocumentProfile,
     KeywordFrequency,
@@ -13,6 +14,7 @@ from .statistics import (
 __all__ = [
     "InvertedIndex",
     "PostingList",
+    "PostingSource",
     "build_index",
     "merge_keyword_nodes",
     "KeywordFrequency",

@@ -35,6 +35,11 @@ class PostingList:
 class InvertedIndex:
     """word -> sorted list of Dewey codes of keyword nodes.
 
+    This is the in-memory reference implementation of the
+    :class:`~repro.index.source.PostingSource` protocol; the disk-backed
+    sources in :mod:`repro.storage.posting_source` must agree with it
+    keyword by keyword (enforced by ``tests/test_backend_parity.py``).
+
     Parameters
     ----------
     tree:
@@ -84,9 +89,19 @@ class InvertedIndex:
         """Number of keyword nodes containing ``keyword``."""
         return len(self.postings(keyword))
 
+    @property
+    def source_id(self) -> str:
+        """Backend identity used in query-cache keys."""
+        return "memory"
+
     def node_words(self, dewey: DeweyCode) -> FrozenSet[str]:
         """The indexed content word set of one node."""
         return self._node_words.get(dewey, frozenset())
+
+    def node_label(self, dewey: DeweyCode) -> Optional[str]:
+        """The label of one node, or ``None`` when the code is absent."""
+        node = self.tree.get(dewey)
+        return node.label if node is not None else None
 
     def vocabulary(self) -> List[str]:
         """Every indexed word, sorted."""

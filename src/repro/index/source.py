@@ -1,0 +1,84 @@
+"""The backend-agnostic posting-source seam.
+
+Every retrieval path of the library — the search pipelines, the engine's
+batch API, the benchmark drivers — fetches keyword posting lists through the
+:class:`PostingSource` protocol instead of talking to a concrete index.  The
+in-memory :class:`~repro.index.inverted.InvertedIndex` is the reference
+implementation; the disk-backed sources in :mod:`repro.storage.posting_source`
+(sqlite-backed and sharded) implement the same surface, which is what lets
+one :class:`~repro.core.engine.SearchEngine` run over any of them and what the
+backend-parity test suite (``tests/test_backend_parity.py``) enforces: any new
+backend must produce posting lists — and therefore search results — identical
+to the memory backend.
+
+The protocol has two layers:
+
+* the four retrieval methods (``postings``, ``keyword_nodes``, ``frequency``,
+  ``vocabulary``) every stage-1 caller needs, and
+* two node-lookup methods (``node_label``, ``node_words``) that let the later
+  pipeline stages (record-tree construction, degraded rendering) run without a
+  resident :class:`~repro.xmltree.tree.XMLTree`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    runtime_checkable,
+    Protocol,
+)
+
+from ..xmltree import DeweyCode
+from .inverted import PostingList
+
+
+@runtime_checkable
+class PostingSource(Protocol):
+    """What every posting-list backend must provide.
+
+    Implementations promise that posting lists are **strictly sorted in
+    document (Dewey) order and duplicate-free**, that keywords are normalized
+    with the same tokenizer the query side uses, and that ``frequency(w) ==
+    len(postings(w))`` — the invariants the property suite
+    (``tests/test_posting_properties.py``) checks across backends.
+    """
+
+    @property
+    def source_id(self) -> str:
+        """Stable identity of the backend (used in query-cache keys)."""
+        ...
+
+    def postings(self, keyword: str) -> PostingList:
+        """The posting list of one (raw, un-normalized) keyword."""
+        ...
+
+    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, List[DeweyCode]]:
+        """The ``D_i`` lists of a whole query (``getKeywordNodes``).
+
+        Maps each *normalized* keyword to its sorted Dewey list; keywords
+        with no match map to an empty list.  Backends are encouraged to batch
+        this (one round-trip for the whole query) — the engine's
+        ``search_many`` fast path funnels the union of a batch's keywords
+        through one call.
+        """
+        ...
+
+    def frequency(self, keyword: str) -> int:
+        """Number of keyword nodes containing ``keyword``."""
+        ...
+
+    def vocabulary(self) -> List[str]:
+        """Every indexed word, sorted."""
+        ...
+
+    def node_label(self, dewey: DeweyCode) -> Optional[str]:
+        """The label of one document node, or ``None`` when absent."""
+        ...
+
+    def node_words(self, dewey: DeweyCode) -> FrozenSet[str]:
+        """The content word set ``C_v`` of one document node."""
+        ...

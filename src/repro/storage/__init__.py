@@ -12,7 +12,17 @@ from .schema import (
 from .shredder import ShreddedDocument, shred_tree
 from .memory_backend import MemoryStore
 from .sqlite_backend import SQLiteStore
-from .query import StoredDocumentSearch, agreement_with_index
+from .posting_source import (
+    DEFAULT_POSTING_LRU_SIZE,
+    ShardedPostingSource,
+    SQLitePostingSource,
+    StorePostingSource,
+    shard_of,
+    shard_shredded,
+    shard_stores,
+    source_for_store,
+)
+from .query import StoredDocumentSearch, StoreQuerySession, agreement_with_index
 
 __all__ = [
     "StorageError",
@@ -28,6 +38,15 @@ __all__ = [
     "shred_tree",
     "MemoryStore",
     "SQLiteStore",
+    "StorePostingSource",
+    "SQLitePostingSource",
+    "ShardedPostingSource",
+    "DEFAULT_POSTING_LRU_SIZE",
+    "source_for_store",
+    "shard_of",
+    "shard_shredded",
+    "shard_stores",
     "StoredDocumentSearch",
+    "StoreQuerySession",
     "agreement_with_index",
 ]

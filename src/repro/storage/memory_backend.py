@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..text import DEFAULT_TOKENIZER, Tokenizer
 from ..xmltree import DeweyCode, XMLTree
 from .errors import DocumentAlreadyStored, DocumentNotFound
-from .schema import decode_dewey
+from .schema import decode_dewey, encode_dewey
 from .shredder import ShreddedDocument, shred_tree
 
 
@@ -24,6 +24,8 @@ class MemoryStore:
         self.tokenizer = tokenizer
         self._documents: Dict[str, ShreddedDocument] = {}
         self._keyword_index: Dict[Tuple[str, str], List[str]] = {}
+        self._node_words: Dict[str, Dict[str, set]] = {}
+        self._labels: Dict[str, Dict[str, str]] = {}
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -49,6 +51,8 @@ class MemoryStore:
         """Remove one document and its index entries."""
         self._require(name)
         del self._documents[name]
+        self._node_words.pop(name, None)
+        self._labels.pop(name, None)
         for key in [key for key in self._keyword_index if key[0] == name]:
             del self._keyword_index[key]
 
@@ -88,14 +92,30 @@ class MemoryStore:
         """Number of nodes containing ``keyword``."""
         return len(self.keyword_deweys(name, keyword))
 
+    def vocabulary(self, name: str) -> List[str]:
+        """Every distinct keyword of one document, sorted."""
+        shredded = self._require(name)
+        return sorted({row.keyword for row in shredded.values})
+
+    def node_words(self, name: str, dewey: DeweyCode) -> frozenset:
+        """The content word set of one node (empty when the code is absent)."""
+        self._require(name)
+        by_dewey = self._node_words.get(name)
+        if by_dewey is None:
+            by_dewey = {}
+            for row in self._documents[name].values:
+                by_dewey.setdefault(row.dewey, set()).add(row.keyword)
+            self._node_words[name] = by_dewey
+        return frozenset(by_dewey.get(encode_dewey(dewey.components), ()))
+
     def label_of(self, name: str, dewey: DeweyCode) -> Optional[str]:
         """The label of one node, or ``None`` if absent."""
         shredded = self._require(name)
-        target = ".".join(f"{component:06d}" for component in dewey.components)
-        for row in shredded.elements:
-            if row.dewey == target:
-                return row.label
-        return None
+        by_dewey = self._labels.get(name)
+        if by_dewey is None:
+            by_dewey = {row.dewey: row.label for row in shredded.elements}
+            self._labels[name] = by_dewey
+        return by_dewey.get(encode_dewey(dewey.components))
 
     def labels(self, name: str) -> List[str]:
         """The distinct labels of one document."""

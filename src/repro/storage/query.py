@@ -1,45 +1,60 @@
-"""Running the XKS pipeline on top of the relational store.
+"""Deprecated store-backed search entry point.
 
-The paper retrieves keyword nodes with SQL against the shredded ``value``
-table and only then runs MaxMatch / ValidRTF on the returned Dewey codes.
-:class:`StoredDocumentSearch` reproduces that flow: stage 1
-(``getKeywordNodes``) is served by a store backend, stages 2–4 run on the
-in-memory tree.  It also lets the test suite check that the store-backed
-posting lists agree with the in-memory inverted index.
+The store-backed retrieval flow of the paper's Section 5 used to live here as
+a parallel, one-off copy of pipeline stages 2–4.  That duplicate path is gone:
+:class:`~repro.core.engine.SearchEngine` now accepts any
+:class:`~repro.index.source.PostingSource`, and the store adapters in
+:mod:`repro.storage.posting_source` put both store backends behind that seam.
+
+:class:`StoredDocumentSearch` (historically also referred to as the "store
+query session") remains importable as a thin deprecation shim over the new
+engine path: construct a :class:`SearchEngine` with
+``source=source_for_store(store, name)`` instead.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
 from typing import Dict, List, Optional, Union
 
-from ..core import (
-    MaxMatch,
-    PrunedFragment,
-    Query,
-    QueryLike,
-    SearchResult,
-    ValidRTF,
-    build_record_tree,
-    build_rtfs,
-    prune_with_contributor,
-    prune_with_valid_contributor,
-)
-from ..core.pipeline import elca_roots
+from ..core import ALGORITHM_NAMES, Query, QueryLike, SearchEngine, SearchResult
 from ..index import InvertedIndex
-from ..lca import elca_is_slca
 from ..text import ContentAnalyzer
 from ..xmltree import DeweyCode, XMLTree
 from .memory_backend import MemoryStore
+from .posting_source import source_for_store
 from .sqlite_backend import SQLiteStore
 
 StoreBackend = Union[MemoryStore, SQLiteStore]
 
+_DEPRECATION_EMITTED = False
+
+
+def _warn_once() -> None:
+    global _DEPRECATION_EMITTED
+    if not _DEPRECATION_EMITTED:
+        _DEPRECATION_EMITTED = True
+        warnings.warn(
+            "StoredDocumentSearch is deprecated; build a SearchEngine with "
+            "source=repro.storage.source_for_store(store, name) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
 
 class StoredDocumentSearch:
-    """XKS over a document whose keyword lookups run against a store backend."""
+    """Deprecated shim: XKS over a store backend, via the unified engine.
+
+    Stage 1 (``getKeywordNodes``) is served by the store's posting source and
+    stages 2–4 by the shared :class:`SearchEngine` pipeline — the previous
+    hand-rolled copy of those stages is gone.  Results keep the historical
+    ``<algorithm>@store`` tag.
+    """
 
     def __init__(self, tree: XMLTree, store: Optional[StoreBackend] = None,
                  name: str = "", cid_mode: str = "minmax"):
+        _warn_once()
         self.tree = tree
         self.name = name or tree.name or "document"
         self.store: StoreBackend = store if store is not None else MemoryStore()
@@ -47,32 +62,21 @@ class StoredDocumentSearch:
             self.store.store_tree(tree, self.name)
         self.analyzer = ContentAnalyzer(tree)
         self.cid_mode = cid_mode
+        self._engine = SearchEngine(
+            tree, cid_mode=cid_mode,
+            source=source_for_store(self.store, self.name))
 
     # ------------------------------------------------------------------ #
     def keyword_nodes(self, query: QueryLike) -> Dict[str, List[DeweyCode]]:
         """Stage 1 served by the relational store (SQL on the value table)."""
-        parsed = Query.parse(query)
-        return self.store.keyword_nodes(self.name, parsed.keywords)
+        return self._engine.keyword_nodes(Query.parse(query))
 
     def search(self, query: QueryLike, algorithm: str = "validrtf") -> SearchResult:
         """Stages 2–4 on the store-provided posting lists."""
-        parsed = Query.parse(query)
-        lists = self.keyword_nodes(parsed)
-        roots = elca_roots(lists)
-        fragments: List[PrunedFragment] = []
-        if roots:
-            flags = elca_is_slca(roots)
-            for fragment in build_rtfs(self.tree, parsed, roots, lists, flags):
-                records = build_record_tree(self.tree, self.analyzer, parsed,
-                                            fragment, cid_mode=self.cid_mode)
-                if algorithm == "validrtf":
-                    fragments.append(prune_with_valid_contributor(records))
-                elif algorithm == "maxmatch":
-                    fragments.append(prune_with_contributor(records))
-                else:
-                    raise ValueError(f"unknown algorithm {algorithm!r}")
-        return SearchResult(query=parsed, algorithm=f"{algorithm}@store",
-                            fragments=tuple(fragments), lca_nodes=tuple(roots))
+        if algorithm not in ALGORITHM_NAMES:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        result = self._engine.search(query, algorithm)
+        return replace(result, algorithm=f"{algorithm}@store")
 
     def frequency_report(self, keywords) -> Dict[str, int]:
         """Keyword frequencies as seen by the store (Section 5.1 table)."""
@@ -80,9 +84,17 @@ class StoredDocumentSearch:
                 for keyword in keywords}
 
 
+#: Alias kept for callers that knew the shim under its session name.
+StoreQuerySession = StoredDocumentSearch
+
+
 def agreement_with_index(tree: XMLTree, store: StoreBackend, name: str,
                          keywords) -> Dict[str, bool]:
-    """Check that store-backed posting lists equal the inverted-index ones."""
+    """Check that store-backed posting lists equal the inverted-index ones.
+
+    The backend-parity suite exposes this as the ``store_agreement`` fixture;
+    the function form stays for scripts and older tests.
+    """
     index = InvertedIndex(tree)
     agreement: Dict[str, bool] = {}
     for keyword in keywords:

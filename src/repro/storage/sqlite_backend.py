@@ -115,15 +115,20 @@ class SQLiteStore:
         return {"nodes": nodes, "values": values, "labels": labels}
 
     def keyword_deweys(self, name: str, keyword: str) -> List[DeweyCode]:
-        """Sorted Dewey codes of the nodes containing ``keyword``."""
+        """Sorted Dewey codes of the nodes containing ``keyword``.
+
+        Rows are decoded while streaming off the cursor, so a frequent
+        keyword's posting list never exists as both an undecoded row list and
+        a decoded Dewey list at the same time.
+        """
         self._require(name)
         normalized = self.tokenizer.normalize_keyword(keyword)
-        rows = self._connection.execute(
+        cursor = self._connection.execute(
             "SELECT DISTINCT dewey FROM value WHERE document = ? AND keyword = ? "
             "ORDER BY dewey",
             (name, normalized),
-        ).fetchall()
-        return [DeweyCode(decode_dewey(row[0])) for row in rows]
+        )
+        return [DeweyCode(decode_dewey(text)) for (text,) in cursor]
 
     def keyword_nodes(self, name: str, keywords: Iterable[str]
                       ) -> Dict[str, List[DeweyCode]]:
@@ -142,6 +147,25 @@ class SQLiteStore:
             "WHERE document = ? AND keyword = ?",
             name, normalized,
         )
+
+    def vocabulary(self, name: str) -> List[str]:
+        """Every distinct keyword of one document, sorted."""
+        self._require(name)
+        cursor = self._connection.execute(
+            "SELECT DISTINCT keyword FROM value WHERE document = ? "
+            "ORDER BY keyword",
+            (name,),
+        )
+        return [keyword for (keyword,) in cursor]
+
+    def node_words(self, name: str, dewey: DeweyCode) -> frozenset:
+        """The content word set of one node (empty when the code is absent)."""
+        self._require(name)
+        cursor = self._connection.execute(
+            "SELECT DISTINCT keyword FROM value WHERE document = ? AND dewey = ?",
+            (name, encode_dewey(dewey.components)),
+        )
+        return frozenset(keyword for (keyword,) in cursor)
 
     def label_of(self, name: str, dewey: DeweyCode) -> Optional[str]:
         """The label of one node, or ``None`` if absent."""

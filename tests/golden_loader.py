@@ -1,0 +1,52 @@
+"""Tiny loader for the golden fragment fixtures under ``tests/golden/``.
+
+A golden file stores, per paper query and algorithm, the expected LCA node
+list and the expected fragments (root, SLCA flag, kept node set) as plain
+strings.  Refactors — in particular new posting backends — diff against this
+stored truth instead of against each other, so a bug that shifts *every*
+backend the same way still fails the suite.
+
+Regenerate (only when the expected semantics intentionally change) by
+serializing a memory-backend :class:`SearchEngine` result with
+:func:`result_payload` and writing it back with :func:`save_golden`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def golden_datasets():
+    """The dataset names with a checked-in golden file."""
+    return sorted(path.stem for path in GOLDEN_DIR.glob("*.json"))
+
+
+def load_golden(dataset: str) -> Dict:
+    """The golden payload of one dataset."""
+    return json.loads((GOLDEN_DIR / f"{dataset}.json").read_text())
+
+
+def result_payload(result) -> Dict:
+    """Serialize one SearchResult the way the golden files store it."""
+    return {
+        "lca_nodes": [str(code) for code in result.lca_nodes],
+        "fragments": [
+            {
+                "root": str(fragment.root),
+                "is_slca": fragment.is_slca,
+                "kept": [str(code) for code in fragment.kept_nodes],
+            }
+            for fragment in result.fragments
+        ],
+    }
+
+
+def save_golden(dataset: str, payload: Dict) -> Path:
+    """Write one dataset's golden payload (used only when regenerating)."""
+    path = GOLDEN_DIR / f"{dataset}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

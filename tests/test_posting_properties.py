@@ -1,0 +1,121 @@
+"""Property-based posting-list invariants, checked across every backend.
+
+Seeded random documents (the shared ``random_tree`` generator from
+``conftest``) are indexed three ways — in-memory inverted index, sqlite
+store, sharded stores — and for every word of the vocabulary the backends
+must agree on the :class:`PostingSource` contract:
+
+* posting lists strictly sorted in document (Dewey) order, duplicate-free;
+* ``encode_dewey`` / ``decode_dewey`` round-trips every posting;
+* ``frequency(w) == len(postings(w))``;
+* identical vocabularies and identical posting lists across backends;
+* the batched ``keyword_nodes`` path equals per-keyword ``postings``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import InvertedIndex, PostingSource
+from repro.storage import (
+    ShardedPostingSource,
+    SQLitePostingSource,
+    SQLiteStore,
+    decode_dewey,
+    encode_dewey,
+)
+
+SEEDS = (3, 11, 29, 47, 101)
+
+
+def build_sources(tree):
+    """The three backends over one document, keyed by name."""
+    index = InvertedIndex(tree)
+    store = SQLiteStore()
+    store.store_tree(tree, tree.name)
+    sqlite_source = SQLitePostingSource(store, tree.name)
+    sharded_source = ShardedPostingSource.from_tree(tree, shard_count=3,
+                                                    name=tree.name)
+    return {"memory": index, "sqlite": sqlite_source, "sharded": sharded_source}
+
+
+@pytest.fixture(params=SEEDS, ids=lambda seed: f"seed{seed}")
+def sources(request, make_random_tree):
+    return build_sources(make_random_tree(request.param))
+
+
+def test_sources_satisfy_protocol(sources):
+    for source in sources.values():
+        assert isinstance(source, PostingSource)
+
+
+def test_vocabulary_equal_across_backends(sources):
+    vocabularies = {name: source.vocabulary()
+                    for name, source in sources.items()}
+    assert vocabularies["memory"] == vocabularies["sqlite"] \
+        == vocabularies["sharded"]
+    assert vocabularies["memory"], "random documents must index something"
+
+
+def test_posting_lists_identical_and_strictly_sorted(sources):
+    vocabulary = sources["memory"].vocabulary()
+    for word in vocabulary:
+        reference = list(sources["memory"].postings(word).deweys)
+        for name in ("sqlite", "sharded"):
+            candidate = list(sources[name].postings(word).deweys)
+            assert candidate == reference, (word, name)
+        assert reference, f"vocabulary word {word!r} with empty postings"
+        for left, right in zip(reference, reference[1:]):
+            assert left < right, f"posting list of {word!r} not strictly sorted"
+
+
+def test_frequency_equals_posting_length(sources):
+    vocabulary = sources["memory"].vocabulary()
+    for name, source in sources.items():
+        for word in vocabulary:
+            assert source.frequency(word) == len(source.postings(word)), \
+                (name, word)
+        assert source.frequency("definitelyabsentword") == 0, name
+
+
+def test_encode_decode_round_trips_every_posting(sources):
+    for word in sources["memory"].vocabulary():
+        for dewey in sources["memory"].postings(word):
+            components = tuple(dewey.components)
+            assert decode_dewey(encode_dewey(components)) == components
+
+
+def test_batched_keyword_nodes_equals_postings(sources):
+    vocabulary = sources["memory"].vocabulary()
+    probe = vocabulary[:5] + ["definitelyabsentword"]
+    for name, source in sources.items():
+        batched = source.keyword_nodes(probe)
+        for word in probe:
+            assert batched[word] == list(source.postings(word).deweys), \
+                (name, word)
+
+
+def test_node_lookups_agree_with_tree(make_random_tree):
+    """node_label / node_words of disk backends match the document."""
+    tree = make_random_tree(7)
+    sources = build_sources(tree)
+    index = sources["memory"]
+    for node in tree.iter_preorder():
+        for name in ("sqlite", "sharded"):
+            assert sources[name].node_label(node.dewey) == node.label, name
+            assert sources[name].node_words(node.dewey) == \
+                index.node_words(node.dewey), name
+
+
+def test_posting_lru_serves_repeats(make_random_tree):
+    """Repeated lookups of one keyword are answered from the source's LRU."""
+    tree = make_random_tree(13)
+    store = SQLiteStore()
+    store.store_tree(tree, "doc")
+    source = SQLitePostingSource(store, "doc", lru_size=4)
+    word = source.vocabulary()[0]
+    first = source.postings(word).deweys
+    misses = source.lru_misses
+    assert source.postings(word).deweys == first
+    assert source.lru_misses == misses  # second lookup hit the LRU
+    assert source.lru_hits >= 1

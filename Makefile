@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all coverage bench bench-collect smoke
+.PHONY: test test-all coverage bench bench-collect smoke loadtest-smoke
 
 test:            ## fast unit suite (tier-1)
 	$(PYTHON) -m pytest -x -q
@@ -28,3 +28,7 @@ bench-collect:   ## benchmark suite collection check only
 
 smoke:           ## tier-1 + collection guard + one tiny end-to-end bench query
 	bash scripts/smoke.sh
+
+loadtest-smoke:  ## tiny serving-layer run guarding repro.service end to end
+	$(PYTHON) -m repro.cli loadtest --backend memory --workers 2 \
+	    --requests 50 --concurrency 4 --output BENCH_service.json

@@ -19,6 +19,13 @@ Sub-commands
 ``datasets``
     Generate and describe the built-in synthetic datasets (optionally writing
     them to XML files).
+``serve``
+    Run the concurrent query-serving front end (newline-delimited JSON over
+    TCP) with an engine pool, request batching and admission control.
+``loadtest``
+    Drive a server (self-hosted by default) with an open- or closed-loop
+    load generator and report throughput + p50/p95/p99 latency, exporting
+    ``BENCH_service.json``.
 """
 
 from __future__ import annotations
@@ -161,6 +168,46 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write the dataset(s) to XML file(s) with this prefix")
     datasets.set_defaults(handler=_command_datasets)
 
+    serve = subparsers.add_parser(
+        "serve", help="serve keyword search concurrently (JSON over TCP)")
+    _add_document_arguments(serve)
+    _add_backend_arguments(serve)
+    _add_service_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (0 picks a free one)")
+    serve.set_defaults(handler=_command_serve)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="measure serving throughput and latency percentiles")
+    _add_document_arguments(loadtest)
+    _add_backend_arguments(loadtest)
+    _add_service_arguments(loadtest)
+    loadtest.add_argument("--address", default=None, metavar="HOST:PORT",
+                          help="drive an already-running server instead of "
+                               "self-hosting one in-process")
+    loadtest.add_argument("--mode", default="closed",
+                          choices=("closed", "open"),
+                          help="closed: N users back-to-back; open: fixed "
+                               "arrival rate (default: closed)")
+    loadtest.add_argument("--requests", type=int, default=200,
+                          help="total requests (closed loop)")
+    loadtest.add_argument("--concurrency", type=int, default=4,
+                          help="simulated users / client connections")
+    loadtest.add_argument("--rate", type=float, default=100.0,
+                          help="target aggregate requests/second (open loop)")
+    loadtest.add_argument("--duration", type=float, default=2.0,
+                          help="run length in seconds (open loop)")
+    loadtest.add_argument("--algorithm", default="validrtf",
+                          choices=("validrtf", "maxmatch", "validrtf-slca",
+                                   "maxmatch-slca"))
+    loadtest.add_argument("--query", action="append", default=None,
+                          help="add a query to the mix (repeatable; default: "
+                               "the dataset's workload / paper queries)")
+    loadtest.add_argument("--output", default="BENCH_service.json",
+                          help="write the JSON report here ('-' disables)")
+    loadtest.set_defaults(handler=_command_loadtest)
+
     return parser
 
 
@@ -184,6 +231,26 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "stored document)")
     parser.add_argument("--shards", type=int, default=2,
                         help="shard count for --backend sharded")
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=4,
+                        help="engine-pool worker threads (default: 4)")
+    parser.add_argument("--cache-size", type=int, default=256,
+                        help="per-worker query-result cache capacity "
+                             "(0 disables caching)")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="flush a request batch at this size")
+    parser.add_argument("--batch-window", type=float, default=2.0,
+                        help="max milliseconds a request waits to be batched")
+    parser.add_argument("--max-inflight", type=int, default=64,
+                        help="admission bound: concurrent requests past the "
+                             "front door before load shedding")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        help="per-request deadline in seconds (default: none)")
+    parser.add_argument("--cid-mode", default="minmax",
+                        help="default content-feature mode (per-request "
+                             "override via the protocol)")
 
 
 # ---------------------------------------------------------------------- #
@@ -312,9 +379,167 @@ def _command_datasets(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import SearchServer
+
+    config, tree = _service_setup(arguments)
+    try:
+        service = config.build(tree)
+    except ValueError as error:
+        raise CliError(str(error)) from None
+    server = SearchServer(service, arguments.host, arguments.port)
+
+    async def main() -> None:
+        host, port = await server.start()
+        print(f"serving backend={config.backend} workers={config.workers} "
+              f"batch={config.max_batch_size}/"
+              f"{config.batch_window_seconds * 1000:g}ms "
+              f"on {host}:{port} (Ctrl-C stops)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _command_loadtest(arguments: argparse.Namespace) -> int:
+    from .service import loadtest, write_service_bench
+
+    address = None
+    if arguments.address:
+        host, _, port = arguments.address.rpartition(":")
+        if not host or not port.isdigit():
+            raise CliError(f"--address must be HOST:PORT, got "
+                           f"{arguments.address!r}")
+        address = (host, int(port))
+    # Driving a remote server needs no local document or database at all.
+    config, tree = _service_setup(arguments, remote=address is not None)
+    queries = arguments.query or _default_query_mix(arguments)
+    try:
+        report = loadtest(config, queries, tree=tree, address=address,
+                          mode=arguments.mode, requests=arguments.requests,
+                          concurrency=arguments.concurrency,
+                          rate=arguments.rate, duration=arguments.duration,
+                          algorithm=arguments.algorithm)
+    except ValueError as error:
+        raise CliError(str(error)) from None
+    print(report.summary())
+    if arguments.output and arguments.output != "-":
+        path = write_service_bench(report, arguments.output)
+        print(f"report written to {path}")
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # Helpers
 # ---------------------------------------------------------------------- #
+def _resolve_stored_document(arguments: argparse.Namespace) -> str:
+    """The document name a ``--db`` invocation should serve.
+
+    Shared by ``search``/``compare`` (:func:`_build_engine`) and
+    ``serve``/``loadtest`` (:func:`_service_setup`): validates the database
+    file exists and holds documents, and resolves ``--doc`` (defaulting to
+    the only stored document).
+    """
+    if arguments.file:
+        raise CliError("--db and --file are different documents; give "
+                       "one or the other")
+    if not Path(arguments.db).exists():
+        raise CliError(f"no such database file: {arguments.db} "
+                       f"(create it with `repro-xks index`)")
+    store = SQLiteStore(arguments.db)
+    documents = store.documents()
+    store.close()
+    if not documents:
+        raise CliError(f"{arguments.db} holds no indexed documents "
+                       f"(run `repro-xks index` first)")
+    document = arguments.doc or (
+        documents[0] if len(documents) == 1 else None)
+    if document is None:
+        raise CliError(f"{arguments.db} holds several documents "
+                       f"({', '.join(documents)}); pick one with --doc")
+    if document not in documents:
+        raise CliError(f"no document {document!r} in {arguments.db}; "
+                       f"stored: {', '.join(documents)}")
+    return document
+
+
+def _service_setup(arguments: argparse.Namespace, remote: bool = False):
+    """The (ServiceConfig, tree) pair of a serve/loadtest invocation.
+
+    Mirrors :func:`_build_engine`'s backend resolution: ``--db`` serves an
+    already-indexed sqlite file without parsing any XML; otherwise the
+    document is loaded/generated and handed to the pool builder.  With
+    ``remote=True`` (load-testing an already-running server) no document is
+    loaded or probed at all — the config only annotates the report.
+    """
+    from .core.node_record import CID_MODES
+    from .service import ServiceConfig
+
+    backend = arguments.backend or ("sqlite" if arguments.db else "memory")
+    tree = None
+    document = "service"
+    if remote:
+        pass  # the serving process owns the document
+    elif backend == "sqlite" and arguments.db:
+        document = _resolve_stored_document(arguments)
+    else:
+        if arguments.db:
+            raise CliError(f"--db needs --backend sqlite, not {backend!r}")
+        tree = _load_tree(arguments)
+        document = getattr(arguments, "dataset", None) or "service"
+    if arguments.workers < 1:
+        raise CliError(f"--workers must be positive, got {arguments.workers}")
+    if arguments.shards < 1:
+        raise CliError(f"--shards must be positive, got {arguments.shards}")
+    if arguments.batch_size < 1:
+        raise CliError(f"--batch-size must be positive, got "
+                       f"{arguments.batch_size}")
+    if arguments.batch_window < 0:
+        raise CliError(f"--batch-window must be >= 0, got "
+                       f"{arguments.batch_window}")
+    if arguments.max_inflight < 1:
+        raise CliError(f"--max-inflight must be positive, got "
+                       f"{arguments.max_inflight}")
+    if arguments.request_timeout is not None and arguments.request_timeout <= 0:
+        raise CliError(f"--request-timeout must be positive, got "
+                       f"{arguments.request_timeout}")
+    if arguments.cid_mode not in CID_MODES:
+        raise CliError(f"unknown --cid-mode {arguments.cid_mode!r}; "
+                       f"expected one of {list(CID_MODES)}")
+    config = ServiceConfig(
+        backend=backend,
+        workers=arguments.workers,
+        cache_size=max(0, arguments.cache_size),
+        shards=arguments.shards,
+        db_path=arguments.db,
+        document=document,
+        cid_mode=arguments.cid_mode,
+        max_batch_size=arguments.batch_size,
+        batch_window_seconds=arguments.batch_window / 1000.0,
+        max_inflight=arguments.max_inflight,
+        timeout_seconds=arguments.request_timeout,
+    )
+    return config, tree
+
+
+def _default_query_mix(arguments: argparse.Namespace) -> List[str]:
+    """The loadtest query mix: the dataset's workload, or the paper queries."""
+    from .datasets import workload_for
+
+    dataset = getattr(arguments, "dataset", None)
+    if dataset:
+        try:
+            return [query.text for query in workload_for(dataset)]
+        except ValueError:
+            pass
+    return list(PAPER_QUERIES.values())
+
+
 def _load_tree(arguments: argparse.Namespace) -> XMLTree:
     if getattr(arguments, "file", None):
         return parse_file(arguments.file)
@@ -340,25 +565,8 @@ def _build_engine(arguments: argparse.Namespace) -> SearchEngine:
     backend = arguments.backend or ("sqlite" if arguments.db else "memory")
     if backend == "sqlite" and arguments.db:
         # Disk-backed path: open an indexed database, no XML parse at all.
-        if arguments.file:
-            raise CliError("--db and --file are different documents; give "
-                           "one or the other")
-        if not Path(arguments.db).exists():
-            raise CliError(f"no such database file: {arguments.db} "
-                           f"(create it with `repro-xks index`)")
+        document = _resolve_stored_document(arguments)
         store = SQLiteStore(arguments.db)
-        documents = store.documents()
-        if not documents:
-            raise CliError(f"{arguments.db} holds no indexed documents "
-                           f"(run `repro-xks index` first)")
-        document = arguments.doc or (
-            documents[0] if len(documents) == 1 else None)
-        if document is None:
-            raise CliError(f"{arguments.db} holds several documents "
-                           f"({', '.join(documents)}); pick one with --doc")
-        if document not in documents:
-            raise CliError(f"no document {document!r} in {arguments.db}; "
-                           f"stored: {', '.join(documents)}")
         return SearchEngine(source=SQLitePostingSource(store, document))
     if arguments.db:
         raise CliError(f"--db needs --backend sqlite, not {backend!r}")

@@ -20,10 +20,17 @@ as long as the cache key captures everything the answer depends on:
 The cache is a classic LRU over an :class:`collections.OrderedDict` with
 hit/miss/eviction counters so benchmarks can report exactly how much work was
 skipped.
+
+The cache is thread-safe: one lock serializes every operation, so engines
+shared by the concurrent serving layer (:mod:`repro.service`) never corrupt
+the recency order or lose counter increments.  The critical sections are a
+handful of dictionary operations, so the serial path pays only an uncontended
+lock acquire per lookup.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -78,6 +85,7 @@ class QueryResultCache:
             raise ValueError(f"cache max_size must be positive, got {max_size}")
         self.max_size = max_size
         self._entries: "OrderedDict[CacheKey, SearchResult]" = OrderedDict()
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -100,56 +108,64 @@ class QueryResultCache:
     # ------------------------------------------------------------------ #
     def get(self, key: CacheKey) -> Optional[SearchResult]:
         """The cached result for ``key``, or ``None``; counts a hit/miss."""
-        result = self._entries.get(key)
-        if result is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return result
 
     def put(self, key: CacheKey, result: SearchResult) -> None:
         """Insert (or refresh) one result, evicting the LRU entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = result
-        if len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            if len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def peek(self, key: CacheKey) -> Optional[SearchResult]:
         """Like :meth:`get` but without touching recency or the counters."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters (entries are preserved)."""
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
     def stats(self) -> CacheStats:
-        """A snapshot of the current counters."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            max_size=self.max_size,
-        )
+        """A consistent snapshot of the current counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                max_size=self.max_size,
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:
         return f"QueryResultCache({self.stats})"

@@ -1,0 +1,124 @@
+"""Admission control: bounded in-flight depth, timeouts, load shedding.
+
+A serving system that accepts unbounded work converts overload into
+unbounded latency for *everyone*.  The controller keeps a hard bound on the
+number of requests past the front door: request N+1 beyond
+``max_inflight`` is rejected immediately with the typed ``overloaded`` error
+instead of queueing, and every admitted request runs under an optional
+deadline that turns into the typed ``timeout`` error.
+
+The counters are lock-protected so the asyncio front end and any
+thread-based caller share one consistent view.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Awaitable, Dict, Optional, TypeVar
+
+from .protocol import ERROR_OVERLOADED, ERROR_TIMEOUT, ServiceError
+
+T = TypeVar("T")
+
+#: Default bound on concurrently admitted requests.
+DEFAULT_MAX_INFLIGHT = 64
+
+
+class AdmissionController:
+    """Bounded admission with per-request deadlines.
+
+    Parameters
+    ----------
+    max_inflight:
+        Hard bound on concurrently admitted requests; further arrivals are
+        shed with :data:`~repro.service.protocol.ERROR_OVERLOADED`.
+    timeout_seconds:
+        Per-request deadline applied by :meth:`run`; ``None`` disables it.
+    """
+
+    def __init__(self, max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                 timeout_seconds: Optional[float] = None):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {timeout_seconds}")
+        self.max_inflight = max_inflight
+        self.timeout_seconds = timeout_seconds
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._timed_out = 0
+        self._peak_inflight = 0
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def acquire(self) -> None:
+        """Admit one request or shed it with the ``overloaded`` error."""
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._rejected += 1
+                raise ServiceError(
+                    ERROR_OVERLOADED,
+                    f"load shed: {self._inflight} requests in flight "
+                    f"(bound {self.max_inflight})")
+            self._inflight += 1
+            self._admitted += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight)
+
+    def release(self) -> None:
+        """Mark one admitted request as finished."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._inflight -= 1
+
+    def __enter__(self) -> "AdmissionController":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.release()
+
+    async def run(self, awaitable: Awaitable[T]) -> T:
+        """Run one admitted request's work under the configured deadline."""
+        if self.timeout_seconds is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, self.timeout_seconds)
+        except asyncio.TimeoutError:
+            with self._lock:
+                self._timed_out += 1
+            raise ServiceError(
+                ERROR_TIMEOUT,
+                f"request exceeded its {self.timeout_seconds:g}s deadline"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def inflight(self) -> int:
+        """Currently admitted, unfinished requests."""
+        with self._lock:
+            return self._inflight
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the ``stats`` endpoint and the load reports."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "timeout_seconds": self.timeout_seconds,
+                "inflight": self._inflight,
+                "peak_inflight": self._peak_inflight,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "timed_out": self._timed_out,
+            }
+
+    def __repr__(self) -> str:
+        return (f"AdmissionController(inflight={self.inflight}/"
+                f"{self.max_inflight}, timeout={self.timeout_seconds})")

@@ -1,0 +1,120 @@
+"""Blocking client for the newline-delimited-JSON search protocol.
+
+One socket, one request in flight at a time (the server answers a
+connection's requests in order).  The load generator opens one client per
+simulated user; tests use it to compare served payloads with direct engine
+calls.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional, Tuple
+
+from .protocol import ServiceError, decode_message, encode_message
+
+
+class ServiceClient:
+    """A connected caller of one search server.
+
+    Parameters
+    ----------
+    host, port:
+        The server's bound address (``ServerThread.address`` unpacks here).
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.address: Tuple[str, int] = (host, int(port))
+        self.timeout = timeout
+        self._socket: Optional[socket.socket] = None
+        self._file = None
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+    def connect(self) -> "ServiceClient":
+        """Open the connection now (otherwise the first request does)."""
+        if self._socket is None:
+            self._socket = socket.create_connection(self.address,
+                                                    timeout=self.timeout)
+            self._file = self._socket.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Raw protocol
+    # ------------------------------------------------------------------ #
+    def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send one request and block for its response envelope."""
+        self.connect()
+        self._socket.sendall(encode_message(message))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("the server closed the connection")
+        return decode_message(line)
+
+    def _checked(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Like :meth:`request` but raising typed errors on ``ok: false``."""
+        response = self.request(message)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(str(error.get("code", "internal")),
+                               str(error.get("message", "request failed")))
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Convenience operations
+    # ------------------------------------------------------------------ #
+    def ping(self) -> bool:
+        """True iff the server answers."""
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def search(self, query: str, algorithm: str = "validrtf",
+               cid_mode: Optional[str] = None) -> Dict[str, object]:
+        """One search; returns the canonical result payload."""
+        message: Dict[str, object] = {"op": "search", "query": query,
+                                      "algorithm": algorithm}
+        if cid_mode is not None:
+            message["cid_mode"] = cid_mode
+        return self._checked(message)["result"]
+
+    def compare(self, query: str,
+                cid_mode: Optional[str] = None) -> Dict[str, object]:
+        """ValidRTF-vs-MaxMatch comparison payload for one query."""
+        message: Dict[str, object] = {"op": "compare", "query": query}
+        if cid_mode is not None:
+            message["cid_mode"] = cid_mode
+        return self._checked(message)["comparison"]
+
+    def rank(self, query: str, algorithm: str = "validrtf",
+             cid_mode: Optional[str] = None):
+        """Ranked fragment payload for one query (memory backend only)."""
+        message: Dict[str, object] = {"op": "rank", "query": query,
+                                      "algorithm": algorithm}
+        if cid_mode is not None:
+            message["cid_mode"] = cid_mode
+        return self._checked(message)["ranking"]
+
+    def stats(self) -> Dict[str, object]:
+        """The server's merged pool/batcher/admission counters."""
+        return self._checked({"op": "stats"})["stats"]
+
+    def __repr__(self) -> str:
+        state = "connected" if self._socket is not None else "disconnected"
+        return f"ServiceClient({self.address[0]}:{self.address[1]}, {state})"

@@ -1,0 +1,277 @@
+"""A pool of per-worker search engines over one shared document snapshot.
+
+The search pipelines are CPU-bound Python with mutable per-engine state
+(memoization caches, posting LRUs), so the pool gives every worker thread its
+**own** :class:`~repro.core.engine.SearchEngine` while sharing the expensive
+immutable substrate exactly once per document:
+
+* ``memory`` — one :class:`~repro.index.inverted.InvertedIndex` snapshot is
+  built once and shared by every worker engine (posting lists are read-only
+  after the build; the shared analyzer's memoization writes are idempotent).
+* ``sqlite`` — one :class:`~repro.storage.sqlite_backend.SQLiteStore` is
+  shared, and each worker engine wraps it in its own
+  :class:`~repro.storage.posting_source.SQLitePostingSource` (private posting
+  LRUs); the store hands every thread its own sqlite connection, so disk
+  reads genuinely parallelize.
+* ``sharded`` — the shard stores are ingested once and each worker gets its
+  own routed :class:`~repro.storage.posting_source.ShardedPostingSource` view
+  over them.
+
+Work is executed on a :class:`~concurrent.futures.ThreadPoolExecutor`; every
+submission receives the calling thread's engine as its first argument.  The
+asyncio front end bridges the returned futures with
+:func:`asyncio.wrap_future`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core import SearchEngine
+from ..core.cache import CacheStats
+from ..core.engine import ComparisonOutcome
+from ..core.fragments import SearchResult
+from ..index import InvertedIndex
+from ..storage import (
+    DEFAULT_POSTING_LRU_SIZE,
+    ShardedPostingSource,
+    SQLitePostingSource,
+    SQLiteStore,
+    shard_stores,
+    source_for_store,
+)
+from ..xmltree import XMLTree
+
+#: Default number of worker threads (and therefore engines).
+DEFAULT_WORKERS = 4
+
+#: Default per-engine query-result cache capacity.  Serving workloads are
+#: repeat-heavy, so unlike the measurement protocol the service caches by
+#: default; pass ``cache_size=0`` for always-cold engines.
+DEFAULT_CACHE_SIZE = 256
+
+
+class EnginePool:
+    """N worker threads, each owning one engine over a shared snapshot.
+
+    Parameters
+    ----------
+    engine_factory:
+        Zero-argument callable building one worker's engine.  Called at most
+        once per worker thread, lazily on that thread (so thread-affine
+        resources like sqlite connections are created where they are used).
+    workers:
+        Number of worker threads.
+    """
+
+    def __init__(self, engine_factory: Callable[[], SearchEngine],
+                 workers: int = DEFAULT_WORKERS, name: str = "repro-service"):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self._factory = engine_factory
+        self._executor = ThreadPoolExecutor(max_workers=workers,
+                                            thread_name_prefix=name)
+        self._local = threading.local()
+        self._engines: List[SearchEngine] = []
+        self._engines_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_backend(cls, backend: str, tree: Optional[XMLTree] = None,
+                    workers: int = DEFAULT_WORKERS,
+                    cache_size: int = DEFAULT_CACHE_SIZE,
+                    shards: int = 2, db_path: Optional[str] = None,
+                    document: str = "service",
+                    lru_size: int = DEFAULT_POSTING_LRU_SIZE) -> "EnginePool":
+        """Build a pool over one document for a named posting backend.
+
+        ``memory`` needs ``tree``.  ``sqlite`` serves ``db_path`` when given
+        (ingesting ``tree`` into it only if the document is absent), else an
+        in-process store ingested from ``tree``.  ``sharded`` fans ``tree``
+        over ``shards`` in-process stores.
+        """
+        if backend == "memory":
+            if tree is None:
+                raise ValueError("the memory backend needs a tree")
+            snapshot = InvertedIndex(tree)
+            return cls(lambda: SearchEngine(tree, source=snapshot,
+                                            cache_size=cache_size),
+                       workers=workers)
+        if backend == "sqlite":
+            store = SQLiteStore(db_path if db_path else ":memory:")
+            if document not in store.documents():
+                if tree is None:
+                    stored = store.documents()
+                    raise ValueError(
+                        f"no document {document!r} in the sqlite store"
+                        + (f"; stored: {', '.join(stored)}" if stored else ""))
+                store.store_tree(tree, document)
+            return cls(lambda: SearchEngine(
+                source=SQLitePostingSource(store, document, lru_size),
+                cache_size=cache_size), workers=workers)
+        if backend == "sharded":
+            if tree is None:
+                raise ValueError("the sharded backend needs a tree")
+            if shards < 1:
+                raise ValueError(f"shards must be positive, got {shards}")
+            stores = [SQLiteStore() for _ in range(shards)]
+            name = shard_stores(tree, stores, document)
+
+            def sharded_engine() -> SearchEngine:
+                sources = [source_for_store(store, name, lru_size)
+                           for store in stores]
+                return SearchEngine(
+                    source=ShardedPostingSource(sources, routed=True),
+                    cache_size=cache_size)
+
+            return cls(sharded_engine, workers=workers)
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"expected memory, sqlite or sharded")
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _thread_engine(self) -> SearchEngine:
+        """This worker thread's engine, built on first use."""
+        engine = getattr(self._local, "engine", None)
+        if engine is None:
+            engine = self._factory()
+            self._local.engine = engine
+            with self._engines_lock:
+                self._engines.append(engine)
+        return engine
+
+    def submit(self, fn: Callable[..., object], *args, **kwargs) -> Future:
+        """Run ``fn(engine, *args, **kwargs)`` on a worker thread."""
+        if self._closed:
+            raise RuntimeError("the engine pool is shut down")
+        return self._executor.submit(self._invoke, fn, args, kwargs)
+
+    def _invoke(self, fn, args, kwargs):
+        return fn(self._thread_engine(), *args, **kwargs)
+
+    @staticmethod
+    def _with_cid_mode(engine: SearchEngine,
+                       cid_mode: Optional[str]) -> SearchEngine:
+        """Switch the worker engine's mode when a request overrides it.
+
+        Worker engines serve one request at a time, so rebuilding the
+        pipelines here is race-free; results stay correct across switches
+        because every cache key carries the mode.
+        """
+        if cid_mode is not None and cid_mode != engine.cid_mode:
+            engine.set_cid_mode(cid_mode)
+        return engine
+
+    def search(self, query, algorithm: str = "validrtf",
+               cid_mode: Optional[str] = None) -> "Future[SearchResult]":
+        """One query on any worker; returns a future."""
+        return self.submit(
+            lambda engine, q, a, m: self._with_cid_mode(engine, m).search(q, a),
+            query, algorithm, cid_mode)
+
+    def search_many(self, queries: Sequence, algorithm: str = "validrtf",
+                    cid_mode: Optional[str] = None
+                    ) -> "Future[List[SearchResult]]":
+        """One coalesced batch on a single worker (shared posting fetch)."""
+        return self.submit(
+            lambda engine, qs, a, m:
+                self._with_cid_mode(engine, m).search_many(qs, a),
+            queries, algorithm, cid_mode)
+
+    def compare(self, query,
+                cid_mode: Optional[str] = None) -> "Future[ComparisonOutcome]":
+        """ValidRTF-vs-MaxMatch comparison on any worker."""
+        return self.submit(
+            lambda engine, q, m: self._with_cid_mode(engine, m).compare(q),
+            query, cid_mode)
+
+    def rank(self, query, algorithm: str = "validrtf",
+             cid_mode: Optional[str] = None) -> Future:
+        """Search then rank on one worker (needs a resident tree)."""
+        def ranked(engine: SearchEngine, q, a, m):
+            engine = self._with_cid_mode(engine, m)
+            return engine.rank(engine.search(q, a))
+        return self.submit(ranked, query, algorithm, cid_mode)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def warm(self, timeout: float = 30.0) -> int:
+        """Force every worker thread to build its engine now.
+
+        Returns the number of engines alive afterwards.  A barrier keeps the
+        priming tasks from being served by a subset of the workers.
+        """
+        barrier = threading.Barrier(self.workers)
+
+        def prime() -> None:
+            self._thread_engine()
+            barrier.wait(timeout)
+
+        futures = [self._executor.submit(prime) for _ in range(self.workers)]
+        for future in futures:
+            future.result(timeout)
+        return self.engine_count
+
+    @property
+    def engine_count(self) -> int:
+        """Number of worker engines built so far."""
+        with self._engines_lock:
+            return len(self._engines)
+
+    @property
+    def backend_id(self) -> Optional[str]:
+        """The shared backend identity, once at least one engine exists."""
+        with self._engines_lock:
+            return self._engines[0].backend_id if self._engines else None
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregated query-cache counters across all worker engines."""
+        with self._engines_lock:
+            engines = list(self._engines)
+        totals = [engine.cache_stats() for engine in engines]
+        return CacheStats(
+            hits=sum(stats.hits for stats in totals),
+            misses=sum(stats.misses for stats in totals),
+            evictions=sum(stats.evictions for stats in totals),
+            size=sum(stats.size for stats in totals),
+            max_size=sum(stats.max_size for stats in totals),
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Pool-level counters for the ``stats`` endpoint."""
+        cache = self.cache_stats()
+        return {
+            "workers": self.workers,
+            "engines": self.engine_count,
+            "backend": self.backend_id,
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "size": cache.size,
+                "max_size": cache.max_size,
+            },
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker threads (idempotent)."""
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "EnginePool":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (f"EnginePool(workers={self.workers}, "
+                f"engines={self.engine_count}, backend={self.backend_id!r})")

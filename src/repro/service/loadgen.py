@@ -1,0 +1,310 @@
+"""Load generation: throughput and latency percentiles for the service.
+
+Two standard driving disciplines:
+
+* **closed loop** (:func:`run_closed_loop`) — ``concurrency`` simulated
+  users, each with its own connection, each issuing its next request the
+  moment the previous answer arrives, until a shared budget of ``requests``
+  is spent.  Measures the service's capacity under a fixed multiprogramming
+  level.
+* **open loop** (:func:`run_open_loop`) — requests are *scheduled* at a
+  target aggregate rate for a fixed duration, independent of completions
+  (each of the ``concurrency`` connections fires on its own fixed timetable).
+  Measures behaviour under offered load; when the service can't keep up the
+  schedule slips and latency percentiles show it.  (With finite connections
+  the loop degenerates toward closed-loop behaviour at saturation — raise
+  ``concurrency`` to keep the schedule honest.)
+
+Both produce a :class:`LoadReport` with throughput, p50/p95/p99/mean/max
+latency and typed error counts (shed load and timeouts are *not* silently
+mixed into latency numbers).  :func:`loadtest` self-hosts a server from a
+:class:`~repro.service.server.ServiceConfig` and drives it in-process;
+:func:`write_service_bench` persists reports as ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bench.export import write_json
+from ..xmltree import XMLTree
+from .client import ServiceClient
+from .protocol import ServiceError
+from .server import ServerThread, ServiceConfig
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of an unsorted sequence."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured, JSON-exportable."""
+
+    mode: str
+    requests: int
+    concurrency: int
+    algorithm: str
+    elapsed_seconds: float
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+    errors: Dict[str, int] = field(default_factory=dict)
+    target_rate: Optional[float] = None
+    config: Dict[str, object] = field(default_factory=dict)
+    server_stats: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> int:
+        """Requests answered successfully."""
+        return len(self.latencies_ms)
+
+    @property
+    def error_count(self) -> int:
+        """Requests answered with a typed error (or failed transport)."""
+        return sum(self.errors.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        """Successful answers per wall-clock second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    def latency_summary_ms(self) -> Dict[str, float]:
+        """p50/p95/p99/mean/max of the successful requests, in ms."""
+        values = self.latencies_ms
+        return {
+            "p50": percentile(values, 50),
+            "p95": percentile(values, 95),
+            "p99": percentile(values, 99),
+            "mean": (sum(values) / len(values)) if values else 0.0,
+            "max": max(values) if values else 0.0,
+        }
+
+    def payload(self) -> Dict[str, object]:
+        """The JSON payload of one run (raw latencies omitted)."""
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "completed": self.completed,
+            "concurrency": self.concurrency,
+            "algorithm": self.algorithm,
+            "target_rate": self.target_rate,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "latency_ms": {key: round(value, 3) for key, value
+                           in self.latency_summary_ms().items()},
+            "errors": dict(self.errors),
+            "config": self.config,
+            "server_stats": self.server_stats,
+        }
+
+    def summary(self) -> str:
+        """One human-readable block (the ``loadtest`` CLI output)."""
+        latency = self.latency_summary_ms()
+        lines = [
+            f"mode: {self.mode}  concurrency: {self.concurrency}  "
+            f"algorithm: {self.algorithm}"
+            + (f"  target rate: {self.target_rate:g}/s"
+               if self.target_rate else ""),
+            f"completed: {self.completed}/{self.requests}  "
+            f"errors: {self.error_count}"
+            + (f" {self.errors}" if self.errors else ""),
+            f"elapsed: {self.elapsed_seconds:.3f}s  "
+            f"throughput: {self.throughput_rps:.1f} req/s",
+            f"latency ms: p50={latency['p50']:.2f}  p95={latency['p95']:.2f}  "
+            f"p99={latency['p99']:.2f}  mean={latency['mean']:.2f}  "
+            f"max={latency['max']:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+class _Recorder:
+    """Thread-safe collection of latencies and typed-error counts."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.latencies_ms: List[float] = []
+        self.errors: Dict[str, int] = {}
+
+    def success(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.latencies_ms.append(latency_seconds * 1000.0)
+
+    def failure(self, code: str) -> None:
+        with self._lock:
+            self.errors[code] = self.errors.get(code, 0) + 1
+
+
+def _fire(client: ServiceClient, query: str, algorithm: str,
+          recorder: _Recorder) -> None:
+    """Issue one timed request, funnelling failures into typed counts."""
+    started = time.perf_counter()
+    try:
+        client.search(query, algorithm)
+    except ServiceError as error:
+        recorder.failure(error.code)
+    except (ConnectionError, OSError):
+        recorder.failure("transport")
+    else:
+        recorder.success(time.perf_counter() - started)
+
+
+def _run_threads(workers: Sequence[threading.Thread]) -> None:
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+# ---------------------------------------------------------------------- #
+# Driving disciplines
+# ---------------------------------------------------------------------- #
+def run_closed_loop(address: Tuple[str, int], queries: Sequence[str],
+                    requests: int = 200, concurrency: int = 4,
+                    algorithm: str = "validrtf") -> LoadReport:
+    """``concurrency`` users, back-to-back requests, shared budget."""
+    if requests < 1:
+        raise ValueError(f"requests must be positive, got {requests}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be positive, got {concurrency}")
+    if not queries:
+        raise ValueError("the query mix must not be empty")
+    recorder = _Recorder()
+    ticket = itertools.count()
+
+    def user() -> None:
+        try:
+            client = ServiceClient(*address).connect()
+        except (ConnectionError, OSError):
+            recorder.failure("connect")
+            return
+        with client:
+            while True:
+                serial = next(ticket)
+                if serial >= requests:
+                    return
+                _fire(client, queries[serial % len(queries)], algorithm,
+                      recorder)
+
+    started = time.perf_counter()
+    _run_threads([threading.Thread(target=user, name=f"loadgen-{index}")
+                  for index in range(concurrency)])
+    elapsed = time.perf_counter() - started
+    return LoadReport(mode="closed", requests=requests,
+                      concurrency=concurrency, algorithm=algorithm,
+                      elapsed_seconds=elapsed,
+                      latencies_ms=recorder.latencies_ms,
+                      errors=recorder.errors)
+
+
+def run_open_loop(address: Tuple[str, int], queries: Sequence[str],
+                  rate: float = 100.0, duration: float = 2.0,
+                  concurrency: int = 4,
+                  algorithm: str = "validrtf") -> LoadReport:
+    """Fire at a target aggregate ``rate`` (req/s) for ``duration`` seconds."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be positive, got {concurrency}")
+    if not queries:
+        raise ValueError("the query mix must not be empty")
+    recorder = _Recorder()
+    interval = concurrency / rate
+    planned_per_user = max(1, int(duration * rate / concurrency))
+
+    def user(index: int) -> None:
+        try:
+            client = ServiceClient(*address).connect()
+        except (ConnectionError, OSError):
+            recorder.failure("connect")
+            return
+        with client:
+            # Stagger users across one interval so the aggregate arrival
+            # process is (roughly) uniform, not concurrency-sized bursts.
+            origin = time.perf_counter() + (index / concurrency) * interval
+            for step in range(planned_per_user):
+                now = time.perf_counter()
+                scheduled = origin + step * interval
+                if scheduled > now:
+                    time.sleep(scheduled - now)
+                _fire(client, queries[(index + step * concurrency)
+                                      % len(queries)], algorithm, recorder)
+
+    started = time.perf_counter()
+    _run_threads([threading.Thread(target=user, args=(index,),
+                                   name=f"loadgen-{index}")
+                  for index in range(concurrency)])
+    elapsed = time.perf_counter() - started
+    return LoadReport(mode="open", requests=planned_per_user * concurrency,
+                      concurrency=concurrency, algorithm=algorithm,
+                      elapsed_seconds=elapsed, target_rate=rate,
+                      latencies_ms=recorder.latencies_ms,
+                      errors=recorder.errors)
+
+
+# ---------------------------------------------------------------------- #
+# Self-hosting harness + export
+# ---------------------------------------------------------------------- #
+def loadtest(config: ServiceConfig, queries: Sequence[str],
+             tree: Optional[XMLTree] = None,
+             address: Optional[Tuple[str, int]] = None,
+             mode: str = "closed", requests: int = 200, concurrency: int = 4,
+             rate: float = 100.0, duration: float = 2.0,
+             algorithm: str = "validrtf") -> LoadReport:
+    """Drive one load run, self-hosting a server unless ``address`` is given.
+
+    Returns the :class:`LoadReport`, annotated with the service config and
+    (when self-hosting) the server's own pool/batcher/admission counters.
+    """
+    def drive(target: Tuple[str, int]) -> LoadReport:
+        if mode == "closed":
+            return run_closed_loop(target, queries, requests=requests,
+                                   concurrency=concurrency,
+                                   algorithm=algorithm)
+        if mode == "open":
+            return run_open_loop(target, queries, rate=rate,
+                                 duration=duration, concurrency=concurrency,
+                                 algorithm=algorithm)
+        raise ValueError(f"unknown mode {mode!r}; expected closed or open")
+
+    if address is not None:
+        report = drive(address)
+    else:
+        with ServerThread(config, tree=tree) as server:
+            report = drive(server.address)
+            report.server_stats = server.service.stats()
+    report.config = {
+        "backend": config.backend,
+        "workers": config.workers,
+        "cache_size": config.cache_size,
+        "shards": config.shards,
+        "document": config.document,
+        "max_batch_size": config.max_batch_size,
+        "batch_window_seconds": config.batch_window_seconds,
+        "max_inflight": config.max_inflight,
+        "timeout_seconds": config.timeout_seconds,
+        "query_mix": len(queries),
+    }
+    return report
+
+
+def write_service_bench(reports, path="BENCH_service.json"):
+    """Persist one report (or a list of them) as the service bench artefact."""
+    if isinstance(reports, LoadReport):
+        reports = [reports]
+    payload = {"service_bench": [report.payload() for report in reports]}
+    return write_json(payload, path)

@@ -1,0 +1,168 @@
+"""Wire protocol of the serving layer.
+
+One JSON object per line in both directions (newline-delimited JSON over a
+plain TCP stream).  Requests carry an ``op`` plus op-specific fields::
+
+    {"op": "search", "query": "xml keyword search",
+     "algorithm": "validrtf", "cid_mode": "minmax"}
+
+Responses are ``{"ok": true, ...payload...}`` or
+``{"ok": false, "error": {"code": ..., "message": ...}}``.
+
+Two properties matter here:
+
+* **Determinism** — :func:`result_payload` is the *canonical* serialization
+  of a :class:`~repro.core.fragments.SearchResult`.  It deliberately excludes
+  timings, and :func:`encode_message` fixes key order and separators, so a
+  result served through the TCP front end is byte-identical to the same
+  result serialized directly — which is exactly what the service-parity
+  suite (``tests/test_service_parity.py``) asserts.
+* **Typed errors** — every failure mode the admission controller or the
+  dispatch layer can produce has a stable error code, so load generators and
+  clients can distinguish shed load (``overloaded``) from timeouts from
+  caller mistakes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from ..core.engine import ComparisonOutcome
+from ..core.fragments import SearchResult
+from ..core.ranking import RankedFragment
+
+#: Malformed JSON, missing fields, unparseable queries.
+ERROR_BAD_REQUEST = "bad_request"
+#: Algorithm name not registered with the engine.
+ERROR_UNKNOWN_ALGORITHM = "unknown_algorithm"
+#: Load shed: the admission controller's in-flight bound was hit.
+ERROR_OVERLOADED = "overloaded"
+#: The per-request deadline elapsed before a result was ready.
+ERROR_TIMEOUT = "timeout"
+#: The operation is valid but not available on this engine configuration
+#: (e.g. ``rank`` on a tree-free disk backend).
+ERROR_UNSUPPORTED = "unsupported"
+#: Anything unexpected; the message carries the exception text.
+ERROR_INTERNAL = "internal"
+
+ERROR_CODES = (ERROR_BAD_REQUEST, ERROR_UNKNOWN_ALGORITHM, ERROR_OVERLOADED,
+               ERROR_TIMEOUT, ERROR_UNSUPPORTED, ERROR_INTERNAL)
+
+
+class ServiceError(Exception):
+    """A failure with a stable wire-level error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def response(self) -> Dict[str, object]:
+        """The error as a wire response."""
+        return error_response(self.code, self.message)
+
+
+# ---------------------------------------------------------------------- #
+# Canonical payloads
+# ---------------------------------------------------------------------- #
+def result_payload(result: SearchResult) -> Dict[str, object]:
+    """The canonical JSON payload of one search result.
+
+    Everything the parity contract covers — roots, kept node sets, raw node
+    sets, keyword nodes, SLCA flags, LCA list — and nothing
+    non-deterministic (no timings).
+    """
+    return {
+        "query": list(result.query.keywords),
+        "algorithm": result.algorithm,
+        "count": result.count,
+        "lca_nodes": [str(code) for code in result.lca_nodes],
+        "fragments": [
+            {
+                "root": str(fragment.root),
+                "is_slca": fragment.is_slca,
+                "kept_nodes": [str(code) for code in fragment.kept_nodes],
+                "nodes": [str(code) for code in fragment.fragment.nodes],
+                "keyword_nodes": [str(code)
+                                  for code in fragment.fragment.keyword_nodes],
+            }
+            for fragment in result.fragments
+        ],
+    }
+
+
+def comparison_payload(outcome: ComparisonOutcome) -> Dict[str, object]:
+    """The canonical payload of a ValidRTF-vs-MaxMatch comparison."""
+    report = outcome.report
+    return {
+        "validrtf": result_payload(outcome.validrtf),
+        "maxmatch": result_payload(outcome.maxmatch),
+        "report": {
+            "lca_count": report.lca_count,
+            "cfr": report.cfr,
+            "apr_prime": report.apr_prime,
+            "max_apr": report.max_apr,
+            "comparisons": [
+                {
+                    "root": str(comparison.root),
+                    "identical": comparison.identical,
+                    "maxmatch_size": comparison.maxmatch_size,
+                    "validrtf_size": comparison.validrtf_size,
+                    "extra_pruned": comparison.extra_pruned,
+                }
+                for comparison in report.comparisons
+            ],
+        },
+    }
+
+
+def ranking_payload(ranked: Sequence[RankedFragment]) -> List[Dict[str, object]]:
+    """The canonical payload of a ranked fragment list."""
+    return [
+        {
+            "root": str(fragment.fragment.root),
+            "score": fragment.score,
+            "specificity": fragment.specificity,
+            "compactness": fragment.compactness,
+            "coverage": fragment.coverage,
+        }
+        for fragment in ranked
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Framing
+# ---------------------------------------------------------------------- #
+def encode_message(message: Dict[str, object]) -> bytes:
+    """One message as a canonical newline-terminated JSON line."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, object]:
+    """Parse one received line; raises :class:`ServiceError` on bad input."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(ERROR_BAD_REQUEST,
+                           f"undecodable request line: {error}") from None
+    if not isinstance(message, dict):
+        raise ServiceError(ERROR_BAD_REQUEST,
+                           f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+def ok_response(**payload: object) -> Dict[str, object]:
+    """A success response envelope."""
+    return {"ok": True, **payload}
+
+
+def error_response(code: str, message: str,
+                   request_id: Optional[object] = None) -> Dict[str, object]:
+    """A typed error response envelope."""
+    response: Dict[str, object] = {
+        "ok": False, "error": {"code": code, "message": message}}
+    if request_id is not None:
+        response["id"] = request_id
+    return response

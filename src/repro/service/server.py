@@ -1,0 +1,376 @@
+"""The asyncio front end: newline-delimited JSON over TCP.
+
+Three layers, assembled by :class:`ServiceConfig.build` or by hand:
+
+* :class:`SearchService` — transport-free request dispatch.  Validates the
+  request, runs it through admission control (bounded in-flight depth +
+  deadline) and answers with the canonical payloads of
+  :mod:`~repro.service.protocol`.  ``search`` goes through the
+  :class:`~repro.service.batcher.RequestBatcher`; ``compare`` and ``rank``
+  dispatch straight to the pool.
+* :class:`SearchServer` — binds the service to a TCP socket with
+  :func:`asyncio.start_server`; one JSON object per line in, one per line
+  out, requests of one connection answered in order.
+* :class:`ServerThread` — hosts a server (and its event loop) on a
+  background thread, for tests, examples and the self-hosting load
+  generator.
+
+Supported operations::
+
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "algorithms"}
+    {"op": "search",  "query": ..., "algorithm": ..., "cid_mode": ...}
+    {"op": "compare", "query": ..., "cid_mode": ...}
+    {"op": "rank",    "query": ..., "algorithm": ..., "cid_mode": ...}
+
+Every request may carry an ``id``, echoed verbatim in the response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..core import ALGORITHM_NAMES, Query
+from ..core.errors import EmptyQueryError, SearchError
+from ..core.node_record import CID_MODES
+from ..xmltree import XMLTree
+from .admission import DEFAULT_MAX_INFLIGHT, AdmissionController
+from .batcher import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_WAIT_SECONDS,
+    RequestBatcher,
+)
+from .engine_pool import DEFAULT_CACHE_SIZE, DEFAULT_WORKERS, EnginePool
+from .protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ERROR_UNKNOWN_ALGORITHM,
+    ERROR_UNSUPPORTED,
+    ServiceError,
+    comparison_payload,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    ranking_payload,
+    result_payload,
+)
+
+#: StreamReader line limit — queries are tiny, but leave headroom.
+_READLINE_LIMIT = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of the serving stack in one place.
+
+    The defaults favour a laptop demo: four workers, 2 ms batch window,
+    64 in-flight requests, no deadline.
+    """
+
+    backend: str = "memory"
+    workers: int = DEFAULT_WORKERS
+    cache_size: int = DEFAULT_CACHE_SIZE
+    shards: int = 2
+    db_path: Optional[str] = None
+    document: str = "service"
+    cid_mode: str = "minmax"
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
+    batch_window_seconds: float = DEFAULT_MAX_WAIT_SECONDS
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    timeout_seconds: Optional[float] = None
+
+    def build(self, tree: Optional[XMLTree] = None) -> "SearchService":
+        """Assemble pool + batcher + admission into a ready service."""
+        pool = EnginePool.for_backend(
+            self.backend, tree=tree, workers=self.workers,
+            cache_size=self.cache_size, shards=self.shards,
+            db_path=self.db_path, document=self.document)
+        return SearchService(
+            pool,
+            batcher=RequestBatcher(pool, self.max_batch_size,
+                                   self.batch_window_seconds),
+            admission=AdmissionController(self.max_inflight,
+                                          self.timeout_seconds),
+            default_cid_mode=self.cid_mode,
+            owns_pool=True,
+        )
+
+
+class SearchService:
+    """Transport-free dispatch: a request dict in, a response dict out."""
+
+    def __init__(self, pool: EnginePool,
+                 batcher: Optional[RequestBatcher] = None,
+                 admission: Optional[AdmissionController] = None,
+                 default_cid_mode: str = "minmax",
+                 owns_pool: bool = False):
+        self.pool = pool
+        self.batcher = batcher if batcher is not None else RequestBatcher(pool)
+        self.admission = (admission if admission is not None
+                          else AdmissionController())
+        self.default_cid_mode = default_cid_mode
+        self._owns_pool = owns_pool
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    async def handle(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Answer one request; never raises — failures become typed errors."""
+        request_id = request.get("id")
+        try:
+            response = await self._dispatch(request)
+        except ServiceError as error:
+            return error_response(error.code, error.message, request_id)
+        except Exception as error:  # noqa: BLE001 - the wire needs an answer
+            return error_response(ERROR_INTERNAL,
+                                  f"{type(error).__name__}: {error}",
+                                  request_id)
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    async def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
+        op = request.get("op", "search")
+        if op == "ping":
+            return ok_response(pong=True)
+        if op == "stats":
+            return ok_response(stats=self.stats())
+        if op == "algorithms":
+            return ok_response(algorithms=list(ALGORITHM_NAMES),
+                               cid_modes=list(CID_MODES))
+        if op == "search":
+            return await self._search(request)
+        if op == "compare":
+            return await self._compare(request)
+        if op == "rank":
+            return await self._rank(request)
+        raise ServiceError(ERROR_BAD_REQUEST, f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def _validated(self, request: Dict[str, object]):
+        """Extract and validate (query, algorithm, cid_mode)."""
+        query = request.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise ServiceError(ERROR_BAD_REQUEST,
+                               "a non-empty string 'query' is required")
+        try:
+            Query.parse(query)
+        except EmptyQueryError as error:
+            raise ServiceError(ERROR_BAD_REQUEST, str(error)) from None
+        algorithm = request.get("algorithm", "validrtf")
+        if algorithm not in ALGORITHM_NAMES:
+            raise ServiceError(
+                ERROR_UNKNOWN_ALGORITHM,
+                f"unknown algorithm {algorithm!r}; "
+                f"expected one of {list(ALGORITHM_NAMES)}")
+        cid_mode = request.get("cid_mode", self.default_cid_mode)
+        if cid_mode not in CID_MODES:
+            raise ServiceError(
+                ERROR_BAD_REQUEST,
+                f"unknown cid_mode {cid_mode!r}; "
+                f"expected one of {list(CID_MODES)}")
+        return query, algorithm, cid_mode
+
+    async def _search(self, request: Dict[str, object]) -> Dict[str, object]:
+        query, algorithm, cid_mode = self._validated(request)
+        with self.admission:
+            result = await self.admission.run(
+                self.batcher.submit(query, algorithm, cid_mode))
+        return ok_response(result=result_payload(result))
+
+    async def _compare(self, request: Dict[str, object]) -> Dict[str, object]:
+        query, _, cid_mode = self._validated(request)
+        with self.admission:
+            outcome = await self.admission.run(asyncio.wrap_future(
+                self.pool.compare(query, cid_mode)))
+        return ok_response(comparison=comparison_payload(outcome))
+
+    async def _rank(self, request: Dict[str, object]) -> Dict[str, object]:
+        query, algorithm, cid_mode = self._validated(request)
+        with self.admission:
+            try:
+                ranked = await self.admission.run(asyncio.wrap_future(
+                    self.pool.rank(query, algorithm, cid_mode)))
+            except SearchError as error:
+                # Ranking needs a resident tree; tree-free disk backends
+                # answer with the typed "unsupported" error instead of 500s.
+                raise ServiceError(ERROR_UNSUPPORTED, str(error)) from None
+        return ok_response(ranking=ranking_payload(ranked))
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """One merged stats payload: pool, batcher, admission."""
+        return {
+            "pool": self.pool.stats(),
+            "batcher": self.batcher.stats(),
+            "admission": self.admission.stats(),
+        }
+
+    def close(self) -> None:
+        """Flush the batcher and (when owned) stop the pool."""
+        self.batcher.close()
+        if self._owns_pool:
+            self.pool.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# TCP binding
+# ---------------------------------------------------------------------- #
+class SearchServer:
+    """One JSON object per line over TCP, answered in per-connection order."""
+
+    def __init__(self, service: SearchService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (port 0 resolves on start)."""
+        if self._server is None:
+            raise RuntimeError("the server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self):
+        """Bind the socket; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._on_client, self.host, self.port, limit=_READLINE_LIMIT)
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI's ``serve`` loop)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, close the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.close()
+
+    async def _on_client(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError,
+                        asyncio.LimitOverrunError):
+                    break  # ValueError: line beyond the read limit
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_message(line)
+                except ServiceError as error:
+                    response = error.response()
+                else:
+                    response = await self.service.handle(request)
+                writer.write(encode_message(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+
+class ServerThread:
+    """Host a server + event loop on a background thread.
+
+    Accepts a ready :class:`SearchService`, a bare :class:`EnginePool` (a
+    default service is wrapped around it) or a :class:`ServiceConfig` plus
+    ``tree``.  Usable as a context manager::
+
+        with ServerThread(pool) as server:
+            client = ServiceClient(*server.address)
+    """
+
+    def __init__(self, service: Union[SearchService, EnginePool, ServiceConfig],
+                 host: str = "127.0.0.1", port: int = 0,
+                 tree: Optional[XMLTree] = None):
+        if isinstance(service, ServiceConfig):
+            service = service.build(tree)
+        elif isinstance(service, EnginePool):
+            service = SearchService(service)
+        self.service = service
+        self.host = host
+        self.port = port
+        self.address = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        """Start the loop thread; blocks until the socket is bound."""
+        if self._thread is not None:
+            raise RuntimeError("the server thread is already started")
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service-server")
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("the server thread did not come up")
+        if self._startup_error is not None:
+            raise RuntimeError("server startup failed") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = SearchServer(self.service, self.host, self.port)
+        try:
+            self.address = await server.start()
+        except BaseException as error:  # noqa: BLE001 - surfaced in start()
+            self._startup_error = error
+            self._loop = None  # the loop is about to close; stop() must
+            self._stop = None  # not post to it
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.stop()
+
+    def stop(self) -> None:
+        """Stop the server and join the thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # the loop already exited (e.g. startup failed)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()

@@ -8,7 +8,9 @@ against the ``value`` table.
 
 from __future__ import annotations
 
+import itertools
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -17,6 +19,11 @@ from ..xmltree import DeweyCode, XMLTree
 from .errors import DocumentAlreadyStored, DocumentNotFound
 from .schema import CREATE_TABLES_SQL, decode_dewey, encode_dewey
 from .shredder import ShreddedDocument, shred_tree
+
+
+#: Distinguishes the shared-cache URIs of concurrently-alive ``:memory:``
+#: stores, so two stores never alias one in-process database.
+_MEMORY_DB_COUNTER = itertools.count()
 
 
 class SQLiteStore:
@@ -29,24 +36,69 @@ class SQLiteStore:
         database.
     tokenizer:
         Tokenizer shared with the query side.
+
+    Thread use
+    ----------
+    The store is safe to share across threads: every thread lazily opens its
+    **own** connection to the database (``:memory:`` stores become unique
+    shared-cache URIs so all threads still see one database).  This is what
+    lets the concurrent serving layer (:mod:`repro.service`) run one worker
+    pool over a single store — disk reads genuinely parallelize, with no
+    cross-thread cursor sharing.  Ingestion (:meth:`store_tree` /
+    :meth:`drop_document`) is not synchronized against concurrent readers;
+    the serving layer treats a stored document as an immutable snapshot.
     """
 
     def __init__(self, path: Union[str, Path] = ":memory:",
                  tokenizer: Tokenizer = DEFAULT_TOKENIZER):
         self.path = str(path)
         self.tokenizer = tokenizer
-        self._connection = sqlite3.connect(self.path)
-        self._connection.execute("PRAGMA journal_mode = MEMORY")
-        for statement in CREATE_TABLES_SQL:
-            self._connection.execute(statement)
+        if self.path == ":memory:":
+            self._uri = (f"file:repro-mem-{next(_MEMORY_DB_COUNTER)}"
+                         f"?mode=memory&cache=shared")
+        else:
+            self._uri = None
+        self._local = threading.local()
+        self._connections: List[sqlite3.Connection] = []
+        self._connections_lock = threading.Lock()
+        self._closed = False
+        # The constructing thread's connection doubles as the anchor that
+        # keeps a shared in-memory database alive until close().
         self._connection.commit()
+
+    @property
+    def _connection(self) -> sqlite3.Connection:
+        """This thread's connection, opened (with the schema) on first use."""
+        if self._closed:
+            raise sqlite3.ProgrammingError(
+                "Cannot operate on a closed SQLiteStore")
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            if self._uri is not None:
+                connection = sqlite3.connect(self._uri, uri=True,
+                                             check_same_thread=False)
+            else:
+                connection = sqlite3.connect(self.path,
+                                             check_same_thread=False)
+            connection.execute("PRAGMA journal_mode = MEMORY")
+            for statement in CREATE_TABLES_SQL:
+                connection.execute(statement)
+            self._local.connection = connection
+            with self._connections_lock:
+                self._connections.append(connection)
+        return connection
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Close the underlying connection."""
-        self._connection.close()
+        """Close every thread's connection; further use raises (loudly)."""
+        self._closed = True
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            connection.close()
+        self._local = threading.local()
 
     def __enter__(self) -> "SQLiteStore":
         return self

@@ -257,3 +257,54 @@ class TestSearchMany:
         assert cached_seconds < uncached_seconds, (
             f"cached batches ({cached_seconds:.4f}s) not faster than uncached "
             f"loop ({uncached_seconds:.4f}s) despite {stats.hits} cache hits")
+
+
+# ---------------------------------------------------------------------- #
+# Thread safety (the serving layer shares one cache across workers)
+# ---------------------------------------------------------------------- #
+class TestCacheThreadSafety:
+    def test_concurrent_hammer_preserves_invariants(self):
+        """Many threads get/put/clear one small cache; nothing corrupts.
+
+        The LRU must never exceed its capacity, every returned value must be
+        the one stored under its key (no cross-key bleed), and no counter
+        increment may be lost: with ``threads * iterations`` ``get`` calls
+        in total, the hit+miss sum must equal exactly that.
+        """
+        import threading
+
+        cache = QueryResultCache(8)
+        names = [f"kw{i}" for i in range(24)]
+        results = {name: make_result(name) for name in names}
+        threads, iterations = 8, 400
+        errors = []
+        barrier = threading.Barrier(threads)
+
+        def hammer(seed: int) -> None:
+            try:
+                barrier.wait()
+                for step in range(iterations):
+                    name = names[(seed * 7 + step) % len(names)]
+                    got = cache.get(key(name))
+                    if got is None:
+                        cache.put(key(name), results[name])
+                    elif got is not results[name]:
+                        raise AssertionError(
+                            f"cache returned another query's result for {name}")
+                    if step % 97 == 0:
+                        cache.clear()
+                    if len(cache) > cache.max_size:
+                        raise AssertionError("LRU exceeded its capacity")
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        workers = [threading.Thread(target=hammer, args=(index,))
+                   for index in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors, errors
+        stats = cache.stats
+        assert stats.hits + stats.misses == threads * iterations
+        assert len(cache) <= cache.max_size

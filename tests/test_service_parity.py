@@ -1,0 +1,241 @@
+"""Service parity: answers through the TCP front end are byte-identical.
+
+The serving-layer counterpart of ``tests/test_backend_parity.py`` and the
+convention new service endpoints must follow (see ROADMAP, Serving layer):
+for every posting backend and every algorithm, the canonical payload a
+client receives over the wire must be **byte-identical** (canonical JSON
+encoding) to serializing a direct :meth:`SearchEngine.search` on the same
+backend — batching, pooling and admission must be completely transparent.
+
+The concurrent-hammer test drives one server from many threads with
+distinct per-thread queries and asserts every response matches its own
+query's expected payload — i.e. the batcher never bleeds one request's
+answer into another's.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import ALGORITHM_NAMES, SearchEngine
+from repro.datasets import PAPER_QUERIES
+from repro.service import (
+    EnginePool,
+    SearchService,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    comparison_payload,
+    encode_message,
+    result_payload,
+)
+from repro.storage import ShardedPostingSource, SQLitePostingSource, SQLiteStore
+
+BACKENDS = ("memory", "sqlite", "sharded")
+
+#: (dataset fixture name, golden paper queries) the parity matrix runs over.
+DATASETS = (
+    ("publications", ("Q1", "Q2", "Q3")),
+    ("team", ("Q4", "Q5")),
+)
+
+
+def build_reference_engine(tree, backend: str, name: str) -> SearchEngine:
+    """A direct (unserved) engine for one backend, as in the backend-parity
+    suite — the truth the served payloads are diffed against."""
+    if backend == "memory":
+        return SearchEngine(tree)
+    if backend == "sqlite":
+        store = SQLiteStore()
+        store.store_tree(tree, name)
+        return SearchEngine(source=SQLitePostingSource(store, name))
+    if backend == "sharded":
+        return SearchEngine(
+            source=ShardedPostingSource.from_tree(tree, shard_count=3,
+                                                  name=name))
+    raise ValueError(backend)
+
+
+@pytest.fixture(scope="module")
+def served(publications, team):
+    """One running server (and reference engine) per (dataset, backend)."""
+    trees = {"publications": publications, "team": team}
+    servers = {}
+    pools = []
+    for dataset, tree in trees.items():
+        for backend in BACKENDS:
+            pool = EnginePool.for_backend(backend, tree=tree, workers=2,
+                                          shards=3, document=dataset)
+            pools.append(pool)
+            server = ServerThread(pool).start()
+            reference = build_reference_engine(tree, backend, dataset)
+            servers[(dataset, backend)] = (server, reference)
+    yield servers
+    for server, _ in servers.values():
+        server.stop()
+    for pool in pools:
+        pool.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# The parity matrix: datasets x algorithms x backends, byte-identical
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+@pytest.mark.parametrize("dataset,query_names", DATASETS)
+def test_served_search_is_byte_identical(served, dataset, query_names,
+                                         algorithm, backend):
+    server, reference = served[(dataset, backend)]
+    with ServiceClient(*server.address) as client:
+        for query_name in query_names:
+            query = PAPER_QUERIES[query_name]
+            over_the_wire = client.search(query, algorithm)
+            direct = result_payload(reference.search(query, algorithm))
+            assert encode_message(over_the_wire) == encode_message(direct), (
+                dataset, query_name, algorithm, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_served_compare_is_byte_identical(served, backend):
+    server, reference = served[("publications", backend)]
+    with ServiceClient(*server.address) as client:
+        query = PAPER_QUERIES["Q2"]
+        over_the_wire = client.compare(query)
+        direct = comparison_payload(reference.compare(query))
+        assert encode_message(over_the_wire) == encode_message(direct)
+
+
+def test_served_cid_mode_is_byte_identical(served, publications):
+    server, _ = served[("publications", "memory")]
+    exact_engine = SearchEngine(publications, cid_mode="exact")
+    with ServiceClient(*server.address) as client:
+        query = PAPER_QUERIES["Q2"]
+        over_the_wire = client.search(query, cid_mode="exact")
+        direct = result_payload(exact_engine.search(query))
+        assert encode_message(over_the_wire) == encode_message(direct)
+
+
+# ---------------------------------------------------------------------- #
+# Typed errors over the wire
+# ---------------------------------------------------------------------- #
+def test_unknown_algorithm_is_typed(served):
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.search("xml", algorithm="bogus")
+        assert excinfo.value.code == "unknown_algorithm"
+
+
+def test_bad_query_is_typed(served):
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        response = client.request({"op": "search"})  # no query at all
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        response = client.request({"op": "search", "query": "   "})
+        assert response["error"]["code"] == "bad_request"
+        response = client.request({"op": "nonsense", "id": 9})
+        assert response["error"]["code"] == "bad_request"
+        assert response["id"] == 9  # request ids echo on errors too
+
+
+def test_rank_on_tree_free_backend_is_unsupported(served):
+    server, _ = served[("publications", "sqlite")]
+    with ServiceClient(*server.address) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.rank(PAPER_QUERIES["Q1"])
+        assert excinfo.value.code == "unsupported"
+
+
+def test_rank_on_memory_backend_works(served, publications):
+    server, reference = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        ranking = client.rank(PAPER_QUERIES["Q2"])
+        assert ranking, "expected at least one ranked fragment"
+        direct = reference.rank(reference.search(PAPER_QUERIES["Q2"]))
+        assert [entry["root"] for entry in ranking] == \
+            [str(fragment.fragment.root) for fragment in direct]
+
+
+# ---------------------------------------------------------------------- #
+# The concurrent hammer: no cross-request bleed under load
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_concurrent_hammer_no_cross_request_bleed(served, backend):
+    """Many client threads, distinct interleaved queries and algorithms:
+    every response must match its own request's expected bytes, while the
+    batcher actively coalesces across connections."""
+    server, reference = served[("publications", backend)]
+    workload = [
+        (PAPER_QUERIES[name], algorithm)
+        for name in ("Q1", "Q2", "Q3")
+        for algorithm in ("validrtf", "maxmatch")
+    ]
+    expected = {
+        (query, algorithm): encode_message(
+            result_payload(reference.search(query, algorithm)))
+        for query, algorithm in workload
+    }
+    threads, iterations = 6, 15
+    errors = []
+    barrier = threading.Barrier(threads)
+
+    def hammer(seed: int) -> None:
+        try:
+            with ServiceClient(*server.address) as client:
+                barrier.wait(30)
+                for step in range(iterations):
+                    query, algorithm = workload[(seed + step) % len(workload)]
+                    payload = client.search(query, algorithm)
+                    if encode_message(payload) != expected[(query, algorithm)]:
+                        raise AssertionError(
+                            f"response bleed for {query!r}/{algorithm}")
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    workers = [threading.Thread(target=hammer, args=(index,))
+               for index in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert not errors, errors
+    stats = server.service.stats()
+    assert stats["admission"]["admitted"] >= threads * iterations
+    assert stats["batcher"]["requests"] >= threads * iterations
+
+
+def test_concurrent_burst_actually_batches(publications, publications_engine):
+    """Sanity check on the hammer's premise: a synchronized burst of
+    identical requests from many connections coalesces into at least one
+    multi-request engine batch (and still answers correctly)."""
+    pool = EnginePool.for_backend("memory", tree=publications, workers=2)
+    service = SearchService(pool)
+    service.batcher.max_wait_seconds = 0.05  # generous window for CI boxes
+    expected = encode_message(
+        result_payload(publications_engine.search(PAPER_QUERIES["Q2"])))
+    threads = 8
+    barrier = threading.Barrier(threads)
+    errors = []
+    with ServerThread(service) as server:
+        def burst() -> None:
+            try:
+                with ServiceClient(*server.address) as client:
+                    barrier.wait(30)
+                    payload = client.search(PAPER_QUERIES["Q2"])
+                    assert encode_message(payload) == expected
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        workers = [threading.Thread(target=burst) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stats = service.stats()["batcher"]
+    pool.shutdown()
+    assert not errors, errors
+    assert stats["largest_batch"] >= 2, stats
+    assert stats["batches"] < stats["requests"], stats

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import SearchEngine
 from repro.storage import (
     DocumentAlreadyStored,
     DocumentNotFound,
     MemoryStore,
+    SQLitePostingSource,
     SQLiteStore,
     StoredDocumentSearch,
     agreement_with_index,
@@ -187,3 +189,68 @@ class TestStoredDocumentSearch:
         store.store_tree(publications, "pub")
         search = StoredDocumentSearch(publications, store, "pub")
         assert search.keyword_nodes("xml")["xml"]
+
+
+# ---------------------------------------------------------------------- #
+# Multi-threaded store use (the serving layer's worker pool)
+# ---------------------------------------------------------------------- #
+class TestSQLiteStoreThreading:
+    def test_per_thread_connections_share_one_database(self, publications,
+                                                       publications_engine):
+        """Worker threads searching one shared SQLiteStore agree with the
+        in-memory engine — every thread gets its own connection but sees the
+        same (shared-cache) database."""
+        import threading
+
+        store = SQLiteStore()
+        store.store_tree(publications, "pub")
+        expected = {
+            name: publications_engine.search(PAPER_QUERIES[name]).roots()
+            for name in ("Q1", "Q2", "Q3")
+        }
+        errors = []
+
+        def work() -> None:
+            try:
+                engine = SearchEngine(source=SQLitePostingSource(store, "pub"))
+                for name, roots in expected.items():
+                    assert engine.search(PAPER_QUERIES[name]).roots() == roots
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        store.close()
+
+    def test_memory_stores_stay_distinct(self, publications):
+        """Two ``:memory:`` stores never alias one shared-cache database."""
+        first = SQLiteStore()
+        first.store_tree(publications, "pub")
+        second = SQLiteStore()
+        assert second.documents() == []
+        assert first.documents() == ["pub"]
+        first.close()
+        second.close()
+
+    def test_file_store_reopens_across_threads(self, publications, tmp_path):
+        """A file-backed store built on one thread serves another thread."""
+        import threading
+
+        path = tmp_path / "threaded.db"
+        store = SQLiteStore(path)
+        store.store_tree(publications, "pub")
+        seen = {}
+
+        def read() -> None:
+            seen["docs"] = store.documents()
+            seen["freq"] = store.keyword_frequency("pub", "xml")
+
+        thread = threading.Thread(target=read)
+        thread.start()
+        thread.join()
+        assert seen == {"docs": ["pub"], "freq": 3}
+        store.close()

@@ -3,7 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all coverage bench bench-collect smoke loadtest-smoke
+.PHONY: test test-all coverage bench bench-collect bench-export smoke \
+	loadtest-smoke perf-smoke
 
 test:            ## fast unit suite (tier-1)
 	$(PYTHON) -m pytest -x -q
@@ -32,3 +33,11 @@ smoke:           ## tier-1 + collection guard + one tiny end-to-end bench query
 loadtest-smoke:  ## tiny serving-layer run guarding repro.service end to end
 	$(PYTHON) -m repro.cli loadtest --backend memory --workers 2 \
 	    --requests 50 --concurrency 4 --output BENCH_service.json
+
+bench-export:    ## BENCH_core.json: per-algorithm/backend/representation timings
+	$(PYTHON) -m repro.cli bench-export --backend memory --backend sqlite \
+	    --repetitions 3 --output BENCH_core.json
+
+perf-smoke:      ## one tiny packed-vs-object query with the parity guard (CI)
+	$(PYTHON) -m repro.cli bench-export --limit 1 --repetitions 1 \
+	    --output /tmp/bench_core_smoke.json

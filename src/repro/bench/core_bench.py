@@ -1,0 +1,160 @@
+"""BENCH_core.json — the core-engine perf trajectory artefact.
+
+The Figure 5/6 drivers measure MaxMatch-vs-ValidRTF per query; this module
+records the *systems* axes on top of the paper's: per-algorithm, per-backend
+and per-**representation** (packed flat columns vs. boxed ``DeweyCode``
+lists) timings over the same workloads, so every PR that touches a hot path
+leaves a comparable number behind.
+
+The run doubles as a correctness guard: before anything is timed, the packed
+and object engines answer every (query, algorithm) pair and the results must
+be identical — roots, kept node sets, SLCA flags.  A representation that
+drifts from parity fails the bench instead of producing fast-but-wrong
+numbers (this is what the CI perf-smoke step runs, scaled down).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .harness import (
+    DatasetSpec,
+    default_datasets,
+    engine_for_backend,
+    time_algorithm,
+)
+
+#: Axes measured by default.
+DEFAULT_BACKENDS = ("memory",)
+DEFAULT_REPRESENTATIONS = ("packed", "object")
+DEFAULT_ALGORITHMS = ("validrtf", "maxmatch")
+
+
+class RepresentationParityError(AssertionError):
+    """Packed and object engines disagreed on a query (never acceptable)."""
+
+
+def _result_fingerprint(result) -> Tuple:
+    """Everything that must match across representations (not the timing)."""
+    return (
+        tuple(str(code) for code in result.lca_nodes),
+        tuple((str(fragment.root), fragment.is_slca,
+               tuple(str(code) for code in fragment.kept_nodes),
+               tuple(str(code) for code in fragment.fragment.nodes),
+               tuple(str(code) for code in fragment.fragment.keyword_nodes))
+              for fragment in result.fragments),
+    )
+
+
+def run_core_bench(datasets: Sequence[str] = ("dblp",),
+                   backends: Sequence[str] = DEFAULT_BACKENDS,
+                   representations: Sequence[str] = DEFAULT_REPRESENTATIONS,
+                   algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                   repetitions: int = 2,
+                   limit: Optional[int] = None,
+                   shards: int = 2,
+                   verify: bool = True,
+                   specs: Optional[Dict[str, DatasetSpec]] = None
+                   ) -> Dict[str, object]:
+    """Measure the workload over every (dataset, backend, representation).
+
+    Returns the ``BENCH_core.json`` payload: one entry per (dataset, backend,
+    representation, algorithm, query) with the Figure-5 protocol average
+    (``repetitions`` timed passes after a discarded warm-up), plus per-
+    (dataset, backend, algorithm) summaries with the packed/object total-time
+    ratio when both representations were measured.
+
+    ``limit`` trims each dataset's workload to its first N queries (the CI
+    perf-smoke uses 1); ``verify=True`` cross-checks result parity between
+    every representation pair before timing and raises
+    :class:`RepresentationParityError` on any mismatch.
+    """
+    specs = specs if specs is not None else default_datasets()
+    entries: List[Dict[str, object]] = []
+    for dataset in datasets:
+        spec = specs[dataset]
+        queries = list(spec.workload)
+        if limit is not None:
+            queries = queries[:limit]
+        tree = spec.tree_factory()
+        engines = {
+            (backend, representation): engine_for_backend(
+                tree, backend, shards=shards,
+                document=f"{dataset}-{representation}",
+                representation=representation)
+            for backend in backends
+            for representation in representations
+        }
+        if verify:
+            _verify_parity(dataset, queries, algorithms, backends,
+                           representations, engines)
+        for (backend, representation), engine in engines.items():
+            for query in queries:
+                for algorithm in algorithms:
+                    seconds = time_algorithm(engine, query.text, algorithm,
+                                             repetitions)
+                    entries.append({
+                        "dataset": dataset,
+                        "backend": backend,
+                        "representation": representation,
+                        "algorithm": algorithm,
+                        "query": query.label,
+                        "keywords": query.text,
+                        "ms": round(seconds * 1000.0, 4),
+                    })
+    return {
+        "benchmark": "core",
+        "protocol": {
+            "repetitions": repetitions,
+            "warmup_discarded": True,
+            "verified_parity": bool(verify),
+        },
+        "entries": entries,
+        "summary": _summaries(entries),
+    }
+
+
+def _verify_parity(dataset, queries, algorithms, backends, representations,
+                   engines) -> None:
+    """All representations of one backend must answer identically."""
+    for backend in backends:
+        reference_repr = representations[0]
+        reference_engine = engines[(backend, reference_repr)]
+        for representation in representations[1:]:
+            candidate_engine = engines[(backend, representation)]
+            for query in queries:
+                for algorithm in algorithms:
+                    reference = _result_fingerprint(
+                        reference_engine.search(query.text, algorithm))
+                    candidate = _result_fingerprint(
+                        candidate_engine.search(query.text, algorithm))
+                    if reference != candidate:
+                        raise RepresentationParityError(
+                            f"{dataset}/{backend}/{algorithm}/{query.label}: "
+                            f"{representation!r} postings disagree with "
+                            f"{reference_repr!r}")
+
+
+def _summaries(entries: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per (dataset, backend, algorithm) totals + packed/object ratio."""
+    totals: Dict[Tuple[str, str, str], Dict[str, float]] = {}
+    for entry in entries:
+        key = (entry["dataset"], entry["backend"], entry["algorithm"])
+        totals.setdefault(key, {})
+        representation = entry["representation"]
+        totals[key][representation] = (
+            totals[key].get(representation, 0.0) + entry["ms"])
+    summaries = []
+    for (dataset, backend, algorithm), per_repr in sorted(totals.items()):
+        summary: Dict[str, object] = {
+            "dataset": dataset,
+            "backend": backend,
+            "algorithm": algorithm,
+        }
+        for representation, total in sorted(per_repr.items()):
+            summary[f"{representation}_total_ms"] = round(total, 4)
+        if "packed" in per_repr and "object" in per_repr and per_repr["object"]:
+            summary["packed_over_object"] = round(
+                per_repr["packed"] / per_repr["object"], 4)
+        summaries.append(summary)
+    return summaries

@@ -106,6 +106,12 @@ def export_run(run: WorkloadRun, directory: PathLike,
     return artefacts
 
 
+def write_core_bench(payload: Dict[str, object],
+                     path: PathLike = "BENCH_core.json") -> Path:
+    """Persist a :func:`~repro.bench.core_bench.run_core_bench` payload."""
+    return write_json(payload, path)
+
+
 def chart_figure5(run: WorkloadRun, width: int = 40) -> str:
     """ASCII rendering of the Figure 5 timing series for one dataset."""
     labels = [measurement.label for measurement in run.measurements]

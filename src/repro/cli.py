@@ -158,7 +158,43 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: in-process database)")
     bench.add_argument("--shards", type=int, default=2,
                        help="shard count for --backend sharded")
+    bench.add_argument("--representation", default="packed",
+                       choices=("packed", "object"),
+                       help="posting representation the timed engine serves "
+                            "(default: packed)")
     bench.set_defaults(handler=_command_bench)
+
+    bench_export = subparsers.add_parser(
+        "bench-export",
+        help="write BENCH_core.json: per-algorithm / per-backend / "
+             "per-representation timings with a packed-vs-object parity guard")
+    bench_export.add_argument("--dataset", action="append", default=None,
+                              choices=sorted(default_datasets()),
+                              help="dataset(s) to measure (repeatable; "
+                                   "default: dblp)")
+    bench_export.add_argument("--backend", action="append", default=None,
+                              choices=BACKEND_NAMES,
+                              help="backend(s) to measure (repeatable; "
+                                   "default: memory)")
+    bench_export.add_argument("--algorithm", action="append", default=None,
+                              choices=("validrtf", "maxmatch",
+                                       "validrtf-slca", "maxmatch-slca"),
+                              help="algorithm(s) to time (repeatable; "
+                                   "default: validrtf + maxmatch)")
+    bench_export.add_argument("--repetitions", type=int, default=2,
+                              help="timed repetitions per query "
+                                   "(first run discarded)")
+    bench_export.add_argument("--limit", type=int, default=None,
+                              help="only the first N workload queries per "
+                                   "dataset (smoke runs use 1)")
+    bench_export.add_argument("--shards", type=int, default=2,
+                              help="shard count for --backend sharded")
+    bench_export.add_argument("--no-verify", action="store_true",
+                              help="skip the packed-vs-object result parity "
+                                   "check before timing")
+    bench_export.add_argument("--output", default="BENCH_core.json",
+                              help="artefact path ('-' prints to stdout only)")
+    bench_export.set_defaults(handler=_command_bench_export)
 
     datasets = subparsers.add_parser("datasets",
                                      help="describe / export the built-in datasets")
@@ -231,6 +267,11 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "stored document)")
     parser.add_argument("--shards", type=int, default=2,
                         help="shard count for --backend sharded")
+    parser.add_argument("--representation", default="packed",
+                        choices=("packed", "object"),
+                        help="physical posting-list form: packed flat columns "
+                             "(default, zero-object hot loops) or boxed "
+                             "DeweyCode lists; results are identical")
 
 
 def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
@@ -348,7 +389,8 @@ def _command_bench(arguments: argparse.Namespace) -> int:
         engine = engine_for_backend(spec.tree_factory(), arguments.backend,
                                     cache_size=cache_size,
                                     shards=arguments.shards,
-                                    db_path=arguments.db, document=spec.name)
+                                    db_path=arguments.db, document=spec.name,
+                                    representation=arguments.representation)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
@@ -361,6 +403,43 @@ def _command_bench(arguments: argparse.Namespace) -> int:
     if arguments.cache:
         print()
         print(f"query cache: {engine.cache_stats()}")
+    return 0
+
+
+def _command_bench_export(arguments: argparse.Namespace) -> int:
+    from .bench import (
+        RepresentationParityError,
+        run_core_bench,
+        write_core_bench,
+    )
+
+    datasets = arguments.dataset or ["dblp"]
+    backends = arguments.backend or ["memory"]
+    algorithms = tuple(arguments.algorithm or ("validrtf", "maxmatch"))
+    try:
+        payload = run_core_bench(
+            datasets=datasets,
+            backends=backends,
+            algorithms=algorithms,
+            repetitions=arguments.repetitions,
+            limit=arguments.limit,
+            shards=arguments.shards,
+            verify=not arguments.no_verify,
+        )
+    except RepresentationParityError as error:
+        print(f"representation parity violated: {error}", file=sys.stderr)
+        return 1
+    for summary in payload["summary"]:
+        ratio = summary.get("packed_over_object")
+        ratio_text = f"  packed/object: {ratio:.3f}" if ratio else ""
+        print(f"{summary['dataset']}/{summary['backend']}/"
+              f"{summary['algorithm']}: "
+              f"packed {summary.get('packed_total_ms', 0.0):.2f} ms, "
+              f"object {summary.get('object_total_ms', 0.0):.2f} ms"
+              f"{ratio_text}")
+    if arguments.output and arguments.output != "-":
+        path = write_core_bench(payload, arguments.output)
+        print(f"artefact written to {path}")
     return 0
 
 
@@ -523,6 +602,7 @@ def _service_setup(arguments: argparse.Namespace, remote: bool = False):
         batch_window_seconds=arguments.batch_window / 1000.0,
         max_inflight=arguments.max_inflight,
         timeout_seconds=arguments.request_timeout,
+        representation=getattr(arguments, "representation", "packed"),
     )
     return config, tree
 
@@ -563,16 +643,19 @@ def _build_engine(arguments: argparse.Namespace) -> SearchEngine:
     from .bench import engine_for_backend
 
     backend = arguments.backend or ("sqlite" if arguments.db else "memory")
+    representation = getattr(arguments, "representation", "packed")
     if backend == "sqlite" and arguments.db:
         # Disk-backed path: open an indexed database, no XML parse at all.
         document = _resolve_stored_document(arguments)
         store = SQLiteStore(arguments.db)
-        return SearchEngine(source=SQLitePostingSource(store, document))
+        return SearchEngine(source=SQLitePostingSource(
+            store, document, representation=representation))
     if arguments.db:
         raise CliError(f"--db needs --backend sqlite, not {backend!r}")
     try:
         return engine_for_backend(_load_tree(arguments), backend,
-                                  shards=arguments.shards, document="cli")
+                                  shards=arguments.shards, document="cli",
+                                  representation=representation)
     except ValueError as error:
         raise CliError(str(error)) from None
 

@@ -23,6 +23,20 @@ from .fragments import Fragment, PrunedFragment
 from .node_record import NodeRecord, RecordTree
 
 
+def _strictly_covered(mask: int, masks: Sequence[int], skip: int = -1) -> bool:
+    """Whether some mask other than position ``skip`` strictly covers ``mask``.
+
+    The single contributor kernel: both :func:`is_contributor` (the
+    definitional API, used by the explanations) and the pruning loop below
+    decide through this test, so the rule can never diverge between
+    explaining and pruning.
+    """
+    for position, other in enumerate(masks):
+        if position != skip and mask != other and (mask & other) == mask:
+            return True
+    return False
+
+
 def is_contributor(record: NodeRecord, siblings: Sequence[NodeRecord]) -> bool:
     """MaxMatch's contributor test for one node against its siblings.
 
@@ -30,14 +44,10 @@ def is_contributor(record: NodeRecord, siblings: Sequence[NodeRecord]) -> bool:
     fragment (any label).  The node fails iff some sibling's keyword mask is a
     strict superset of its own.
     """
-    mask = record.keyword_mask
-    for sibling in siblings:
-        if sibling.dewey == record.dewey:
-            continue
-        other = sibling.keyword_mask
-        if mask != other and (mask & other) == mask:
-            return False
-    return True
+    return not _strictly_covered(
+        record.keyword_mask,
+        [sibling.keyword_mask for sibling in siblings
+         if sibling.dewey != record.dewey])
 
 
 def prune_with_contributor(record_tree: RecordTree,
@@ -55,8 +65,11 @@ def prune_with_contributor(record_tree: RecordTree,
     while queue:
         parent = queue.popleft()
         children = parent.children
-        for child in children:
-            if is_contributor(child, children):
+        # The shared kernel on the raw mask ints; positions distinguish
+        # siblings, so no per-pair Dewey comparison is needed.
+        masks = [child.keyword_mask for child in children]
+        for index, child in enumerate(children):
+            if not _strictly_covered(masks[index], masks, skip=index):
                 kept.append(child.dewey)
                 queue.append(child)
     return PrunedFragment(fragment=fragment, kept_nodes=tuple(sorted(set(kept))),

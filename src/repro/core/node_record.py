@@ -180,48 +180,61 @@ def build_record_tree_from_lookups(
     if cid_mode not in CID_MODES:
         raise ValueError(f"unknown cid_mode {cid_mode!r}; expected one of {CID_MODES}")
 
+    # Wire parent/child links within the fragment in ONE document-order pass.
+    # ``fragment.nodes`` is sorted, so a node's nearest fragment ancestor is on
+    # the path stack when the node arrives (prefix compares on raw component
+    # tuples — no ``parent()`` chains, no per-step code materialization), and
+    # children are appended in document order, so no per-parent sort is needed.
     records: Dict[DeweyCode, NodeRecord] = {}
+    order: List[NodeRecord] = []
+    parents: List[Optional[NodeRecord]] = []
+    stack: List[Tuple[Tuple[int, ...], NodeRecord]] = []
+    root = fragment.root
     for dewey in fragment.nodes:
-        records[dewey] = NodeRecord(
+        comps = dewey.components
+        record = NodeRecord(
             dewey=dewey,
             label=label_of(dewey) or "",
             cid_mode=cid_mode,
         )
-
-    # Wire parent/child links within the fragment.  Fragment nodes always form
-    # a tree rooted at fragment.root because they are unions of root-to-node
-    # paths.
-    root_record = records[fragment.root]
-    for dewey, record in records.items():
-        if dewey == fragment.root:
-            continue
-        parent_code = dewey.parent()
-        while parent_code is not None and parent_code not in records:
-            parent_code = parent_code.parent()
-        if parent_code is None:
+        records[dewey] = record
+        while stack:
+            top = stack[-1][0]
+            if len(top) < len(comps) and comps[:len(top)] == top:
+                break
+            stack.pop()
+        if stack:
+            parent = stack[-1][1]
+            parent.children.append(record)
+        elif dewey != root:
             raise ValueError(f"fragment node {dewey} is not connected to the root")
-        records[parent_code].children.append(record)
-    for record in records.values():
-        record.children.sort(key=lambda child: child.dewey)
+        else:
+            parent = None
+        order.append(record)
+        parents.append(parent)
+        stack.append((comps, record))
+    root_record = records[root]
 
     # Propagate every keyword node's information to all its fragment ancestors
     # (the paper's lines 5–12: "transfer the information ... to all its
-    # ancestors").
+    # ancestors").  Keyword nodes are seeded first, then one bottom-up pass in
+    # reverse document order folds each record into its parent — the same
+    # union, computed once per fragment edge instead of once per
+    # (keyword node, ancestor) pair.
     query_keywords = set(query.keywords)
     for keyword_dewey in fragment.keyword_nodes:
         content = words_of(keyword_dewey)
         mask = query.mask_of(keyword for keyword in query_keywords if keyword in content)
         record = records[keyword_dewey]
         record.is_keyword_node = True
-        current: Optional[DeweyCode] = keyword_dewey
-        while current is not None and current in records:
-            target = records[current]
-            target.keyword_mask |= mask
-            target.content_words = frozenset(target.content_words | content)
-            if current == fragment.root:
-                break
-            current = current.parent()
-            while current is not None and current not in records:
-                current = current.parent()
+        record.keyword_mask |= mask
+        record.content_words = record.content_words | content
+    for record, parent in zip(reversed(order), reversed(parents)):
+        if parent is None:
+            continue
+        if record.keyword_mask:
+            parent.keyword_mask |= record.keyword_mask
+        if record.content_words:
+            parent.content_words = parent.content_words | record.content_words
 
     return RecordTree(fragment=fragment, root=root_record, by_dewey=records)

@@ -14,9 +14,11 @@ query).
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..index.packed import all_packed, iter_matches
 from ..xmltree import DeweyCode, XMLTree
 from .fragments import Fragment, build_fragment
 from .query import Query
@@ -74,6 +76,10 @@ def build_rtfs(
             for code in sorted_lcas
         }
 
+    packed = all_packed(keyword_lists.values()) if keyword_lists else None
+    if packed is not None and sorted_lcas:
+        return _build_rtfs_packed(sorted_lcas, flag_by_code, packed)
+
     assignment = assign_keyword_nodes(sorted_lcas, keyword_lists)
     fragments: List[Fragment] = []
     for root in sorted_lcas:
@@ -83,6 +89,58 @@ def build_rtfs(
         fragments.append(
             build_fragment(tree, root, keyword_nodes, is_slca=flag_by_code[root])
         )
+    return fragments
+
+
+def _build_rtfs_packed(sorted_lcas: Sequence[DeweyCode],
+                       flag_by_code: Mapping[DeweyCode, bool],
+                       packed: Sequence) -> List[Fragment]:
+    """``getRTF`` over flat columns: assignment and path union without objects.
+
+    The merged document-order stream comes straight from the packed posting
+    columns (deduplicated across lists by the k-way merge); each node is
+    dispatched by one ``bisect_right`` over the roots' component arrays and a
+    backward prefix-compare scan, and the fragment node set is the union of
+    root-to-keyword-node prefix tuples.  :class:`DeweyCode` objects are
+    materialized only for the fragments actually returned — dropped keyword
+    nodes (outside every interesting LCA) never become objects at all.
+    """
+    lca_arrays = [array("I", code.components) for code in sorted_lcas]
+    assigned: List[List[Tuple[int, ...]]] = [[] for _ in sorted_lcas]
+    for comps, _ in iter_matches(packed):
+        position = bisect_right(lca_arrays, comps)
+        for index in range(position - 1, -1, -1):
+            candidate = lca_arrays[index]
+            if len(candidate) <= len(comps) \
+                    and comps[:len(candidate)] == candidate:
+                # Among the ancestors of the node, deeper ones come later in
+                # document order, so the first ancestor found scanning
+                # backwards is the nearest enclosing one.
+                assigned[index].append(tuple(comps))
+                break
+    from_tuple = DeweyCode._from_tuple
+    fragments: List[Fragment] = []
+    for root, keyword_tuples in zip(sorted_lcas, assigned):
+        if not keyword_tuples:
+            continue
+        root_depth = len(root.components)
+        prefixes: set = set()
+        add = prefixes.add
+        for parts in keyword_tuples:
+            for size in range(len(parts), root_depth - 1, -1):
+                prefix = parts[:size]
+                if prefix in prefixes:
+                    break  # every shorter prefix is already present
+                add(prefix)
+        fragments.append(Fragment(
+            root=root,
+            # The merged stream is in document order, so per-root assignment
+            # order already matches the object path's sorted keyword list.
+            keyword_nodes=tuple(from_tuple(parts)
+                                for parts in keyword_tuples),
+            nodes=tuple(from_tuple(parts) for parts in sorted(prefixes)),
+            is_slca=flag_by_code[root],
+        ))
     return fragments
 
 

@@ -1,6 +1,16 @@
 """Inverted index substrate: keyword posting lists and corpus statistics."""
 
 from .inverted import InvertedIndex, PostingList, build_index, merge_keyword_nodes
+from .packed import (
+    EMPTY_PACKED,
+    PackedDeweyList,
+    REPRESENTATIONS,
+    as_packed,
+    iter_matches,
+    merge_packed,
+    pack_component_tuples,
+    pack_deweys,
+)
 from .source import PostingSource
 from .statistics import (
     DocumentProfile,
@@ -12,9 +22,17 @@ from .statistics import (
 )
 
 __all__ = [
+    "EMPTY_PACKED",
     "InvertedIndex",
+    "PackedDeweyList",
     "PostingList",
     "PostingSource",
+    "REPRESENTATIONS",
+    "as_packed",
+    "iter_matches",
+    "merge_packed",
+    "pack_component_tuples",
+    "pack_deweys",
     "build_index",
     "merge_keyword_nodes",
     "KeywordFrequency",

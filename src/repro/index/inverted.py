@@ -13,14 +13,30 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
 
 from ..text import ContentAnalyzer, DEFAULT_TOKENIZER, Tokenizer
 from ..xmltree import DeweyCode, XMLTree
+from .packed import (
+    EMPTY_PACKED,
+    PackedDeweyList,
+    REPRESENTATIONS,
+    pack_deweys,
+)
 
 
 @dataclass(frozen=True)
 class PostingList:
-    """The sorted Dewey codes of the nodes containing one keyword."""
+    """The sorted Dewey codes of the nodes containing one keyword.
+
+    ``deweys`` is frozen at construction: mutable sequences are copied into a
+    tuple (immutable packed columns pass through untouched), so a posting list
+    can never alias — and later observe mutations of — a caller's list, and
+    packed↔object conversions are always built from a stable snapshot.
+    """
 
     keyword: str
     deweys: Sequence[DeweyCode]
+
+    def __post_init__(self):
+        if not isinstance(self.deweys, (tuple, PackedDeweyList)):
+            object.__setattr__(self, "deweys", tuple(self.deweys))
 
     def __len__(self) -> int:
         return len(self.deweys)
@@ -47,24 +63,45 @@ class InvertedIndex:
     tokenizer:
         Tokenizer shared with the query side so document words and query
         keywords normalize identically.
+    representation:
+        ``"packed"`` (the default) stores every posting list as flat
+        :class:`~repro.index.packed.PackedDeweyList` columns, which the
+        rewritten SLCA/RTF hot loops consume without materializing
+        :class:`DeweyCode` objects; ``"object"`` keeps the classic tuples of
+        codes.  Both produce byte-identical search results.
     """
 
-    def __init__(self, tree: XMLTree, tokenizer: Tokenizer = DEFAULT_TOKENIZER):
+    def __init__(self, tree: XMLTree, tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+                 representation: str = "packed"):
+        if representation not in REPRESENTATIONS:
+            raise ValueError(f"unknown representation {representation!r}; "
+                             f"expected one of {REPRESENTATIONS}")
         self.tree = tree
         self.tokenizer = tokenizer
+        self.representation = representation
         self.analyzer = ContentAnalyzer(tree, tokenizer)
-        self._postings: Dict[str, List[DeweyCode]] = {}
+        self._postings: Dict[str, Sequence[DeweyCode]] = {}
         self._node_words: Dict[DeweyCode, FrozenSet[str]] = {}
         self._build()
 
     def _build(self) -> None:
+        postings: Dict[str, List[DeweyCode]] = {}
         for node in self.tree.iter_preorder():
             words = self.analyzer.node_content(node)
             self._node_words[node.dewey] = words
             for word in words:
-                self._postings.setdefault(word, []).append(node.dewey)
-        for posting in self._postings.values():
-            posting.sort()
+                postings.setdefault(word, []).append(node.dewey)
+        # iter_preorder yields document order, so the per-word lists are
+        # already sorted and duplicate-free (node_content is a set per node).
+        if self.representation == "packed":
+            self._postings = {word: pack_deweys(deweys, presorted=True)
+                              for word, deweys in postings.items()}
+        else:
+            self._postings = {word: tuple(deweys)
+                              for word, deweys in postings.items()}
+
+    def _empty(self) -> Sequence[DeweyCode]:
+        return EMPTY_PACKED if self.representation == "packed" else ()
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -72,17 +109,24 @@ class InvertedIndex:
     def postings(self, keyword: str) -> PostingList:
         """The posting list for a (raw, un-normalized) keyword."""
         normalized = self.tokenizer.normalize_keyword(keyword)
-        return PostingList(normalized, tuple(self._postings.get(normalized, ())))
+        return PostingList(normalized,
+                           self._postings.get(normalized, self._empty()))
 
-    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, List[DeweyCode]]:
+    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, Sequence[DeweyCode]]:
         """The ``D_i`` lists for every keyword of a query (getKeywordNodes).
 
         The result maps each *normalized* keyword to its sorted Dewey list;
-        keywords with no match map to an empty list.
+        keywords with no match map to an empty list.  Under the packed
+        representation the shared immutable columns themselves are returned
+        (they are never mutated); the object representation hands out copies.
         """
-        result: Dict[str, List[DeweyCode]] = {}
-        for keyword in self.tokenizer.normalize_query(query):
-            result[keyword] = list(self._postings.get(keyword, ()))
+        result: Dict[str, Sequence[DeweyCode]] = {}
+        if self.representation == "packed":
+            for keyword in self.tokenizer.normalize_query(query):
+                result[keyword] = self._postings.get(keyword, EMPTY_PACKED)
+        else:
+            for keyword in self.tokenizer.normalize_query(query):
+                result[keyword] = list(self._postings.get(keyword, ()))
         return result
 
     def frequency(self, keyword: str) -> int:
@@ -123,9 +167,11 @@ class InvertedIndex:
                 f"postings={self.total_postings()})")
 
 
-def build_index(tree: XMLTree, tokenizer: Optional[Tokenizer] = None) -> InvertedIndex:
+def build_index(tree: XMLTree, tokenizer: Optional[Tokenizer] = None,
+                representation: str = "packed") -> InvertedIndex:
     """Convenience factory mirroring the facade naming used in examples."""
-    return InvertedIndex(tree, tokenizer or DEFAULT_TOKENIZER)
+    return InvertedIndex(tree, tokenizer or DEFAULT_TOKENIZER,
+                         representation=representation)
 
 
 def merge_keyword_nodes(lists: Mapping[str, Sequence[DeweyCode]]) -> List[DeweyCode]:

@@ -9,7 +9,9 @@ from .base import (
     keyword_bit_index,
     merge_matches,
     normalize_lists,
+    prepare_lists,
     remove_ancestors,
+    remove_ancestors_slices,
     remove_descendants,
 )
 from .naive import (
@@ -43,6 +45,8 @@ __all__ = [
     "KeywordLists",
     "KeywordMatch",
     "normalize_lists",
+    "prepare_lists",
+    "remove_ancestors_slices",
     "full_mask",
     "merge_matches",
     "remove_ancestors",

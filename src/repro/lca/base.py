@@ -19,8 +19,9 @@ Terminology used throughout:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..index.packed import PackedDeweyList
 from ..xmltree import DeweyCode
 
 KeywordLists = Mapping[str, Sequence[DeweyCode]]
@@ -58,6 +59,65 @@ def normalize_lists(lists: KeywordLists) -> List[List[DeweyCode]]:
     if not normalized:
         raise EmptyKeywordList("the query has no keywords")
     return normalized
+
+
+def prepare_lists(lists: KeywordLists
+                  ) -> Tuple[Optional[List[PackedDeweyList]],
+                             Optional[List[List[DeweyCode]]]]:
+    """Dispatch helper: ``(packed, None)`` or ``(None, normalized)``.
+
+    When every posting list is a :class:`PackedDeweyList` (sorted and
+    duplicate-free by construction) the algorithms run their zero-object hot
+    loops on the flat columns directly; any other input falls back to
+    :func:`normalize_lists` and the classic object path.  Raises
+    :class:`EmptyKeywordList` exactly like :func:`normalize_lists` when the
+    query is empty or any keyword has no occurrence.
+    """
+    if not lists:
+        raise EmptyKeywordList("the query has no keywords")
+    packed: List[PackedDeweyList] = []
+    for keyword, deweys in lists.items():
+        if not deweys:
+            raise EmptyKeywordList(f"keyword {keyword!r} has no occurrence")
+        if not isinstance(deweys, PackedDeweyList):
+            return None, normalize_lists(lists)
+        packed.append(deweys)
+    return packed, None
+
+
+def iter_object_matches(normalized: Sequence[Sequence[DeweyCode]]
+                        ) -> Iterator[Tuple[Tuple[int, ...], int]]:
+    """The object-path ``(components, mask)`` stream.
+
+    Adapter so the stack algorithms consume one stream shape for both
+    representations: this wraps :func:`merge_matches`, while the packed path
+    feeds :func:`repro.index.packed.iter_matches` straight from the columns.
+    """
+    for match in merge_matches(normalized):
+        yield match.dewey.components, match.mask
+
+
+def remove_ancestors_slices(candidates: List) -> List:
+    """:func:`remove_ancestors` over raw component sequences.
+
+    Operates on ``array('I')`` slices (or component tuples) without
+    materializing codes: sorts lexicographically, then drops any entry that is
+    a strict prefix of its successor run, deduplicating along the way.
+    """
+    candidates.sort()
+    result: List = []
+    append = result.append
+    for comps in candidates:
+        while result:
+            last = result[-1]
+            if len(last) < len(comps) and comps[:len(last)] == last:
+                result.pop()
+            else:
+                break
+        if result and result[-1] == comps:
+            continue
+        append(comps)
+    return result
 
 
 def full_mask(keyword_count: int) -> int:

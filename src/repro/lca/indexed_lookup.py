@@ -19,16 +19,25 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import List, Optional, Sequence
 
+from ..index.packed import PackedDeweyList, deepest_neighbor_prefix_len
 from ..xmltree import DeweyCode
-from .base import EmptyKeywordList, KeywordLists, normalize_lists, remove_ancestors
+from .base import (
+    EmptyKeywordList,
+    KeywordLists,
+    prepare_lists,
+    remove_ancestors,
+    remove_ancestors_slices,
+)
 
 
 def indexed_lookup_eager_slca(lists: KeywordLists) -> List[DeweyCode]:
     """SLCA nodes of the posting lists via the Indexed Lookup Eager strategy."""
     try:
-        normalized = normalize_lists(lists)
+        packed, normalized = prepare_lists(lists)
     except EmptyKeywordList:
         return []
+    if packed is not None:
+        return _packed_fold(packed)
     # Fold starting from the smallest list (the paper's eager strategy).
     ordered = sorted(normalized, key=len)
     current = remove_ancestors(ordered[0])
@@ -37,6 +46,29 @@ def indexed_lookup_eager_slca(lists: KeywordLists) -> List[DeweyCode]:
         if not current:
             return []
     return sorted(current)
+
+
+def _packed_fold(packed: List[PackedDeweyList]) -> List[DeweyCode]:
+    """The same fold on flat columns: binary search + prefix-length compares.
+
+    The working set is a list of raw component slices; the predecessor /
+    successor lookups bisect the packed ``offsets`` column directly and the
+    deepest-LCA choice is a pair of common-prefix-length computations.  Codes
+    are materialized only for the final SLCA set.
+    """
+    ordered = sorted(packed, key=len)
+    current = remove_ancestors_slices(list(ordered[0].iter_slices()))
+    for other in ordered[1:]:
+        candidates = []
+        append = candidates.append
+        for node in current:
+            best = deepest_neighbor_prefix_len(node, other,
+                                               other.bisect_left(node))
+            append(node[:best])
+        current = remove_ancestors_slices(candidates)
+        if not current:
+            return []
+    return [DeweyCode._from_tuple(tuple(comps)) for comps in current]
 
 
 def closest_match_lca(node: DeweyCode, sorted_list: Sequence[DeweyCode]) -> DeweyCode:

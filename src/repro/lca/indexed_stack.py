@@ -26,26 +26,17 @@ output equals the naive per-definition computation (property-tested in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from typing import Iterable, Iterator, List, Tuple
 
+from ..index.packed import iter_matches
 from ..xmltree import DeweyCode
 from .base import (
     EmptyKeywordList,
     KeywordLists,
     full_mask,
-    merge_matches,
-    normalize_lists,
+    iter_object_matches,
+    prepare_lists,
 )
-
-
-@dataclass
-class _Frame:
-    """One entry of the path stack used by the ELCA scan."""
-
-    component: int
-    subtree_mask: int = 0
-    exclusive_mask: int = 0
 
 
 def indexed_stack_elca(lists: KeywordLists) -> List[DeweyCode]:
@@ -53,44 +44,63 @@ def indexed_stack_elca(lists: KeywordLists) -> List[DeweyCode]:
 
     This is the drop-in ``getLCA`` of Algorithm 1: the returned Dewey codes
     are sorted in document (pre-order) order as the later stages require.
+
+    The scan consumes a document-order ``(components, mask)`` stream — fed
+    from the flat packed columns (heap merge with galloping skips) when the
+    posting lists are packed, from :func:`~repro.lca.base.merge_matches`
+    otherwise — and keeps the path stack as three parallel lists of unboxed
+    values; only the reported ELCAs are materialized as :class:`DeweyCode`.
     """
     try:
-        normalized = normalize_lists(lists)
+        packed, normalized = prepare_lists(lists)
     except EmptyKeywordList:
         return []
-    matches = merge_matches(normalized)
-    target = full_mask(len(normalized))
+    if packed is not None:
+        stream: Iterator[Tuple[Iterable[int], int]] = iter_matches(packed)
+        target = full_mask(len(packed))
+    else:
+        stream = iter_object_matches(normalized)
+        target = full_mask(len(normalized))
+    return _scan(stream, target)
 
-    stack: List[_Frame] = []
+
+def _scan(stream: Iterator[Tuple[Iterable[int], int]],
+          target: int) -> List[DeweyCode]:
+    """One pass over the match stream, accruing the two per-frame masks."""
+    components: List[int] = []      # the path stack, one entry per frame
+    subtree_masks: List[int] = []   # keywords anywhere in the frame's subtree
+    exclusive_masks: List[int] = [] # own matches + non-CA children's subtrees
     results: List[DeweyCode] = []
 
     def pop_frame() -> None:
-        frame = stack.pop()
-        dewey = DeweyCode([entry.component for entry in stack] + [frame.component])
-        if frame.exclusive_mask == target:
-            results.append(dewey)
-        if stack:
-            parent = stack[-1]
-            parent.subtree_mask |= frame.subtree_mask
-            if frame.subtree_mask != target:
+        subtree = subtree_masks.pop()
+        exclusive = exclusive_masks.pop()
+        if exclusive == target:
+            results.append(DeweyCode._from_tuple(tuple(components)))
+        components.pop()
+        if subtree_masks:
+            subtree_masks[-1] |= subtree
+            if subtree != target:
                 # Only non-CA children contribute to the parent's exclusive
                 # ("after exclusion") keyword set.
-                parent.exclusive_mask |= frame.subtree_mask
+                exclusive_masks[-1] |= subtree
 
-    for match in matches:
-        components = match.dewey.components
+    for comps, mask in stream:
+        depth = len(components)
+        limit = min(depth, len(comps))
         shared = 0
-        while shared < len(stack) and shared < len(components) \
-                and stack[shared].component == components[shared]:
+        while shared < limit and components[shared] == comps[shared]:
             shared += 1
-        while len(stack) > shared:
+        while len(components) > shared:
             pop_frame()
-        for component in components[len(stack):]:
-            stack.append(_Frame(component))
-        stack[-1].subtree_mask |= match.mask
-        stack[-1].exclusive_mask |= match.mask
+        for component in comps[shared:]:
+            components.append(component)
+            subtree_masks.append(0)
+            exclusive_masks.append(0)
+        subtree_masks[-1] |= mask
+        exclusive_masks[-1] |= mask
 
-    while stack:
+    while components:
         pop_frame()
     return sorted(results)
 

@@ -11,16 +11,25 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..index.packed import PackedDeweyList, deepest_neighbor_prefix_len
 from ..xmltree import DeweyCode
-from .base import EmptyKeywordList, KeywordLists, normalize_lists, remove_ancestors
+from .base import (
+    EmptyKeywordList,
+    KeywordLists,
+    prepare_lists,
+    remove_ancestors,
+    remove_ancestors_slices,
+)
 
 
 def scan_eager_slca(lists: KeywordLists) -> List[DeweyCode]:
     """SLCA nodes computed with forward-only cursors over every list."""
     try:
-        normalized = normalize_lists(lists)
+        packed, normalized = prepare_lists(lists)
     except EmptyKeywordList:
         return []
+    if packed is not None:
+        return _packed_scan(packed)
     if len(normalized) == 1:
         return remove_ancestors(normalized[0])
 
@@ -38,6 +47,37 @@ def scan_eager_slca(lists: KeywordLists) -> List[DeweyCode]:
         if deepest is not None:
             candidates.append(deepest)
     return remove_ancestors(candidates)
+
+
+def _packed_scan(packed: List[PackedDeweyList]) -> List[DeweyCode]:
+    """Forward-only cursors over flat columns (galloping advances).
+
+    For every anchor slice the per-list deepest-LCA depth is the larger
+    common-prefix length with the cursor's predecessor/successor; the combined
+    candidate is the anchor prefix cut at the *shallowest* of those depths.
+    Nothing is materialized until the final SLCA set.
+    """
+    if len(packed) == 1:
+        return [DeweyCode._from_tuple(tuple(comps))
+                for comps in remove_ancestors_slices(
+                    list(packed[0].iter_slices()))]
+    anchor = min(packed, key=len)
+    others = [plist for plist in packed if plist is not anchor]
+    cursors = [0] * len(others)
+
+    candidates = []
+    append = candidates.append
+    for node in anchor.iter_slices():
+        depth: Optional[int] = None
+        for which, plist in enumerate(others):
+            cursor = plist.gallop_left(node, cursors[which])
+            cursors[which] = cursor
+            best = deepest_neighbor_prefix_len(node, plist, cursor)
+            if depth is None or best < depth:
+                depth = best
+        append(node[:depth])
+    return [DeweyCode._from_tuple(tuple(comps))
+            for comps in remove_ancestors_slices(candidates)]
 
 
 def _advance(deweys: Sequence[DeweyCode], cursor: int, node: DeweyCode) -> int:

@@ -9,72 +9,81 @@ descendants already was (tracked with a per-frame flag).
 It is provided both as an additional baseline for the ablation benchmark and
 as an independent implementation to cross-check the Indexed Lookup / Scan
 Eager algorithms in the property-based tests.
+
+The scan consumes a ``(components, mask)`` stream and keeps the path stack as
+three parallel lists of unboxed values (component, mask, descendant flag).
+Packed posting lists feed the stream straight from their flat columns
+(:func:`repro.index.packed.iter_matches` — heap merge with galloping skips);
+object lists go through the classic :func:`~repro.lca.base.merge_matches`.
+:class:`DeweyCode` objects are materialized only for the reported SLCAs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from typing import Iterable, Iterator, List, Tuple
 
+from ..index.packed import iter_matches
 from ..xmltree import DeweyCode
 from .base import (
     EmptyKeywordList,
     KeywordLists,
     full_mask,
-    merge_matches,
-    normalize_lists,
+    iter_object_matches,
+    prepare_lists,
 )
-
-
-@dataclass
-class _Frame:
-    """One entry of the path stack."""
-
-    component: int
-    mask: int = 0
-    descendant_slca: bool = False
-    results: List[DeweyCode] = field(default_factory=list)
 
 
 def stack_slca(lists: KeywordLists) -> List[DeweyCode]:
     """SLCA nodes computed with the merged-stream stack algorithm."""
     try:
-        normalized = normalize_lists(lists)
+        packed, normalized = prepare_lists(lists)
     except EmptyKeywordList:
         return []
-    matches = merge_matches(normalized)
-    target = full_mask(len(normalized))
+    if packed is not None:
+        stream: Iterator[Tuple[Iterable[int], int]] = iter_matches(packed)
+        target = full_mask(len(packed))
+    else:
+        stream = iter_object_matches(normalized)
+        target = full_mask(len(normalized))
+    return _scan(stream, target)
 
-    stack: List[_Frame] = []
+
+def _scan(stream: Iterator[Tuple[Iterable[int], int]],
+          target: int) -> List[DeweyCode]:
+    """One pass over the document-order match stream."""
+    components: List[int] = []   # the path stack, one entry per frame
+    masks: List[int] = []        # keyword bits seen in the frame's subtree
+    flags: List[bool] = []       # an SLCA was already found below the frame
     results: List[DeweyCode] = []
 
     def pop_frame() -> None:
-        frame = stack.pop()
-        dewey = DeweyCode([entry.component for entry in stack] + [frame.component])
-        is_slca = frame.mask == target and not frame.descendant_slca
+        mask = masks.pop()
+        flag = flags.pop()
+        is_slca = mask == target and not flag
         if is_slca:
-            results.append(dewey)
-        if stack:
-            parent = stack[-1]
-            parent.mask |= frame.mask
-            parent.descendant_slca = (
-                parent.descendant_slca or frame.descendant_slca or is_slca
-            )
+            results.append(DeweyCode._from_tuple(tuple(components)))
+        components.pop()
+        if masks:
+            masks[-1] |= mask
+            if flag or is_slca:
+                flags[-1] = True
 
-    for match in matches:
-        components = match.dewey.components
+    for comps, mask in stream:
         # Pop frames that are not ancestors of the incoming match.
+        depth = len(components)
+        limit = min(depth, len(comps))
         shared = 0
-        while shared < len(stack) and shared < len(components) \
-                and stack[shared].component == components[shared]:
+        while shared < limit and components[shared] == comps[shared]:
             shared += 1
-        while len(stack) > shared:
+        while len(components) > shared:
             pop_frame()
         # Push the remaining components of the new path.
-        for component in components[len(stack):]:
-            stack.append(_Frame(component))
-        stack[-1].mask |= match.mask
+        for component in comps[shared:]:
+            components.append(component)
+            masks.append(0)
+            flags.append(False)
+        masks[-1] |= mask
 
-    while stack:
+    while components:
         pop_frame()
     return sorted(results)

@@ -88,18 +88,26 @@ class EnginePool:
                     cache_size: int = DEFAULT_CACHE_SIZE,
                     shards: int = 2, db_path: Optional[str] = None,
                     document: str = "service",
-                    lru_size: int = DEFAULT_POSTING_LRU_SIZE) -> "EnginePool":
+                    lru_size: int = DEFAULT_POSTING_LRU_SIZE,
+                    representation: str = "packed") -> "EnginePool":
         """Build a pool over one document for a named posting backend.
 
         ``memory`` needs ``tree``.  ``sqlite`` serves ``db_path`` when given
         (ingesting ``tree`` into it only if the document is absent), else an
         in-process store ingested from ``tree``.  ``sharded`` fans ``tree``
         over ``shards`` in-process stores.
+
+        ``representation`` selects the physical posting form every worker
+        serves (see :class:`~repro.core.engine.SearchEngine`).  Under
+        ``memory`` + ``"packed"`` the snapshot shared by all workers holds
+        **one** set of flat posting columns — immutable arrays handed to every
+        worker engine by reference, so N workers cost no more posting memory
+        than one.
         """
         if backend == "memory":
             if tree is None:
                 raise ValueError("the memory backend needs a tree")
-            snapshot = InvertedIndex(tree)
+            snapshot = InvertedIndex(tree, representation=representation)
             return cls(lambda: SearchEngine(tree, source=snapshot,
                                             cache_size=cache_size),
                        workers=workers)
@@ -113,7 +121,8 @@ class EnginePool:
                         + (f"; stored: {', '.join(stored)}" if stored else ""))
                 store.store_tree(tree, document)
             return cls(lambda: SearchEngine(
-                source=SQLitePostingSource(store, document, lru_size),
+                source=SQLitePostingSource(store, document, lru_size,
+                                           representation=representation),
                 cache_size=cache_size), workers=workers)
         if backend == "sharded":
             if tree is None:
@@ -124,7 +133,8 @@ class EnginePool:
             name = shard_stores(tree, stores, document)
 
             def sharded_engine() -> SearchEngine:
-                sources = [source_for_store(store, name, lru_size)
+                sources = [source_for_store(store, name, lru_size,
+                                            representation)
                            for store in stores]
                 return SearchEngine(
                     source=ShardedPostingSource(sources, routed=True),

@@ -83,13 +83,15 @@ class ServiceConfig:
     batch_window_seconds: float = DEFAULT_MAX_WAIT_SECONDS
     max_inflight: int = DEFAULT_MAX_INFLIGHT
     timeout_seconds: Optional[float] = None
+    representation: str = "packed"
 
     def build(self, tree: Optional[XMLTree] = None) -> "SearchService":
         """Assemble pool + batcher + admission into a ready service."""
         pool = EnginePool.for_backend(
             self.backend, tree=tree, workers=self.workers,
             cache_size=self.cache_size, shards=self.shards,
-            db_path=self.db_path, document=self.document)
+            db_path=self.db_path, document=self.document,
+            representation=self.representation)
         return SearchService(
             pool,
             batcher=RequestBatcher(pool, self.max_batch_size,

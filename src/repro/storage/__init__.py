@@ -9,7 +9,7 @@ from .schema import (
     decode_dewey,
     encode_dewey,
 )
-from .shredder import ShreddedDocument, shred_tree
+from .shredder import ShreddedDocument, packed_posting_rows, shred_tree
 from .memory_backend import MemoryStore
 from .sqlite_backend import SQLiteStore
 from .posting_source import (
@@ -35,6 +35,7 @@ __all__ = [
     "encode_dewey",
     "decode_dewey",
     "ShreddedDocument",
+    "packed_posting_rows",
     "shred_tree",
     "MemoryStore",
     "SQLiteStore",

@@ -30,6 +30,15 @@ from heapq import merge as _heap_merge
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..index import PostingList
+from ..index.packed import (
+    EMPTY_PACKED,
+    PackedDeweyList,
+    REPRESENTATIONS,
+    all_packed,
+    merge_packed,
+    pack_component_tuples,
+    pack_deweys,
+)
 from ..xmltree import DeweyCode, XMLTree
 from .errors import DocumentNotFound
 from .schema import decode_dewey, encode_dewey
@@ -62,17 +71,28 @@ class StorePostingSource:
     lru_size:
         Capacity of the per-keyword LRU of decoded Dewey lists; ``0``
         disables caching (every lookup goes back to the store).
+    representation:
+        ``"packed"`` (the default) serves posting lists as flat
+        :class:`~repro.index.packed.PackedDeweyList` columns; ``"object"``
+        keeps the classic tuples of :class:`DeweyCode`.  Both answer
+        identically — the packed form just skips per-posting object
+        materialization (and, on the sqlite specialization, per-row decoding).
     """
 
     def __init__(self, store, document: str,
                  lru_size: int = DEFAULT_POSTING_LRU_SIZE,
-                 node_lru_size: int = DEFAULT_NODE_LRU_SIZE):
+                 node_lru_size: int = DEFAULT_NODE_LRU_SIZE,
+                 representation: str = "packed"):
+        if representation not in REPRESENTATIONS:
+            raise ValueError(f"unknown representation {representation!r}; "
+                             f"expected one of {REPRESENTATIONS}")
         self.store = store
         self.document = document
         self.tokenizer = store.tokenizer
         self.lru_size = lru_size
         self.node_lru_size = node_lru_size
-        self._lru: "OrderedDict[str, Tuple[DeweyCode, ...]]" = OrderedDict()
+        self.representation = representation
+        self._lru: "OrderedDict[str, Sequence[DeweyCode]]" = OrderedDict()
         self._labels: "OrderedDict[DeweyCode, Optional[str]]" = OrderedDict()
         self._words: "OrderedDict[DeweyCode, FrozenSet[str]]" = OrderedDict()
         self.lru_hits = 0
@@ -91,11 +111,17 @@ class StorePostingSource:
         normalized = self.tokenizer.normalize_keyword(keyword)
         return PostingList(normalized, self._deweys(normalized))
 
-    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, List[DeweyCode]]:
-        """The ``D_i`` lists for every keyword of a query."""
-        result: Dict[str, List[DeweyCode]] = {}
+    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, Sequence[DeweyCode]]:
+        """The ``D_i`` lists for every keyword of a query.
+
+        Packed representation: the immutable cached columns themselves are
+        returned; object representation: per-call list copies, as before.
+        """
+        result: Dict[str, Sequence[DeweyCode]] = {}
         for keyword in self.tokenizer.normalize_query(query):
-            result[keyword] = list(self._deweys(keyword))
+            deweys = self._deweys(keyword)
+            result[keyword] = (deweys if isinstance(deweys, PackedDeweyList)
+                               else list(deweys))
         return result
 
     def frequency(self, keyword: str) -> int:
@@ -142,15 +168,28 @@ class StorePostingSource:
     # ------------------------------------------------------------------ #
     # LRU plumbing (shared with the sqlite batch path)
     # ------------------------------------------------------------------ #
-    def _deweys(self, normalized: str) -> Tuple[DeweyCode, ...]:
+    def _deweys(self, normalized: str) -> Sequence[DeweyCode]:
         cached = self._lru_get(normalized)
         if cached is not None:
             return cached
-        decoded = tuple(self.store.keyword_deweys(self.document, normalized))
+        if self.representation == "packed":
+            decoded: Sequence[DeweyCode] = self._fetch_packed(normalized)
+        else:
+            decoded = tuple(self.store.keyword_deweys(self.document, normalized))
         self._lru_put(normalized, decoded)
         return decoded
 
-    def _lru_get(self, normalized: str) -> Optional[Tuple[DeweyCode, ...]]:
+    def _fetch_packed(self, normalized: str) -> PackedDeweyList:
+        """One keyword's packed columns from the store.
+
+        The generic store interface only exposes decoded codes, so this packs
+        them; the sqlite specialization overrides it with the direct
+        blob-per-keyword load.
+        """
+        return pack_deweys(self.store.keyword_deweys(self.document, normalized),
+                           presorted=True)
+
+    def _lru_get(self, normalized: str) -> Optional[Sequence[DeweyCode]]:
         cached = self._lru.get(normalized)
         if cached is None:
             self.lru_misses += 1
@@ -159,7 +198,7 @@ class StorePostingSource:
         self.lru_hits += 1
         return cached
 
-    def _lru_put(self, normalized: str, deweys: Tuple[DeweyCode, ...]) -> None:
+    def _lru_put(self, normalized: str, deweys: Sequence[DeweyCode]) -> None:
         if self.lru_size <= 0:
             return
         self._lru[normalized] = deweys
@@ -186,20 +225,42 @@ class StorePostingSource:
 class SQLitePostingSource(StorePostingSource):
     """Disk-backed posting source over a :class:`SQLiteStore` document.
 
-    Identical semantics to :class:`StorePostingSource`, with one addition: a
+    Identical semantics to :class:`StorePostingSource`, with two additions: a
     multi-keyword :meth:`keyword_nodes` call fetches every LRU-missed posting
     list in a single batched ``SELECT ... WHERE keyword IN (...)`` statement
-    instead of one round-trip per keyword.
+    instead of one round-trip per keyword, and under the packed representation
+    each list is loaded as **one prefix-truncated blob** from the ``posting``
+    table — one row per keyword, rebuilt into flat columns at C speed, with no
+    per-posting string decode and no per-posting object.  Database files
+    written before packed ingestion existed (no ``posting`` rows) fall back to
+    the per-row decode transparently.
     """
 
     def __init__(self, store: SQLiteStore, document: str,
                  lru_size: int = DEFAULT_POSTING_LRU_SIZE,
-                 node_lru_size: int = DEFAULT_NODE_LRU_SIZE):
+                 node_lru_size: int = DEFAULT_NODE_LRU_SIZE,
+                 representation: str = "packed"):
         if not isinstance(store, SQLiteStore):
             raise TypeError(
                 f"SQLitePostingSource needs a SQLiteStore, got {type(store).__name__}")
-        super().__init__(store, document, lru_size, node_lru_size)
+        super().__init__(store, document, lru_size, node_lru_size, representation)
         self._document_checked = False
+        self._blobs_on_disk: Optional[bool] = None
+
+    def _has_blobs(self) -> bool:
+        """Whether this document carries packed blobs (checked once)."""
+        if self._blobs_on_disk is None:
+            self._blobs_on_disk = self.store.has_packed_postings(self.document)
+        return self._blobs_on_disk
+
+    def _fetch_packed(self, normalized: str) -> PackedDeweyList:
+        """Blob-per-keyword load, falling back to row decode on legacy files."""
+        packed = self.store.keyword_packed(self.document, normalized)
+        if packed is not None:
+            return packed
+        if self._has_blobs():
+            return EMPTY_PACKED  # blobs present, keyword genuinely absent
+        return super()._fetch_packed(normalized)
 
     def _check_document(self) -> None:
         """Raise :class:`DocumentNotFound` (once) for a misnamed document.
@@ -218,34 +279,89 @@ class SQLitePostingSource(StorePostingSource):
         """Backend identity including the database path."""
         return f"sqlite:{self.store.path}#{self.document}"
 
-    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, List[DeweyCode]]:
-        """Batched ``getKeywordNodes``: one ``IN (...)`` fetch for all misses."""
+    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, Sequence[DeweyCode]]:
+        """Batched ``getKeywordNodes``: one ``IN (...)`` fetch for all misses.
+
+        Packed representation: the batch statement reads whole blobs from the
+        ``posting`` table (one row per keyword); object representation: the
+        classic per-row decode, unchanged.
+        """
         self._check_document()
         normalized = self.tokenizer.normalize_query(query)
-        result: Dict[str, List[DeweyCode]] = {}
+        if self.representation == "packed":
+            return self._keyword_nodes_packed(normalized)
+        result, missing = self._split_cached(normalized, materialize=True)
+        if missing:
+            rows = self._fetch_value_rows(missing)
+            for keyword in missing:
+                deweys = [DeweyCode(parts) for parts in rows.get(keyword, [])]
+                self._lru_put(keyword, tuple(deweys))
+                result[keyword] = deweys
+        return {keyword: result[keyword] for keyword in normalized}
+
+    def _keyword_nodes_packed(self, normalized: List[str]
+                              ) -> Dict[str, Sequence[DeweyCode]]:
+        """The packed batch path: one blob row per LRU-missed keyword."""
+        result, missing = self._split_cached(normalized, materialize=False)
+        if missing:
+            if self._has_blobs():
+                fetched: Dict[str, PackedDeweyList] = \
+                    self._fetch_blob_rows(missing)
+            else:
+                # Legacy file without blobs: batched row decode, packed once.
+                fetched = {keyword: pack_component_tuples(components,
+                                                          presorted=True)
+                           for keyword, components
+                           in self._fetch_value_rows(missing).items()}
+            for keyword in missing:
+                packed = fetched.get(keyword, EMPTY_PACKED)
+                self._lru_put(keyword, packed)
+                result[keyword] = packed
+        return {keyword: result[keyword] for keyword in normalized}
+
+    def _split_cached(self, normalized: List[str], materialize: bool
+                      ) -> Tuple[Dict[str, Sequence[DeweyCode]], List[str]]:
+        """Partition a query into LRU-answered results and missed keywords."""
+        result: Dict[str, Sequence[DeweyCode]] = {}
         missing: List[str] = []
         for keyword in normalized:
             cached = self._lru_get(keyword)
             if cached is not None:
-                result[keyword] = list(cached)
+                result[keyword] = list(cached) if materialize else cached
             elif keyword not in missing:
                 missing.append(keyword)
-        if missing:
-            fetched: Dict[str, List[DeweyCode]] = {kw: [] for kw in missing}
-            for chunk in _chunked(missing):
-                placeholders = ",".join("?" for _ in chunk)
-                cursor = self.store._connection.execute(
-                    f"SELECT DISTINCT keyword, dewey FROM value "
-                    f"WHERE document = ? AND keyword IN ({placeholders}) "
-                    f"ORDER BY keyword, dewey",
-                    (self.document, *chunk),
-                )
-                for keyword, dewey_text in cursor:
-                    fetched[keyword].append(DeweyCode(decode_dewey(dewey_text)))
-            for keyword, deweys in fetched.items():
-                self._lru_put(keyword, tuple(deweys))
-                result[keyword] = deweys
-        return {keyword: result[keyword] for keyword in normalized}
+        return result, missing
+
+    def _fetch_blob_rows(self, missing: Sequence[str]
+                         ) -> Dict[str, PackedDeweyList]:
+        """Rebuilt packed columns per keyword, one chunked ``IN`` batch."""
+        fetched: Dict[str, PackedDeweyList] = {}
+        for chunk in _chunked(missing):
+            placeholders = ",".join("?" for _ in chunk)
+            cursor = self.store._connection.execute(
+                f"SELECT keyword, blob FROM posting "
+                f"WHERE document = ? AND keyword IN ({placeholders})",
+                (self.document, *chunk),
+            )
+            for keyword, blob in cursor:
+                fetched[keyword] = PackedDeweyList.from_blob(blob)
+        return fetched
+
+    def _fetch_value_rows(self, missing: Sequence[str]
+                          ) -> Dict[str, List[Tuple[int, ...]]]:
+        """Decoded component tuples per keyword, one chunked ``IN`` batch."""
+        rows: Dict[str, List[Tuple[int, ...]]] = {}
+        for chunk in _chunked(missing):
+            placeholders = ",".join("?" for _ in chunk)
+            cursor = self.store._connection.execute(
+                f"SELECT DISTINCT keyword, dewey FROM value "
+                f"WHERE document = ? AND keyword IN ({placeholders}) "
+                f"ORDER BY keyword, dewey",
+                (self.document, *chunk),
+            )
+            for keyword, dewey_text in cursor:
+                rows.setdefault(keyword, []).append(decode_dewey(dewey_text))
+        return rows
 
     def prefetch_nodes(self, nodes: Iterable[DeweyCode],
                        keyword_nodes: Iterable[DeweyCode]) -> None:
@@ -306,6 +422,11 @@ class ShardedPostingSource:
         # from_tree / shard_stores ingestion), node lookups go straight to
         # the owning shard instead of probing all of them.
         self.routed = routed
+        # Packed only when every shard serves packed columns: the per-shard
+        # cursors are then merge-sorted flat (merge_packed) with no decoding.
+        self.representation = (
+            "packed" if all(getattr(shard, "representation", "object") == "packed"
+                            for shard in self.shards) else "object")
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -313,15 +434,15 @@ class ShardedPostingSource:
     @classmethod
     def from_tree(cls, tree: XMLTree, shard_count: int = 2, name: str = "",
                   store_factory=SQLiteStore,
-                  lru_size: int = DEFAULT_POSTING_LRU_SIZE
-                  ) -> "ShardedPostingSource":
+                  lru_size: int = DEFAULT_POSTING_LRU_SIZE,
+                  representation: str = "packed") -> "ShardedPostingSource":
         """Shred ``tree`` once and distribute it over ``shard_count`` stores."""
         if shard_count < 1:
             raise ValueError(f"shard_count must be positive, got {shard_count}")
         document = name or tree.name or "document"
         stores = [store_factory() for _ in range(shard_count)]
         shard_stores(tree, stores, document)
-        sources = [source_for_store(store, document, lru_size)
+        sources = [source_for_store(store, document, lru_size, representation)
                    for store in stores]
         return cls(sources, routed=True)
 
@@ -346,25 +467,36 @@ class ShardedPostingSource:
         return DocumentNotFound(
             f"no shard holds a document named {document!r}")
 
+    def _merge_shard_lists(self, lists: Sequence[Sequence[DeweyCode]]
+                           ) -> Sequence[DeweyCode]:
+        """Merge per-shard posting lists, staying packed when they all are."""
+        packed = all_packed(lists)
+        if packed is not None:
+            return merge_packed(packed)
+        return _merge_sorted(lists)
+
     def postings(self, keyword: str) -> PostingList:
         """Merge-sorted posting list of one keyword across all shards."""
         normalized = self.tokenizer.normalize_keyword(keyword)
-        lists = []
+        lists: List[Sequence[DeweyCode]] = []
         found = False
         for shard in self.shards:
             try:
-                lists.append(list(shard.postings(normalized).deweys))
+                lists.append(shard.postings(normalized).deweys)
                 found = True
             except DocumentNotFound:
                 continue  # a shard whose partition was empty holds no rows
         if not found:
             raise self._missing_everywhere()
-        return PostingList(normalized, tuple(_merge_sorted(lists)))
+        merged = self._merge_shard_lists(lists)
+        if not isinstance(merged, PackedDeweyList):
+            merged = tuple(merged)
+        return PostingList(normalized, merged)
 
-    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, List[DeweyCode]]:
+    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, Sequence[DeweyCode]]:
         """Per-shard (batched) fetches, merge-sorted keyword by keyword."""
         normalized = self.tokenizer.normalize_query(query)
-        per_shard: List[Dict[str, List[DeweyCode]]] = []
+        per_shard: List[Dict[str, Sequence[DeweyCode]]] = []
         for shard in self.shards:
             try:
                 per_shard.append(shard.keyword_nodes(normalized))
@@ -372,8 +504,11 @@ class ShardedPostingSource:
                 continue
         if not per_shard:
             raise self._missing_everywhere()
+        empty: Sequence[DeweyCode] = (
+            EMPTY_PACKED if self.representation == "packed" else [])
         return {
-            keyword: _merge_sorted([lists.get(keyword, []) for lists in per_shard])
+            keyword: self._merge_shard_lists(
+                [lists.get(keyword, empty) for lists in per_shard])
             for keyword in normalized
         }
 
@@ -501,11 +636,14 @@ def _merge_sorted(lists: Sequence[Sequence[DeweyCode]]) -> List[DeweyCode]:
 
 
 def source_for_store(store, document: str,
-                     lru_size: int = DEFAULT_POSTING_LRU_SIZE) -> StorePostingSource:
+                     lru_size: int = DEFAULT_POSTING_LRU_SIZE,
+                     representation: str = "packed") -> StorePostingSource:
     """The most specific posting source for a store backend."""
     if isinstance(store, SQLiteStore):
-        return SQLitePostingSource(store, document, lru_size)
-    return StorePostingSource(store, document, lru_size)
+        return SQLitePostingSource(store, document, lru_size,
+                                   representation=representation)
+    return StorePostingSource(store, document, lru_size,
+                              representation=representation)
 
 
 def shard_of(dewey_text: str, shard_count: int) -> int:

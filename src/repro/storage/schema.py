@@ -86,6 +86,21 @@ CREATE_TABLES_SQL: Tuple[str, ...] = (
         keyword   TEXT NOT NULL
     )
     """,
+    # One packed columnar posting blob per (document, keyword): the
+    # prefix-truncated serialization of the keyword's sorted Dewey list
+    # (see repro.index.packed).  Loading a posting list becomes one row
+    # fetch + one C-speed column rebuild instead of one string decode per
+    # posting row.  The value table remains the row-per-(node, word) ground
+    # truth; the blob is a derived, ingestion-time artefact.
+    """
+    CREATE TABLE IF NOT EXISTS posting (
+        document    TEXT NOT NULL,
+        keyword     TEXT NOT NULL,
+        cardinality INTEGER NOT NULL,
+        blob        BLOB NOT NULL,
+        PRIMARY KEY (document, keyword)
+    )
+    """,
     "CREATE INDEX IF NOT EXISTS idx_value_keyword ON value (document, keyword)",
     "CREATE INDEX IF NOT EXISTS idx_value_dewey ON value (document, dewey)",
     "CREATE INDEX IF NOT EXISTS idx_element_label ON element (document, label)",

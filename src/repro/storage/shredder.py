@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
+from ..index.packed import pack_component_tuples
 from ..text import DEFAULT_TOKENIZER, Tokenizer
 from ..xmltree import XMLNode, XMLTree
-from .schema import ElementRow, LabelRow, ValueRow, encode_dewey
+from .schema import ElementRow, LabelRow, ValueRow, decode_dewey, encode_dewey
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,28 @@ def shred_tree(tree: XMLTree, name: str = "",
                                                  key=lambda item: item[1]))
     return ShreddedDocument(name=document, labels=labels,
                             elements=tuple(elements), values=tuple(values))
+
+
+def packed_posting_rows(shredded: ShreddedDocument
+                        ) -> List[Tuple[str, int, bytes]]:
+    """Derive the ``posting`` table rows of one shredded document.
+
+    Groups the value rows by keyword, deduplicates and document-order sorts
+    the Dewey codes (the padded string encoding sorts like document order) and
+    serializes each list as one prefix-truncated packed blob — the
+    ingestion-time counterpart of the per-row decode the packed read path
+    skips.  Returns ``(keyword, cardinality, blob)`` tuples.
+    """
+    by_keyword: Dict[str, Set[str]] = {}
+    for row in shredded.values:
+        by_keyword.setdefault(row.keyword, set()).add(row.dewey)
+    rows: List[Tuple[str, int, bytes]] = []
+    for keyword in sorted(by_keyword):
+        deweys = sorted(by_keyword[keyword])
+        packed = pack_component_tuples(
+            (decode_dewey(text) for text in deweys), presorted=True)
+        rows.append((keyword, len(packed), packed.to_blob()))
+    return rows
 
 
 def _label_number_sequence(node: XMLNode, label_ids: Dict[str, int]) -> str:

@@ -14,11 +14,12 @@ import threading
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
+from ..index.packed import PackedDeweyList
 from ..text import DEFAULT_TOKENIZER, Tokenizer
 from ..xmltree import DeweyCode, XMLTree
 from .errors import DocumentAlreadyStored, DocumentNotFound
 from .schema import CREATE_TABLES_SQL, decode_dewey, encode_dewey
-from .shredder import ShreddedDocument, shred_tree
+from .shredder import ShreddedDocument, packed_posting_rows, shred_tree
 
 
 #: Distinguishes the shared-cache URIs of concurrently-alive ``:memory:``
@@ -137,6 +138,12 @@ class SQLiteStore:
             [(shredded.name, row.label, row.dewey, row.attribute, row.keyword)
              for row in shredded.values],
         )
+        cursor.executemany(
+            "INSERT INTO posting (document, keyword, cardinality, blob) "
+            "VALUES (?, ?, ?, ?)",
+            [(shredded.name, keyword, cardinality, blob)
+             for keyword, cardinality, blob in packed_posting_rows(shredded)],
+        )
         self._connection.commit()
         return shredded
 
@@ -144,7 +151,7 @@ class SQLiteStore:
         """Delete all rows of one document."""
         self._require(name)
         cursor = self._connection.cursor()
-        for table in ("label", "element", "value"):
+        for table in ("label", "element", "value", "posting"):
             cursor.execute(f"DELETE FROM {table} WHERE document = ?", (name,))
         self._connection.commit()
 
@@ -181,6 +188,31 @@ class SQLiteStore:
             (name, normalized),
         )
         return [DeweyCode(decode_dewey(text)) for (text,) in cursor]
+
+    def has_packed_postings(self, name: str) -> bool:
+        """Whether the document was ingested with packed posting blobs.
+
+        Database files written before the ``posting`` table existed answer
+        ``False``; the posting sources then fall back to per-row decoding.
+        """
+        return bool(self._scalar(
+            "SELECT COUNT(*) FROM posting WHERE document = ?", name))
+
+    def keyword_packed(self, name: str,
+                       keyword: str) -> Optional[PackedDeweyList]:
+        """The packed posting columns of one keyword, or ``None``.
+
+        ``None`` means "no blob stored" — either the keyword is absent or the
+        document predates packed ingestion; callers disambiguate with
+        :meth:`has_packed_postings`.
+        """
+        self._require(name)
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        row = self._connection.execute(
+            "SELECT blob FROM posting WHERE document = ? AND keyword = ?",
+            (name, normalized),
+        ).fetchone()
+        return PackedDeweyList.from_blob(row[0]) if row else None
 
     def keyword_nodes(self, name: str, keywords: Iterable[str]
                       ) -> Dict[str, List[DeweyCode]]:

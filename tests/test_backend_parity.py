@@ -10,6 +10,11 @@ to ``BACKENDS`` here and pass unchanged** (see ROADMAP, Open items).
 The sqlite and sharded engines deliberately run *without* a resident tree, so
 this suite also proves the purely source-backed pipeline (Dewey-arithmetic
 fragments, lookup-driven record trees) against the tree-backed one.
+
+The plain backend names serve the default **packed** columnar posting
+representation; the ``-object`` variants serve boxed ``DeweyCode`` lists, so
+the matrix also enforces packed ↔ object representation parity on every
+backend (the memory reference engine is packed).
 """
 
 from __future__ import annotations
@@ -27,7 +32,8 @@ from repro.storage import (
     source_for_store,
 )
 
-BACKENDS = ("memory", "sqlite", "sharded")
+BACKENDS = ("memory", "sqlite", "sharded",
+            "memory-object", "sqlite-object", "sharded-object")
 
 #: (dataset fixture name, queries) pairs the parity matrix runs over.
 DATASETS = (
@@ -40,15 +46,18 @@ SMALL_DBLP_QUERIES = ("xml keyword", "data algorithm", "tree query pattern")
 
 def build_engine(tree, backend: str, name: str = "doc") -> SearchEngine:
     """An engine over ``tree`` for one backend (tree-free for disk backends)."""
-    if backend == "memory":
-        return SearchEngine(tree)
-    if backend == "sqlite":
+    kind, _, variant = backend.partition("-")
+    representation = variant or "packed"
+    if kind == "memory":
+        return SearchEngine(tree, representation=representation)
+    if kind == "sqlite":
         store = SQLiteStore()
         store.store_tree(tree, name)
-        return SearchEngine(source=SQLitePostingSource(store, name))
-    if backend == "sharded":
-        return SearchEngine(
-            source=ShardedPostingSource.from_tree(tree, shard_count=3, name=name))
+        return SearchEngine(source=SQLitePostingSource(
+            store, name, representation=representation))
+    if kind == "sharded":
+        return SearchEngine(source=ShardedPostingSource.from_tree(
+            tree, shard_count=3, name=name, representation=representation))
     raise ValueError(backend)
 
 
@@ -147,9 +156,14 @@ def test_source_for_store_picks_specialization(publications, store_class):
 # Cache keys carry backend identity
 # ---------------------------------------------------------------------- #
 def test_backend_ids_are_distinct(engines):
-    ids = {engines[("publications", backend)].backend_id
+    ids = {backend: engines[("publications", backend)].backend_id
            for backend in BACKENDS}
-    assert len(ids) == len(BACKENDS)
+    # The three backend *kinds* must never share cache identity...
+    assert len({ids["memory"], ids["sqlite"], ids["sharded"]}) == 3
+    # ...while the representation variants of one kind answer byte-identically
+    # (that is this suite's parity guarantee), so they deliberately share it.
+    for kind in ("memory", "sqlite", "sharded"):
+        assert ids[f"{kind}-object"] == ids[kind]
 
 
 def test_cached_results_keyed_by_backend(publications):

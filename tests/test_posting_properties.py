@@ -9,14 +9,17 @@ must agree on the :class:`PostingSource` contract:
 * ``encode_dewey`` / ``decode_dewey`` round-trips every posting;
 * ``frequency(w) == len(postings(w))``;
 * identical vocabularies and identical posting lists across backends;
-* the batched ``keyword_nodes`` path equals per-keyword ``postings``.
+* the batched ``keyword_nodes`` path equals per-keyword ``postings``;
+* the **packed** representation of every backend answers identically to the
+  **object** representation (and its blobs round-trip), so the flat-column
+  hot loops can never drift from the boxed reference.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.index import InvertedIndex, PostingSource
+from repro.index import InvertedIndex, PackedDeweyList, PostingSource
 from repro.storage import (
     ShardedPostingSource,
     SQLitePostingSource,
@@ -28,14 +31,15 @@ from repro.storage import (
 SEEDS = (3, 11, 29, 47, 101)
 
 
-def build_sources(tree):
+def build_sources(tree, representation: str = "packed"):
     """The three backends over one document, keyed by name."""
-    index = InvertedIndex(tree)
+    index = InvertedIndex(tree, representation=representation)
     store = SQLiteStore()
     store.store_tree(tree, tree.name)
-    sqlite_source = SQLitePostingSource(store, tree.name)
-    sharded_source = ShardedPostingSource.from_tree(tree, shard_count=3,
-                                                    name=tree.name)
+    sqlite_source = SQLitePostingSource(store, tree.name,
+                                        representation=representation)
+    sharded_source = ShardedPostingSource.from_tree(
+        tree, shard_count=3, name=tree.name, representation=representation)
     return {"memory": index, "sqlite": sqlite_source, "sharded": sharded_source}
 
 
@@ -105,6 +109,73 @@ def test_node_lookups_agree_with_tree(make_random_tree):
             assert sources[name].node_label(node.dewey) == node.label, name
             assert sources[name].node_words(node.dewey) == \
                 index.node_words(node.dewey), name
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=lambda seed: f"seed{seed}")
+def test_packed_and_object_representations_agree(make_random_tree, seed):
+    """Packed ↔ object parity on every backend of every seeded tree.
+
+    Both representations are built over the same random document and every
+    posting list, frequency and batched lookup must match element for
+    element.
+    """
+    tree = make_random_tree(seed)
+    sources = build_sources(tree, representation="packed")
+    object_sources = build_sources(tree, representation="object")
+    vocabulary = sources["memory"].vocabulary()
+    probe = vocabulary[:4] + ["definitelyabsentword"]
+    for name, packed_source in sources.items():
+        object_source = object_sources[name]
+        assert packed_source.representation == "packed"
+        assert object_source.representation == "object"
+        for word in vocabulary:
+            packed_list = packed_source.postings(word).deweys
+            object_list = object_source.postings(word).deweys
+            assert isinstance(packed_list, PackedDeweyList), (name, word)
+            assert not isinstance(object_list, PackedDeweyList), (name, word)
+            assert list(packed_list) == list(object_list), (name, word)
+            assert packed_source.frequency(word) == \
+                object_source.frequency(word), (name, word)
+        packed_batch = packed_source.keyword_nodes(probe)
+        object_batch = object_source.keyword_nodes(probe)
+        for word in probe:
+            assert list(packed_batch[word]) == list(object_batch[word]), \
+                (name, word)
+
+
+def test_packed_blobs_round_trip_per_keyword(sources):
+    """Every stored blob rebuilds the exact posting columns."""
+    memory = sources["memory"]
+    sqlite_source = sources["sqlite"]
+    store = sqlite_source.store
+    assert store.has_packed_postings(sqlite_source.document)
+    for word in memory.vocabulary():
+        packed = store.keyword_packed(sqlite_source.document, word)
+        assert packed is not None, word
+        assert PackedDeweyList.from_blob(packed.to_blob()) == packed
+        assert list(packed) == list(memory.postings(word).deweys), word
+
+
+def test_legacy_store_without_blobs_falls_back(make_random_tree):
+    """A database ingested without ``posting`` rows still answers packed."""
+    tree = make_random_tree(19)
+    store = SQLiteStore()
+    store.store_tree(tree, "doc")
+    store._connection.execute("DELETE FROM posting WHERE document = ?",
+                              ("doc",))
+    store._connection.commit()
+    assert not store.has_packed_postings("doc")
+    legacy = SQLitePostingSource(store, "doc", representation="packed")
+    reference = InvertedIndex(tree, representation="object")
+    words = reference.vocabulary()
+    for word in words[:10]:
+        packed = legacy.postings(word).deweys
+        assert isinstance(packed, PackedDeweyList)
+        assert list(packed) == list(reference.postings(word).deweys), word
+    batch = legacy.keyword_nodes(words[:5] + ["definitelyabsentword"])
+    for word in words[:5]:
+        assert list(batch[word]) == list(reference.postings(word).deweys)
+    assert list(batch["definitelyabsentword"]) == []
 
 
 def test_posting_lru_serves_repeats(make_random_tree):

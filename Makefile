@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all coverage bench bench-collect bench-export smoke \
-	loadtest-smoke perf-smoke
+	loadtest-smoke perf-smoke fuzz-smoke
 
 test:            ## fast unit suite (tier-1)
 	$(PYTHON) -m pytest -x -q
@@ -13,9 +13,10 @@ test-all:        ## tier-1 (incl. parity/property/golden) + benchmark suite
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) -m pytest benchmarks -q --benchmark-disable
 
-coverage:        ## coverage run with a floor on repro.storage + repro.index
+coverage:        ## coverage run with a floor on repro.storage/index/corpus
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 	    $(PYTHON) -m pytest -q --cov=repro.storage --cov=repro.index \
+	        --cov=repro.corpus \
 	        --cov-report=term-missing --cov-fail-under=85; \
 	else \
 	    echo "pytest-cov is not installed; skipping the coverage run"; \
@@ -41,3 +42,7 @@ bench-export:    ## BENCH_core.json: per-algorithm/backend/representation timing
 perf-smoke:      ## one tiny packed-vs-object query with the parity guard (CI)
 	$(PYTHON) -m repro.cli bench-export --limit 1 --repetitions 1 \
 	    --output /tmp/bench_core_smoke.json
+
+fuzz-smoke:      ## seeded differential corpus fuzz: fast tier-1 + deep sweep
+	$(PYTHON) -m pytest tests/test_corpus_fuzz.py \
+	    benchmarks/test_corpus_fuzz.py -q

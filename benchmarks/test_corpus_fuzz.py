@@ -1,0 +1,45 @@
+"""Deep differential corpus fuzz (opt-in, ``bench`` marker).
+
+The unbounded sibling of ``tests/test_corpus_fuzz.py``: more seeds, larger
+random documents, the per-document *sharded* backend and higher shard
+counts.  Seeded and deterministic — a failure reproduces from its parametrized
+seed.  Runs with the benchmark suite (``pytest benchmarks``) and with
+``make fuzz-smoke``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from fuzz_util import (  # noqa: E402 - needs the tests dir on sys.path
+    assert_corpus_equals_union,
+    build_corpus_engine,
+    random_corpus,
+    random_queries,
+    reference_engines,
+)
+from repro.core import ALGORITHM_NAMES  # noqa: E402
+
+DEEP_SEEDS = tuple(range(10, 18))
+BACKENDS = ("memory", "sqlite", "sharded")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_deep_corpus_union_sweep(backend):
+    for seed in DEEP_SEEDS:
+        trees = random_corpus(seed, max_nodes=80)
+        references = reference_engines(trees)
+        for representation in ("packed", "object"):
+            corpus = build_corpus_engine(trees, backend, representation,
+                                         shard_count=3)
+            for query in random_queries(seed, count=4):
+                for algorithm in ALGORITHM_NAMES:
+                    assert_corpus_equals_union(
+                        corpus.search(query, algorithm), references, query,
+                        algorithm,
+                        context=("deep", seed, backend, representation))

@@ -20,7 +20,14 @@ echo "== end-to-end: index + disk-backed sqlite query =="
 smoke_db="$(mktemp -d)/smoke.db"
 python -m repro.cli index --dataset figure-1a --db "$smoke_db"
 python -m repro.cli search --db "$smoke_db" --backend sqlite "xml keyword search"
+
+echo "== end-to-end: multi-document corpus (incremental index + doc-tagged search) =="
+python -m repro.cli index --dataset figure-1b --db "$smoke_db" --add
+python -m repro.cli search --db "$smoke_db" --backend corpus "xml keyword search"
 rm -rf "$(dirname "$smoke_db")"
+
+echo "== differential corpus fuzz (seeded) =="
+make fuzz-smoke
 
 echo "== end-to-end: tiny cached benchmark run =="
 python -m repro.cli bench --dataset dblp --figure 5 --repetitions 1 --cache

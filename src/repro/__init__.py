@@ -34,6 +34,11 @@ from .core import (
     run_maxmatch,
     run_validrtf,
 )
+from .corpus import (
+    CorpusPostingSource,
+    CorpusSearchEngine,
+    CorpusSearchResult,
+)
 from .datasets import (
     PAPER_QUERIES,
     publications_tree,
@@ -53,6 +58,9 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "SearchEngine",
+    "CorpusSearchEngine",
+    "CorpusSearchResult",
+    "CorpusPostingSource",
     "ComparisonOutcome",
     "ALGORITHM_NAMES",
     "QueryResultCache",

@@ -17,8 +17,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core import SearchEngine
+from ..corpus import CorpusSearchEngine
+from ..datasets import DBLPConfig, dblp_workload, generate_dblp
 from .harness import (
     DatasetSpec,
+    _average_timed_passes,
     default_datasets,
     engine_for_backend,
     time_algorithm,
@@ -54,7 +58,8 @@ def run_core_bench(datasets: Sequence[str] = ("dblp",),
                    limit: Optional[int] = None,
                    shards: int = 2,
                    verify: bool = True,
-                   specs: Optional[Dict[str, DatasetSpec]] = None
+                   specs: Optional[Dict[str, DatasetSpec]] = None,
+                   corpus_docs: int = 3
                    ) -> Dict[str, object]:
     """Measure the workload over every (dataset, backend, representation).
 
@@ -111,7 +116,94 @@ def run_core_bench(datasets: Sequence[str] = ("dblp",),
         },
         "entries": entries,
         "summary": _summaries(entries),
+        "corpus": run_corpus_bench(doc_count=corpus_docs,
+                                   repetitions=repetitions, limit=limit,
+                                   verify=verify) if corpus_docs else None,
     }
+
+
+def run_corpus_bench(doc_count: int = 3, publications_per_doc: int = 200,
+                     algorithms: Sequence[str] = ("validrtf", "maxmatch"),
+                     repetitions: int = 2, limit: Optional[int] = None,
+                     verify: bool = True) -> Dict[str, object]:
+    """The corpus workload row of ``BENCH_core.json``.
+
+    Builds a ``doc_count``-document DBLP-like corpus (distinct seeds per
+    document) and times the dblp workload through the corpus engine against
+    the *sequential-per-document* baseline — looping the same query over one
+    plain :class:`SearchEngine` per document, the retrieval a client without
+    the corpus layer would have to do.  ``corpus_over_sequential`` < 1 means
+    the corpus engine's shared dispatch beats the loop; ~1 means the layer is
+    overhead-free.  ``verify=True`` additionally asserts the corpus answer
+    equals the union of the per-document answers before timing (the
+    differential fuzz contract, enforced here on the measured workload too).
+    """
+    trees = {f"dblp-{seed:02d}": generate_dblp(
+                 DBLPConfig(publications=publications_per_doc, seed=seed))
+             for seed in range(doc_count)}
+    corpus_engine = CorpusSearchEngine.from_trees(trees, backend="memory")
+    per_doc_engines = {doc_id: SearchEngine(tree)
+                       for doc_id, tree in sorted(trees.items())}
+    queries = list(dblp_workload())
+    if limit is not None:
+        queries = queries[:limit]
+    entries: List[Dict[str, object]] = []
+    corpus_total = 0.0
+    sequential_total = 0.0
+    for query in queries:
+        for algorithm in algorithms:
+            if verify:
+                _verify_corpus_union(corpus_engine, per_doc_engines,
+                                     query, algorithm)
+            corpus_seconds = time_algorithm(corpus_engine, query.text,
+                                            algorithm, repetitions)
+            sequential_seconds = _average_timed_passes(
+                lambda q=query.text, a=algorithm: [
+                    engine.search(q, a)
+                    for engine in per_doc_engines.values()],
+                repetitions)
+            corpus_total += corpus_seconds
+            sequential_total += sequential_seconds
+            entries.append({
+                "query": query.label,
+                "keywords": query.text,
+                "algorithm": algorithm,
+                "corpus_ms": round(corpus_seconds * 1000.0, 4),
+                "sequential_ms": round(sequential_seconds * 1000.0, 4),
+            })
+    return {
+        "documents": doc_count,
+        "publications_per_document": publications_per_doc,
+        "verified_union": bool(verify),
+        "entries": entries,
+        "corpus_total_ms": round(corpus_total * 1000.0, 4),
+        "sequential_total_ms": round(sequential_total * 1000.0, 4),
+        "corpus_over_sequential": (
+            round(corpus_total / sequential_total, 4)
+            if sequential_total else None),
+    }
+
+
+def _verify_corpus_union(corpus_engine, per_doc_engines, query,
+                         algorithm) -> None:
+    """Corpus answer must equal the union of the per-document answers."""
+    corpus_result = corpus_engine.search(query.text, algorithm)
+    by_doc = corpus_result.by_doc()
+    expected = {doc_id: result
+                for doc_id, result in
+                ((doc_id, engine.search(query.text, algorithm))
+                 for doc_id, engine in per_doc_engines.items())
+                if result.count or result.lca_nodes}
+    if set(by_doc) != set(expected):
+        raise RepresentationParityError(
+            f"corpus/{algorithm}/{query.label}: corpus answered documents "
+            f"{sorted(by_doc)} but the per-document union holds "
+            f"{sorted(expected)}")
+    for doc_id, reference in expected.items():
+        if _result_fingerprint(by_doc[doc_id]) != _result_fingerprint(reference):
+            raise RepresentationParityError(
+                f"corpus/{algorithm}/{query.label}: document {doc_id!r} "
+                f"disagrees with its single-document engine")
 
 
 def _verify_parity(dataset, queries, algorithms, backends, representations,

@@ -132,7 +132,7 @@ def cached_engine(dataset_name: str, dblp_publications: int = 600,
 # Backend selection
 # ---------------------------------------------------------------------- #
 #: Backends accepted by :func:`engine_for_backend` / ``run_workload``.
-BACKEND_NAMES = ("memory", "sqlite", "sharded")
+BACKEND_NAMES = ("memory", "sqlite", "sharded", "corpus")
 
 
 def engine_for_backend(tree: XMLTree, backend: str = "memory",
@@ -180,6 +180,14 @@ def engine_for_backend(tree: XMLTree, backend: str = "memory",
                                                 name=document,
                                                 representation=representation)
         return SearchEngine(source=source, cache_size=cache_size)
+    if backend == "corpus":
+        from ..corpus import CorpusSearchEngine
+
+        # A one-document corpus over the dataset: measures the corpus
+        # layer's per-document dispatch overhead against the flat backends.
+        return CorpusSearchEngine.from_trees(
+            {document: tree}, backend="memory",
+            representation=representation, cache_size=cache_size)
     raise ValueError(
         f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")
 

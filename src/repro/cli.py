@@ -3,11 +3,14 @@
 Sub-commands
 ------------
 ``index``
-    Shred an XML file (or a built-in dataset) into a sqlite database so later
-    queries can run disk-backed without re-parsing the document.
+    Shred XML file(s) (or a built-in dataset) into a sqlite database so later
+    queries can run disk-backed without re-parsing the document.  Several
+    files build a multi-document corpus database (grow it later with
+    ``--add``).
 ``search``
-    Run a keyword query against an XML file, a built-in dataset, or an
-    indexed sqlite store (``--db file.db --backend sqlite``) with ValidRTF or
+    Run a keyword query against an XML file, a built-in dataset, an indexed
+    sqlite store (``--db file.db --backend sqlite``), or a whole corpus
+    (``--backend corpus``, results tagged with doc ids) with ValidRTF or
     MaxMatch and print the resulting fragments.
 ``compare``
     Run both algorithms on one query and print the CFR / APR' / Max APR
@@ -43,6 +46,7 @@ from .bench import (
     run_workload,
 )
 from .core import SearchEngine
+from .corpus import CorpusSearchEngine
 from .storage import SQLitePostingSource, SQLiteStore
 from .datasets import (
     DBLPConfig,
@@ -90,18 +94,24 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     index = subparsers.add_parser(
-        "index", help="shred a document into a sqlite store for disk-backed "
-                      "search")
-    index.add_argument("document", nargs="?", default=None,
-                       help="path to an XML file (or use --dataset)")
+        "index", help="shred document(s) into a sqlite store for disk-backed "
+                      "(or corpus) search")
+    index.add_argument("documents", nargs="*", default=[], metavar="document",
+                       help="path(s) to XML file(s); several files build a "
+                            "multi-document corpus database (or use "
+                            "--dataset)")
     index.add_argument("--dataset", default=None, choices=sorted(_BUILTIN_TREES),
                        help="index a built-in dataset instead of a file")
     index.add_argument("--db", required=True, help="sqlite database file")
     index.add_argument("--name", default=None,
                        help="stored document name (default: file stem or "
-                            "dataset name)")
+                            "dataset name; only with a single document)")
+    index.add_argument("--add", action="store_true",
+                       help="incrementally add to a database that already "
+                            "holds other documents (guards against "
+                            "accidentally mixing corpora)")
     index.add_argument("--force", action="store_true",
-                       help="replace the document if already stored")
+                       help="replace documents that are already stored")
     index.set_defaults(handler=_command_index)
 
     search = subparsers.add_parser("search", help="run one keyword query")
@@ -298,30 +308,68 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
 # Commands
 # ---------------------------------------------------------------------- #
 def _command_index(arguments: argparse.Namespace) -> int:
-    if arguments.document and arguments.dataset:
-        print("give either an XML file or --dataset, not both", file=sys.stderr)
+    if arguments.documents and arguments.dataset:
+        print("give XML file(s) or --dataset, not both", file=sys.stderr)
         return 2
-    if arguments.document:
-        tree = parse_file(arguments.document)
-        name = arguments.name or Path(arguments.document).stem
+    if arguments.name and len(arguments.documents) > 1:
+        print("--name only applies to a single document; corpus ingestion "
+              "names each document after its file stem", file=sys.stderr)
+        return 2
+    # (name, tree factory) pairs: parsing is deferred so a naming clash is
+    # reported before any XML is read.
+    pending: List[tuple] = []
+    if arguments.documents:
+        for path in arguments.documents:
+            name = (arguments.name if len(arguments.documents) == 1
+                    and arguments.name else Path(path).stem)
+            pending.append((name, lambda p=path: parse_file(p)))
     elif arguments.dataset:
-        tree = _BUILTIN_TREES[arguments.dataset]()
-        name = arguments.name or arguments.dataset
+        dataset = arguments.dataset
+        pending.append((arguments.name or dataset,
+                        _BUILTIN_TREES[dataset]))
     else:
-        print("nothing to index: give an XML file or --dataset",
+        print("nothing to index: give XML file(s) or --dataset",
+              file=sys.stderr)
+        return 2
+    names = [name for name, _ in pending]
+    clashes = sorted({name for name in names if names.count(name) > 1})
+    if clashes:
+        print(f"duplicate document name(s): {', '.join(clashes)} "
+              f"(rename the files or index them separately with --name)",
               file=sys.stderr)
         return 2
     store = SQLiteStore(arguments.db)
-    if name in store.documents():
-        if not arguments.force:
-            print(f"document {name!r} already stored in {arguments.db} "
-                  f"(use --force to replace)", file=sys.stderr)
-            return 1
-        store.drop_document(name)
-    store.store_tree(tree, name)
-    stats = store.document_stats(name)
-    print(f"indexed {name!r} into {arguments.db}: {stats['nodes']} element "
-          f"rows, {stats['values']} value rows, {stats['labels']} labels")
+    stored = store.documents()
+    foreign = sorted(set(stored) - set(names))
+    growing = [name for name in names if name not in stored]
+    # --force only governs replacing same-named documents; adding *new*
+    # documents next to existing ones grows a corpus and needs an explicit
+    # --add so corpora are never mixed by accident.
+    if foreign and growing and not arguments.add:
+        print(f"{arguments.db} already holds other document(s): "
+              f"{', '.join(foreign)} (use --add to grow the corpus)",
+              file=sys.stderr)
+        return 1
+    # Every conflict is decidable up front; report before ingesting anything
+    # so a failed run never leaves the database partially grown.
+    replaced = [name for name in names if name in stored]
+    if replaced and not arguments.force:
+        print(f"document(s) {', '.join(replaced)} already stored in "
+              f"{arguments.db} (use --force to replace)", file=sys.stderr)
+        return 1
+    for name, tree_factory in pending:
+        if name in stored:
+            store.drop_document(name)
+        store.store_tree(tree_factory(), name)
+        stats = store.document_stats(name)
+        print(f"indexed {name!r} into {arguments.db}: {stats['nodes']} "
+              f"element rows, {stats['values']} value rows, "
+              f"{stats['labels']} labels")
+    documents = store.documents()
+    if len(documents) > 1:
+        print(f"{arguments.db} now holds {len(documents)} documents "
+              f"({', '.join(documents)}); search them together with "
+              f"--backend corpus")
     return 0
 
 
@@ -339,17 +387,30 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     engine = _build_engine(arguments)
     query = _resolve_query(arguments.query)
     outcome = engine.compare(query)
-    report = outcome.report
     print(f"query: {query}")
-    print(f"RTFs: {report.lca_count}  CFR: {report.cfr:.3f}  "
+    if isinstance(engine, CorpusSearchEngine):
+        summary = outcome.summary
+        print(f"documents: {len(outcome.documents)}  "
+              f"mean CFR: {summary['mean_cfr']:.3f}  "
+              f"mean APR': {summary['mean_apr_prime']:.3f}  "
+              f"mean Max APR: {summary['mean_max_apr']:.3f}")
+        for doc_id, document_outcome in outcome.documents:
+            _print_comparison_report(document_outcome.report,
+                                     prefix=f"[{doc_id}] ")
+        return 0
+    _print_comparison_report(outcome.report)
+    return 0
+
+
+def _print_comparison_report(report, prefix: str = "") -> None:
+    print(f"{prefix}RTFs: {report.lca_count}  CFR: {report.cfr:.3f}  "
           f"APR': {report.apr_prime:.3f}  Max APR: {report.max_apr:.3f}")
     for comparison in report.comparisons:
         marker = "=" if comparison.identical else "≠"
-        print(f"  root {comparison.root} {marker}  MaxMatch keeps "
+        print(f"{prefix}  root {comparison.root} {marker}  MaxMatch keeps "
               f"{comparison.maxmatch_size}, ValidRTF keeps "
               f"{comparison.validrtf_size} (extra pruned "
               f"{comparison.extra_pruned})")
-    return 0
 
 
 def _command_explain(arguments: argparse.Namespace) -> int:
@@ -436,6 +497,14 @@ def _command_bench_export(arguments: argparse.Namespace) -> int:
               f"{summary['algorithm']}: "
               f"packed {summary.get('packed_total_ms', 0.0):.2f} ms, "
               f"object {summary.get('object_total_ms', 0.0):.2f} ms"
+              f"{ratio_text}")
+    corpus = payload.get("corpus")
+    if corpus:
+        ratio = corpus.get("corpus_over_sequential")
+        ratio_text = f"  corpus/sequential: {ratio:.3f}" if ratio else ""
+        print(f"corpus[{corpus['documents']} docs]: "
+              f"corpus {corpus['corpus_total_ms']:.2f} ms, "
+              f"sequential-per-doc {corpus['sequential_total_ms']:.2f} ms"
               f"{ratio_text}")
     if arguments.output and arguments.output != "-":
         path = write_core_bench(payload, arguments.output)
@@ -547,6 +616,32 @@ def _resolve_stored_document(arguments: argparse.Namespace) -> str:
     return document
 
 
+def _resolve_corpus_documents(arguments: argparse.Namespace):
+    """The document subset a corpus ``--db`` invocation should serve.
+
+    ``None`` means every stored document; ``--doc`` restricts to one (doc ids
+    can also be filtered per request through the service's ``doc_filter``).
+    """
+    if arguments.file:
+        raise CliError("--db and --file are different documents; give "
+                       "one or the other")
+    if not Path(arguments.db).exists():
+        raise CliError(f"no such database file: {arguments.db} "
+                       f"(create it with `repro-xks index`)")
+    store = SQLiteStore(arguments.db)
+    documents = store.documents()
+    store.close()
+    if not documents:
+        raise CliError(f"{arguments.db} holds no indexed documents "
+                       f"(run `repro-xks index` first)")
+    if arguments.doc:
+        if arguments.doc not in documents:
+            raise CliError(f"no document {arguments.doc!r} in {arguments.db}; "
+                           f"stored: {', '.join(documents)}")
+        return [arguments.doc]
+    return None
+
+
 def _service_setup(arguments: argparse.Namespace, remote: bool = False):
     """The (ServiceConfig, tree) pair of a serve/loadtest invocation.
 
@@ -562,13 +657,19 @@ def _service_setup(arguments: argparse.Namespace, remote: bool = False):
     backend = arguments.backend or ("sqlite" if arguments.db else "memory")
     tree = None
     document = "service"
+    documents = None
     if remote:
         pass  # the serving process owns the document
     elif backend == "sqlite" and arguments.db:
         document = _resolve_stored_document(arguments)
+    elif backend == "corpus" and arguments.db:
+        # Validates the database; --doc restricts the served subset.
+        resolved = _resolve_corpus_documents(arguments)
+        documents = tuple(resolved) if resolved else None
     else:
         if arguments.db:
-            raise CliError(f"--db needs --backend sqlite, not {backend!r}")
+            raise CliError(f"--db needs --backend sqlite or corpus, "
+                           f"not {backend!r}")
         tree = _load_tree(arguments)
         document = getattr(arguments, "dataset", None) or "service"
     if arguments.workers < 1:
@@ -603,6 +704,7 @@ def _service_setup(arguments: argparse.Namespace, remote: bool = False):
         max_inflight=arguments.max_inflight,
         timeout_seconds=arguments.request_timeout,
         representation=getattr(arguments, "representation", "packed"),
+        documents=documents,
     )
     return config, tree
 
@@ -644,6 +746,13 @@ def _build_engine(arguments: argparse.Namespace) -> SearchEngine:
 
     backend = arguments.backend or ("sqlite" if arguments.db else "memory")
     representation = getattr(arguments, "representation", "packed")
+    if backend == "corpus" and arguments.db:
+        # Corpus path: serve every document of the database (or the --doc
+        # subset) with doc-id-tagged answers, no XML parse at all.
+        documents = _resolve_corpus_documents(arguments)
+        store = SQLiteStore(arguments.db)
+        return CorpusSearchEngine.from_store(store, documents=documents,
+                                             representation=representation)
     if backend == "sqlite" and arguments.db:
         # Disk-backed path: open an indexed database, no XML parse at all.
         document = _resolve_stored_document(arguments)
@@ -651,7 +760,8 @@ def _build_engine(arguments: argparse.Namespace) -> SearchEngine:
         return SearchEngine(source=SQLitePostingSource(
             store, document, representation=representation))
     if arguments.db:
-        raise CliError(f"--db needs --backend sqlite, not {backend!r}")
+        raise CliError(f"--db needs --backend sqlite or corpus, "
+                       f"not {backend!r}")
     try:
         return engine_for_backend(_load_tree(arguments), backend,
                                   shards=arguments.shards, document="cli",

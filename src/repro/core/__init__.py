@@ -65,7 +65,14 @@ from .axioms import (
     check_query_consistency,
     check_query_monotonicity,
 )
-from .ranking import RankedFragment, RankingWeights, rank_fragments, rank_result
+from .ranking import (
+    DocumentRankedFragment,
+    RankedFragment,
+    RankingWeights,
+    merge_ranked,
+    rank_fragments,
+    rank_result,
+)
 from .engine import ALGORITHM_NAMES, ComparisonOutcome, SearchEngine
 
 __all__ = [
@@ -136,6 +143,8 @@ __all__ = [
     "check_query_consistency",
     "RankingWeights",
     "RankedFragment",
+    "DocumentRankedFragment",
+    "merge_ranked",
     "rank_fragments",
     "rank_result",
     "SearchEngine",

@@ -17,7 +17,9 @@ explicit so experiments can ablate them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from heapq import merge as _heap_merge
+from itertools import islice
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..text import ContentAnalyzer
 from ..xmltree import XMLTree
@@ -75,6 +77,50 @@ def rank_fragments(tree: XMLTree, query: Query,
                                      coverage))
     ranked.sort(key=lambda item: (-item.score, item.fragment.root))
     return ranked
+
+
+@dataclass(frozen=True)
+class DocumentRankedFragment:
+    """One ranked fragment tagged with the corpus document it came from."""
+
+    doc_id: str
+    ranked: RankedFragment
+
+    @property
+    def score(self) -> float:
+        """The ranked fragment's score (passthrough)."""
+        return self.ranked.score
+
+    @property
+    def fragment(self) -> PrunedFragment:
+        """The underlying pruned fragment (passthrough)."""
+        return self.ranked.fragment
+
+
+def merge_ranked(per_document: Mapping[str, Sequence[RankedFragment]],
+                 top_k: Optional[int] = None) -> List[DocumentRankedFragment]:
+    """Corpus-level top-k merge of per-document rankings.
+
+    Each document's list is already sorted best-first (the
+    :func:`rank_fragments` order), so the corpus ranking is a k-way heap
+    merge keyed on ``(-score, doc id, root)`` — deterministic across runs and
+    backends, and with ``top_k`` only the first ``k`` entries are ever pulled
+    off the merge.
+    """
+    if top_k is not None and top_k < 0:
+        raise ValueError(f"top_k must be >= 0, got {top_k}")
+
+    def keyed(doc_id: str, ranked: Sequence[RankedFragment]):
+        for entry in ranked:
+            yield ((-entry.score, doc_id, entry.fragment.root),
+                   DocumentRankedFragment(doc_id, entry))
+
+    streams = [keyed(doc_id, ranked)
+               for doc_id, ranked in sorted(per_document.items())]
+    merged = _heap_merge(*streams, key=lambda pair: pair[0])
+    if top_k is not None:
+        merged = islice(merged, top_k)
+    return [entry for _, entry in merged]
 
 
 def rank_result(tree: XMLTree, result: SearchResult,

@@ -1,0 +1,327 @@
+"""Cross-document keyword search: one engine over a whole corpus.
+
+:class:`CorpusSearchEngine` mirrors the :class:`~repro.core.engine.SearchEngine`
+surface (``search`` / ``search_many`` / ``compare`` / ``rank`` /
+``render_result`` / cache plumbing) so the serving stack, the CLI and the
+benchmark harness can drive a corpus exactly like a single document — the
+differences are that every answer is doc-id-tagged
+(:class:`~repro.corpus.result.CorpusSearchResult`), every retrieval method
+accepts a ``doc_filter``, and ranking merges the per-document rankings into
+one corpus-level top-k (:func:`~repro.core.ranking.merge_ranked`).
+
+Internally the engine owns one single-document :class:`SearchEngine` per
+corpus document, each running over the corpus source's per-document posting
+source — the SLCA/ELCA/RTF pipeline runs per document (LCA semantics never
+cross documents) and the corpus answer is the union of the per-document
+answers, the contract the differential fuzz harness enforces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.cache import CacheStats
+from ..core.engine import ComparisonOutcome, SearchEngine
+from ..core.errors import SearchError
+from ..core.metrics import summarize_reports
+from ..core.query import Query, QueryLike
+from ..core.ranking import (
+    DocumentRankedFragment,
+    RankingWeights,
+    merge_ranked,
+    rank_result,
+)
+from ..storage.errors import DocumentNotFound
+from ..xmltree import XMLTree
+from .result import CorpusSearchResult, DocumentResult
+from .source import (
+    CorpusPostingSource,
+    corpus_from_store,
+    corpus_from_trees,
+    unknown_documents_error,
+)
+
+
+@dataclass(frozen=True)
+class CorpusComparisonOutcome:
+    """ValidRTF vs MaxMatch over a corpus: per-document outcomes + summary."""
+
+    validrtf: CorpusSearchResult
+    maxmatch: CorpusSearchResult
+    documents: Tuple[Tuple[str, ComparisonOutcome], ...]
+    summary: Dict[str, float]
+
+
+class CorpusSearchEngine:
+    """Keyword search over many XML documents with doc-id-tagged answers.
+
+    Parameters
+    ----------
+    source:
+        The :class:`~repro.corpus.source.CorpusPostingSource` serving the
+        per-document posting sources.
+    trees:
+        Optional resident trees per doc id (memory-backed corpora keep them;
+        disk-backed corpora run tree-free like the single-document sqlite
+        engines).  Resident trees enable full fragment rendering and ranking.
+    cid_mode, cache_size:
+        Forwarded to every per-document engine; cached results are keyed per
+        document (each per-document engine owns its cache).
+    """
+
+    #: Duck-typing marker the serving layer dispatches ``doc_filter`` on.
+    is_corpus = True
+
+    def __init__(self, source: CorpusPostingSource,
+                 trees: Optional[Mapping[str, XMLTree]] = None,
+                 cid_mode: str = "minmax", cache_size: int = 0):
+        self.source = source
+        self.trees: Dict[str, XMLTree] = dict(trees or {})
+        unknown = sorted(set(self.trees) - set(source.doc_ids))
+        if unknown:
+            raise ValueError(f"trees for unknown corpus document(s): "
+                             f"{', '.join(unknown)}")
+        self.cid_mode = cid_mode
+        self.cache_size = cache_size
+        self._engines: Dict[str, SearchEngine] = {
+            doc_id: SearchEngine(tree=self.trees.get(doc_id),
+                                 source=source.document_source(doc_id),
+                                 cid_mode=cid_mode, cache_size=cache_size)
+            for doc_id in source.doc_ids
+        }
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_trees(cls, trees: Mapping[str, XMLTree], backend: str = "memory",
+                   representation: str = "packed", shard_count: int = 1,
+                   cid_mode: str = "minmax", cache_size: int = 0,
+                   doc_shards: int = 2) -> "CorpusSearchEngine":
+        """Ingest one tree per doc id and build the corpus engine.
+
+        ``backend`` picks the per-document source kind (see
+        :func:`~repro.corpus.source.corpus_from_trees`).  Only the memory
+        backend keeps the trees resident; the disk backends run tree-free.
+        """
+        source = corpus_from_trees(trees, backend=backend,
+                                   representation=representation,
+                                   shard_count=shard_count,
+                                   doc_shards=doc_shards)
+        resident = trees if backend == "memory" else None
+        return cls(source, trees=resident, cid_mode=cid_mode,
+                   cache_size=cache_size)
+
+    @classmethod
+    def from_store(cls, store, documents: Optional[Sequence[str]] = None,
+                   representation: str = "packed", cid_mode: str = "minmax",
+                   cache_size: int = 0) -> "CorpusSearchEngine":
+        """A corpus engine over the documents of an already-indexed store."""
+        source = corpus_from_store(store, documents=documents,
+                                   representation=representation)
+        return cls(source, cid_mode=cid_mode, cache_size=cache_size)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def backend_id(self) -> str:
+        """The corpus source's identity (cache keys carry it per document)."""
+        return self.source.source_id
+
+    @property
+    def representation(self) -> str:
+        """The physical posting representation the corpus serves."""
+        return self.source.representation
+
+    @property
+    def doc_ids(self) -> Tuple[str, ...]:
+        """Every corpus document, in corpus (sorted doc-id) order."""
+        return self.source.doc_ids
+
+    def document_engine(self, doc_id: str) -> SearchEngine:
+        """The single-document engine serving one doc id."""
+        try:
+            return self._engines[doc_id]
+        except KeyError:
+            raise unknown_documents_error([doc_id], self.doc_ids) from None
+
+    def _selected(self, doc_filter: Optional[Sequence[str]]
+                  ) -> Tuple[str, ...]:
+        """The documents a request addresses, in corpus order.
+
+        ``doc_filter`` restricts the search to a subset of doc ids; unknown
+        ids raise :class:`DocumentNotFound` (the service maps it to a typed
+        ``bad_request``) instead of silently answering from fewer documents.
+        """
+        if doc_filter is None:
+            return self.source.doc_ids
+        wanted = set(doc_filter)
+        if not wanted:
+            raise DocumentNotFound("doc_filter selects no documents")
+        unknown = sorted(wanted - set(self.source.doc_ids))
+        if unknown:
+            raise unknown_documents_error(unknown, self.doc_ids)
+        return tuple(doc_id for doc_id in self.source.doc_ids
+                     if doc_id in wanted)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _contributes(result) -> bool:
+        """Whether a per-document result adds anything to the union."""
+        return bool(result.count or result.lca_nodes)
+
+    def search(self, query: QueryLike, algorithm: str = "validrtf",
+               doc_filter: Optional[Sequence[str]] = None) -> CorpusSearchResult:
+        """Run one query per document and union the doc-tagged answers."""
+        parsed = Query.parse(query)
+        started = time.perf_counter()
+        documents: List[DocumentResult] = []
+        for doc_id in self._selected(doc_filter):
+            result = self._engines[doc_id].search(parsed, algorithm)
+            if self._contributes(result):
+                documents.append(DocumentResult(doc_id, result))
+        return CorpusSearchResult(
+            query=parsed, algorithm=algorithm, documents=tuple(documents),
+            elapsed_seconds=time.perf_counter() - started)
+
+    def search_many(self, queries: Sequence[QueryLike],
+                    algorithm: str = "validrtf",
+                    doc_filter: Optional[Sequence[str]] = None
+                    ) -> List[CorpusSearchResult]:
+        """Batch counterpart of :meth:`search`.
+
+        Each per-document engine serves the whole batch through its own
+        ``search_many`` fast path (one union posting fetch per document), so
+        the corpus batch pays one stage-1 round per (document, batch) instead
+        of one per (document, query).
+        """
+        parsed_queries = [Query.parse(query) for query in queries]
+        selected = self._selected(doc_filter)
+        per_doc = {doc_id: self._engines[doc_id].search_many(parsed_queries,
+                                                             algorithm)
+                   for doc_id in selected}
+        results: List[CorpusSearchResult] = []
+        for position, parsed in enumerate(parsed_queries):
+            documents = tuple(
+                DocumentResult(doc_id, per_doc[doc_id][position])
+                for doc_id in selected
+                if self._contributes(per_doc[doc_id][position]))
+            results.append(CorpusSearchResult(
+                query=parsed, algorithm=algorithm, documents=documents))
+        return results
+
+    def compare(self, query: QueryLike,
+                doc_filter: Optional[Sequence[str]] = None
+                ) -> CorpusComparisonOutcome:
+        """ValidRTF vs MaxMatch per document, with corpus-level summary."""
+        parsed = Query.parse(query)
+        outcomes: List[Tuple[str, ComparisonOutcome]] = []
+        validrtf_docs: List[DocumentResult] = []
+        maxmatch_docs: List[DocumentResult] = []
+        for doc_id in self._selected(doc_filter):
+            outcome = self._engines[doc_id].compare(parsed)
+            if self._contributes(outcome.validrtf):
+                validrtf_docs.append(DocumentResult(doc_id, outcome.validrtf))
+            if self._contributes(outcome.maxmatch):
+                maxmatch_docs.append(DocumentResult(doc_id, outcome.maxmatch))
+            if self._contributes(outcome.validrtf) or \
+                    self._contributes(outcome.maxmatch):
+                outcomes.append((doc_id, outcome))
+        return CorpusComparisonOutcome(
+            validrtf=CorpusSearchResult(parsed, "validrtf",
+                                        tuple(validrtf_docs)),
+            maxmatch=CorpusSearchResult(parsed, "maxmatch",
+                                        tuple(maxmatch_docs)),
+            documents=tuple(outcomes),
+            summary=summarize_reports([outcome.report
+                                       for _, outcome in outcomes]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Ranking (corpus-level top-k merge)
+    # ------------------------------------------------------------------ #
+    def rank(self, result: CorpusSearchResult,
+             weights: RankingWeights = RankingWeights(),
+             top_k: Optional[int] = None) -> List[DocumentRankedFragment]:
+        """Merge the per-document rankings of a corpus result into one list."""
+        if not self.trees:
+            raise SearchError("ranking needs resident trees; this corpus "
+                              "engine is running purely source-backed")
+        per_document = {}
+        for entry in result.documents:
+            tree = self.trees.get(entry.doc_id)
+            if tree is None:
+                raise SearchError(f"no resident tree for corpus document "
+                                  f"{entry.doc_id!r}; cannot rank it")
+            per_document[entry.doc_id] = rank_result(tree, entry.result,
+                                                     weights)
+        return merge_ranked(per_document, top_k=top_k)
+
+    def search_ranked(self, query: QueryLike, algorithm: str = "validrtf",
+                      top_k: Optional[int] = None,
+                      doc_filter: Optional[Sequence[str]] = None,
+                      weights: RankingWeights = RankingWeights()
+                      ) -> List[DocumentRankedFragment]:
+        """Search the corpus and return the merged top-k ranked fragments."""
+        return self.rank(self.search(query, algorithm, doc_filter=doc_filter),
+                         weights=weights, top_k=top_k)
+
+    # ------------------------------------------------------------------ #
+    # Cache / mode plumbing (aggregated over the per-document engines)
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_enabled(self) -> bool:
+        """True when the per-document engines carry result caches."""
+        return self.cache_size > 0
+
+    def cache_stats(self) -> CacheStats:
+        """Summed hit/miss/eviction counters across every document engine."""
+        totals = [engine.cache_stats() for engine in self._engines.values()]
+        return CacheStats(
+            hits=sum(stats.hits for stats in totals),
+            misses=sum(stats.misses for stats in totals),
+            evictions=sum(stats.evictions for stats in totals),
+            size=sum(stats.size for stats in totals),
+            max_size=sum(stats.max_size for stats in totals),
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every document engine's cached results."""
+        for engine in self._engines.values():
+            engine.clear_cache()
+
+    def set_cid_mode(self, cid_mode: str) -> None:
+        """Switch the content-feature mode on every document engine."""
+        for engine in self._engines.values():
+            engine.set_cid_mode(cid_mode)
+        self.cid_mode = cid_mode
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def render_result(self, result: CorpusSearchResult,
+                      show_text: bool = True) -> str:
+        """Render every document's fragments under a doc-id header."""
+        blocks = []
+        for entry in result.documents:
+            engine = self._engines.get(entry.doc_id)
+            header = (f"=== document {entry.doc_id} "
+                      f"({entry.result.count} fragment"
+                      f"{'s' if entry.result.count != 1 else ''}) ===")
+            if engine is None:
+                blocks.append(header)
+                continue
+            blocks.append(header + "\n"
+                          + engine.render_result(entry.result,
+                                                 show_text=show_text))
+        return "\n\n".join(blocks) if blocks else "(no results)"
+
+    def __repr__(self) -> str:
+        return (f"CorpusSearchEngine(documents={len(self.doc_ids)}, "
+                f"shards={len(self.source.shards)}, "
+                f"representation={self.representation!r})")

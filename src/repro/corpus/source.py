@@ -1,0 +1,363 @@
+"""Doc-partitioned corpus posting sources.
+
+A corpus is **N per-document posting column sets keyed by doc id**, not one
+fused column set with a doc-id component baked into every posting.  The
+reasons, in order:
+
+* LCA semantics never cross a document boundary, so every query is going to
+  run the SLCA/ELCA/RTF hot loops per document anyway — a fused cross-corpus
+  posting list would be split right back apart before stage 2, after paying
+  an extra component on every comparison and ancestor test.
+* Sharding by document (each shard owns *whole* documents) means a shard
+  never merges across documents internally, and incremental ingestion
+  (``repro.cli index --add``) appends one new column set without rewriting
+  any existing one.
+* The per-document sources are the existing, already-parity-tested backends
+  (:class:`~repro.index.inverted.InvertedIndex`, the sqlite/sharded sources),
+  reused unchanged.
+
+The corpus still honours the :class:`~repro.index.source.PostingSource`
+protocol: corpus-wide posting lists are served as the concatenation of the
+per-document lists, each prefixed with the document's ordinal
+(:func:`~repro.index.packed.prefix_packed`), which keeps the "strictly
+sorted, duplicate-free" invariant because ordinals strictly increase in
+doc-id order.  Node lookups route on the ordinal component.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..index import InvertedIndex, PostingList
+from ..index.packed import (
+    EMPTY_PACKED,
+    PackedDeweyList,
+    REPRESENTATIONS,
+    concat_packed,
+    prefix_postings,
+)
+from ..storage import (
+    DEFAULT_POSTING_LRU_SIZE,
+    ShardedPostingSource,
+    SQLiteStore,
+    source_for_store,
+)
+from ..storage.errors import DocumentNotFound
+from ..xmltree import DeweyCode, XMLTree
+
+#: Per-document backends :func:`corpus_from_trees` can build.
+CORPUS_DOC_BACKENDS = ("memory", "sqlite", "sharded")
+
+
+def unknown_documents_error(unknown: Sequence[str],
+                            stored: Sequence[str]) -> DocumentNotFound:
+    """The one error every corpus layer raises for unknown doc ids."""
+    label = "document" if len(unknown) == 1 else "document(s)"
+    return DocumentNotFound(
+        f"no corpus {label} named {', '.join(unknown)}; "
+        f"stored: {', '.join(stored)}")
+
+
+def shard_of_document(doc_id: str, shard_count: int) -> int:
+    """Deterministic doc-id -> shard routing (whole documents per shard)."""
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be positive, got {shard_count}")
+    return zlib.crc32(doc_id.encode("utf-8")) % shard_count
+
+
+class CorpusShard:
+    """One shard of a corpus: a group of whole documents.
+
+    A shard owns every posting and node row of its documents and nothing of
+    any other document — the doc-partitioned organisation of disk-based
+    keyword search systems — so per-shard work never merges across documents.
+    """
+
+    __slots__ = ("index", "doc_ids", "_sources")
+
+    def __init__(self, index: int, doc_ids: Tuple[str, ...],
+                 sources: Mapping[str, object]):
+        self.index = index
+        self.doc_ids = doc_ids
+        self._sources = dict(sources)
+
+    def source(self, doc_id: str):
+        """The posting source of one owned document."""
+        return self._sources[doc_id]
+
+    def keyword_nodes_by_doc(self, keywords: Sequence[str]
+                             ) -> Dict[str, Dict[str, Sequence[DeweyCode]]]:
+        """Per-document ``D_i`` lists for every owned document (batched)."""
+        return {doc_id: self._sources[doc_id].keyword_nodes(keywords)
+                for doc_id in self.doc_ids}
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def __repr__(self) -> str:
+        return f"CorpusShard(index={self.index}, documents={len(self.doc_ids)})"
+
+
+class CorpusPostingSource:
+    """Posting source over many documents, sharded by document.
+
+    Parameters
+    ----------
+    documents:
+        Mapping of doc id to that document's
+        :class:`~repro.index.source.PostingSource`.  Doc ids are sorted; the
+        position of a doc id in the sorted order is its **ordinal**, the
+        component prefixed onto corpus-wide Dewey codes.
+    shard_count:
+        Number of doc-partitioned shards the documents are grouped into
+        (clamped to the document count).  Each shard owns whole documents.
+    """
+
+    def __init__(self, documents: Mapping[str, object], shard_count: int = 1):
+        items = sorted(dict(documents).items())
+        if not items:
+            raise ValueError("a corpus needs at least one document")
+        self.doc_ids: Tuple[str, ...] = tuple(doc_id for doc_id, _ in items)
+        self._sources = dict(items)
+        self._ordinals = {doc_id: ordinal
+                          for ordinal, doc_id in enumerate(self.doc_ids)}
+        shard_count = max(1, min(shard_count, len(items)))
+        buckets: List[List[str]] = [[] for _ in range(shard_count)]
+        for doc_id in self.doc_ids:
+            buckets[shard_of_document(doc_id, shard_count)].append(doc_id)
+        self.shards: Tuple[CorpusShard, ...] = tuple(
+            CorpusShard(index, tuple(bucket),
+                        {doc_id: self._sources[doc_id] for doc_id in bucket})
+            for index, bucket in enumerate(buckets))
+        self.representation = (
+            "packed" if all(getattr(source, "representation", "object") == "packed"
+                            for source in self._sources.values()) else "object")
+        self.tokenizer = getattr(items[0][1], "tokenizer", None)
+        if self.tokenizer is None:
+            from ..text import DEFAULT_TOKENIZER
+            self.tokenizer = DEFAULT_TOKENIZER
+
+    # ------------------------------------------------------------------ #
+    # Corpus accessors
+    # ------------------------------------------------------------------ #
+    def document_source(self, doc_id: str):
+        """The per-document posting source of one doc id."""
+        try:
+            return self._sources[doc_id]
+        except KeyError:
+            raise unknown_documents_error([doc_id], self.doc_ids) from None
+
+    def ordinal_of(self, doc_id: str) -> int:
+        """The ordinal prefixed onto this document's corpus-wide codes."""
+        try:
+            return self._ordinals[doc_id]
+        except KeyError:
+            raise unknown_documents_error([doc_id], self.doc_ids) from None
+
+    def shard_of(self, doc_id: str) -> CorpusShard:
+        """The shard owning one document."""
+        self.ordinal_of(doc_id)  # raises on unknown ids
+        return self.shards[shard_of_document(doc_id, len(self.shards))]
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    # ------------------------------------------------------------------ #
+    # PostingSource protocol (corpus-wide, doc-ordinal-prefixed)
+    # ------------------------------------------------------------------ #
+    @property
+    def source_id(self) -> str:
+        """Composite identity of the corpus (representation-free)."""
+        inner = ",".join(
+            f"{doc_id}={self._sources[doc_id].source_id}"
+            for doc_id in self.doc_ids)
+        return f"corpus[{inner}]"
+
+    def _concat(self, lists: Sequence[Sequence[DeweyCode]]
+                ) -> Sequence[DeweyCode]:
+        """Stitch per-document prefixed lists (already globally sorted)."""
+        if all(isinstance(plist, PackedDeweyList) for plist in lists):
+            return concat_packed(list(lists))
+        merged: List[DeweyCode] = []
+        for plist in lists:
+            merged.extend(plist)
+        return tuple(merged)
+
+    def postings(self, keyword: str) -> PostingList:
+        """The corpus-wide, doc-ordinal-prefixed posting list of one keyword."""
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        lists: List[Sequence[DeweyCode]] = []
+        for doc_id in self.doc_ids:
+            source = self._sources[doc_id]
+            ordinal = self._ordinals[doc_id]
+            if isinstance(source, InvertedIndex):
+                prefixed = source.prefixed_postings(normalized, ordinal)
+            else:
+                prefixed = prefix_postings(
+                    source.postings(normalized).deweys, ordinal)
+            if len(prefixed):
+                lists.append(prefixed)
+        merged = self._concat(lists) if lists else self._empty()
+        return PostingList(normalized, merged)
+
+    def keyword_nodes(self, query: Iterable[str]) -> Dict[str, Sequence[DeweyCode]]:
+        """Corpus-wide ``D_i`` lists, fetched shard by shard, doc-batched."""
+        normalized = self.tokenizer.normalize_query(query)
+        per_doc: Dict[str, Dict[str, Sequence[DeweyCode]]] = {}
+        for shard in self.shards:
+            per_doc.update(shard.keyword_nodes_by_doc(normalized))
+        result: Dict[str, Sequence[DeweyCode]] = {}
+        for keyword in normalized:
+            lists = []
+            for doc_id in self.doc_ids:
+                deweys = per_doc[doc_id].get(keyword, ())
+                if len(deweys):
+                    lists.append(prefix_postings(
+                        deweys, self._ordinals[doc_id]))
+            result[keyword] = self._concat(lists) if lists else self._empty()
+        return result
+
+    def frequency(self, keyword: str) -> int:
+        """Corpus-wide keyword-node count (documents partition the corpus)."""
+        return sum(self._sources[doc_id].frequency(keyword)
+                   for doc_id in self.doc_ids)
+
+    def vocabulary(self) -> List[str]:
+        """Sorted union of every document's vocabulary."""
+        words = set()
+        for doc_id in self.doc_ids:
+            words.update(self._sources[doc_id].vocabulary())
+        return sorted(words)
+
+    def node_label(self, dewey: DeweyCode) -> Optional[str]:
+        """The label of one corpus node (routed on the ordinal component)."""
+        routed = self._route(dewey)
+        if routed is None:
+            return None
+        source, inner = routed
+        return source.node_label(inner)
+
+    def node_words(self, dewey: DeweyCode) -> FrozenSet[str]:
+        """The content word set of one corpus node."""
+        routed = self._route(dewey)
+        if routed is None:
+            return frozenset()
+        source, inner = routed
+        return source.node_words(inner)
+
+    def prefetch_nodes(self, nodes: Iterable[DeweyCode],
+                       keyword_nodes: Iterable[DeweyCode]) -> None:
+        """Strip ordinals and let each document's source batch its subset."""
+        node_buckets: Dict[int, List[DeweyCode]] = {}
+        keyword_buckets: Dict[int, List[DeweyCode]] = {}
+        for dewey in nodes:
+            routed = self._route(dewey)
+            if routed is not None:
+                node_buckets.setdefault(dewey.components[0],
+                                        []).append(routed[1])
+        for dewey in keyword_nodes:
+            routed = self._route(dewey)
+            if routed is not None:
+                keyword_buckets.setdefault(dewey.components[0],
+                                           []).append(routed[1])
+        for ordinal in sorted(set(node_buckets) | set(keyword_buckets)):
+            source = self._sources[self.doc_ids[ordinal]]
+            prefetch = getattr(source, "prefetch_nodes", None)
+            if prefetch is not None:
+                prefetch(node_buckets.get(ordinal, ()),
+                         keyword_buckets.get(ordinal, ()))
+
+    # ------------------------------------------------------------------ #
+    def _empty(self) -> Sequence[DeweyCode]:
+        return EMPTY_PACKED if self.representation == "packed" else ()
+
+    def _route(self, dewey: DeweyCode):
+        """``(source, inner code)`` of a corpus-wide code, or ``None``."""
+        components = dewey.components
+        if len(components) < 2 or not 0 <= components[0] < len(self.doc_ids):
+            return None
+        source = self._sources[self.doc_ids[components[0]]]
+        return source, DeweyCode._from_tuple(components[1:])
+
+    def __repr__(self) -> str:
+        return (f"CorpusPostingSource(documents={len(self.doc_ids)}, "
+                f"shards={len(self.shards)}, "
+                f"representation={self.representation!r})")
+
+
+# ---------------------------------------------------------------------- #
+# Construction helpers
+# ---------------------------------------------------------------------- #
+def corpus_from_trees(trees: Mapping[str, XMLTree], backend: str = "memory",
+                      representation: str = "packed", shard_count: int = 1,
+                      lru_size: int = DEFAULT_POSTING_LRU_SIZE,
+                      doc_shards: int = 2) -> CorpusPostingSource:
+    """Build a corpus source by ingesting one tree per doc id.
+
+    ``backend`` selects the per-document source kind: ``memory`` builds one
+    :class:`InvertedIndex` per document; ``sqlite`` creates **one in-process
+    store per corpus shard** and stores each document whole into its shard's
+    store (doc-partitioned disk layout); ``sharded`` Dewey-shards each
+    document over ``doc_shards`` stores (a sharded source per document,
+    inside the doc-partitioned corpus).
+    """
+    if representation not in REPRESENTATIONS:
+        raise ValueError(f"unknown representation {representation!r}; "
+                         f"expected one of {REPRESENTATIONS}")
+    if backend not in CORPUS_DOC_BACKENDS:
+        raise ValueError(f"unknown corpus document backend {backend!r}; "
+                         f"expected one of {CORPUS_DOC_BACKENDS}")
+    if not trees:
+        raise ValueError("a corpus needs at least one document")
+    doc_ids = sorted(trees)
+    sources: Dict[str, object] = {}
+    if backend == "memory":
+        for doc_id in doc_ids:
+            sources[doc_id] = InvertedIndex(trees[doc_id],
+                                            representation=representation)
+    elif backend == "sqlite":
+        count = max(1, min(shard_count, len(doc_ids)))
+        stores = [SQLiteStore() for _ in range(count)]
+        for doc_id in doc_ids:
+            store = stores[shard_of_document(doc_id, count)]
+            store.store_tree(trees[doc_id], doc_id)
+            sources[doc_id] = source_for_store(store, doc_id, lru_size,
+                                               representation)
+    else:  # sharded: Dewey-sharded per document, doc-partitioned overall
+        for doc_id in doc_ids:
+            sources[doc_id] = ShardedPostingSource.from_tree(
+                trees[doc_id], shard_count=doc_shards, name=doc_id,
+                representation=representation)
+    return CorpusPostingSource(sources, shard_count=shard_count)
+
+
+def corpus_from_store(store, documents: Optional[Sequence[str]] = None,
+                      representation: str = "packed",
+                      lru_size: int = DEFAULT_POSTING_LRU_SIZE,
+                      ) -> CorpusPostingSource:
+    """A corpus source over the documents of one (already-ingested) store.
+
+    ``documents`` defaults to every document the store holds; a store is one
+    shard (it owns its documents whole), so the shard count is 1.
+    """
+    doc_ids = list(documents) if documents is not None else store.documents()
+    if not doc_ids:
+        raise ValueError("the store holds no indexed documents")
+    stored = set(store.documents())
+    unknown = sorted(set(doc_ids) - stored)
+    if unknown:
+        raise unknown_documents_error(unknown, sorted(stored))
+    sources = {doc_id: source_for_store(store, doc_id, lru_size,
+                                        representation)
+               for doc_id in doc_ids}
+    return CorpusPostingSource(sources, shard_count=1)

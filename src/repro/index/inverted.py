@@ -18,6 +18,7 @@ from .packed import (
     PackedDeweyList,
     REPRESENTATIONS,
     pack_deweys,
+    prefix_postings,
 )
 
 
@@ -128,6 +129,22 @@ class InvertedIndex:
             for keyword in self.tokenizer.normalize_query(query):
                 result[keyword] = list(self._postings.get(keyword, ()))
         return result
+
+    def prefixed_postings(self, keyword: str, ordinal: int) -> Sequence[DeweyCode]:
+        """The posting list with a corpus doc ordinal prepended to every code.
+
+        The corpus layer (:mod:`repro.corpus`) keeps one index per document
+        and serves corpus-wide posting lists as the concatenation of the
+        per-document lists, each prefixed with the document's ordinal
+        (:func:`~repro.index.packed.prefix_postings` — a flat column rebuild
+        under the packed representation, boxed prefixed codes under the
+        object one).
+        """
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        deweys = self._postings.get(normalized)
+        if deweys is None:
+            return self._empty()
+        return prefix_postings(deweys, ordinal)
 
     def frequency(self, keyword: str) -> int:
         """Number of keyword nodes containing ``keyword``."""

@@ -57,6 +57,7 @@ from .protocol import (
     ERROR_UNSUPPORTED,
     ServiceError,
     comparison_payload,
+    corpus_result_payload,
     decode_message,
     encode_message,
     error_response,
@@ -84,6 +85,7 @@ __all__ = [
     "ERROR_UNKNOWN_ALGORITHM",
     "ERROR_UNSUPPORTED",
     "comparison_payload",
+    "corpus_result_payload",
     "decode_message",
     "encode_message",
     "error_response",

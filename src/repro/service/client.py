@@ -86,29 +86,41 @@ class ServiceClient:
         return bool(self._checked({"op": "ping"}).get("pong"))
 
     def search(self, query: str, algorithm: str = "validrtf",
-               cid_mode: Optional[str] = None) -> Dict[str, object]:
-        """One search; returns the canonical result payload."""
+               cid_mode: Optional[str] = None,
+               doc_filter: Optional[list] = None) -> Dict[str, object]:
+        """One search; returns the canonical result payload.
+
+        ``doc_filter`` restricts a corpus backend's search to the given doc
+        ids (typed ``unsupported`` error on single-document backends).
+        """
         message: Dict[str, object] = {"op": "search", "query": query,
                                       "algorithm": algorithm}
         if cid_mode is not None:
             message["cid_mode"] = cid_mode
+        if doc_filter is not None:
+            message["doc_filter"] = list(doc_filter)
         return self._checked(message)["result"]
 
-    def compare(self, query: str,
-                cid_mode: Optional[str] = None) -> Dict[str, object]:
+    def compare(self, query: str, cid_mode: Optional[str] = None,
+                doc_filter: Optional[list] = None) -> Dict[str, object]:
         """ValidRTF-vs-MaxMatch comparison payload for one query."""
         message: Dict[str, object] = {"op": "compare", "query": query}
         if cid_mode is not None:
             message["cid_mode"] = cid_mode
+        if doc_filter is not None:
+            message["doc_filter"] = list(doc_filter)
         return self._checked(message)["comparison"]
 
     def rank(self, query: str, algorithm: str = "validrtf",
-             cid_mode: Optional[str] = None):
+             cid_mode: Optional[str] = None,
+             doc_filter: Optional[list] = None):
         """Ranked fragment payload for one query (memory backend only)."""
         message: Dict[str, object] = {"op": "rank", "query": query,
                                       "algorithm": algorithm}
         if cid_mode is not None:
             message["cid_mode"] = cid_mode
+        if doc_filter is not None:
+            message["doc_filter"] = list(doc_filter)
         return self._checked(message)["ranking"]
 
     def stats(self) -> Dict[str, object]:

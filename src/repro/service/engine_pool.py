@@ -33,6 +33,7 @@ from ..core import SearchEngine
 from ..core.cache import CacheStats
 from ..core.engine import ComparisonOutcome
 from ..core.fragments import SearchResult
+from ..corpus import CorpusSearchEngine, corpus_from_trees
 from ..index import InvertedIndex
 from ..storage import (
     DEFAULT_POSTING_LRU_SIZE,
@@ -89,13 +90,20 @@ class EnginePool:
                     shards: int = 2, db_path: Optional[str] = None,
                     document: str = "service",
                     lru_size: int = DEFAULT_POSTING_LRU_SIZE,
-                    representation: str = "packed") -> "EnginePool":
+                    representation: str = "packed",
+                    trees: Optional[Dict[str, XMLTree]] = None,
+                    documents: Optional[Sequence[str]] = None) -> "EnginePool":
         """Build a pool over one document for a named posting backend.
 
         ``memory`` needs ``tree``.  ``sqlite`` serves ``db_path`` when given
         (ingesting ``tree`` into it only if the document is absent), else an
         in-process store ingested from ``tree``.  ``sharded`` fans ``tree``
-        over ``shards`` in-process stores.
+        over ``shards`` in-process stores.  ``corpus`` serves every document
+        of ``db_path`` (a multi-document database written by
+        ``repro.cli index``) — or only the ``documents`` subset when given —
+        with doc-id-tagged answers and per-request ``doc_filter``; without a
+        database it builds a memory corpus from ``trees`` (doc id -> tree)
+        or a one-document corpus from ``tree``.
 
         ``representation`` selects the physical posting form every worker
         serves (see :class:`~repro.core.engine.SearchEngine`).  Under
@@ -141,8 +149,43 @@ class EnginePool:
                     cache_size=cache_size)
 
             return cls(sharded_engine, workers=workers)
+        if backend == "corpus":
+            if db_path:
+                store = SQLiteStore(db_path)
+                stored = store.documents()
+                if not stored:
+                    raise ValueError(
+                        f"the corpus database {db_path!r} holds no indexed "
+                        f"documents (run `repro-xks index` first)")
+                served = tuple(documents) if documents else None
+                # Fail at build time, not inside a worker's lazy engine
+                # factory (which would surface as a per-request internal
+                # error).
+                unknown = sorted(set(served or ()) - set(stored))
+                if unknown:
+                    raise ValueError(
+                        f"no document(s) named {', '.join(unknown)} in "
+                        f"{db_path!r}; stored: {', '.join(stored)}")
+                return cls(lambda: CorpusSearchEngine.from_store(
+                    store, documents=served,
+                    representation=representation,
+                    cache_size=cache_size), workers=workers)
+            corpus_trees = dict(trees) if trees else (
+                {document: tree} if tree is not None else None)
+            if not corpus_trees:
+                raise ValueError("the corpus backend needs trees (or a tree) "
+                                 "or a db_path")
+            # One set of immutable per-document memory indexes, shared by
+            # every worker engine — same snapshot economics as `memory`.
+            snapshot = corpus_from_trees(corpus_trees, backend="memory",
+                                         representation=representation,
+                                         shard_count=shards)
+            return cls(lambda: CorpusSearchEngine(snapshot,
+                                                  trees=corpus_trees,
+                                                  cache_size=cache_size),
+                       workers=workers)
         raise ValueError(f"unknown backend {backend!r}; "
-                         f"expected memory, sqlite or sharded")
+                         f"expected memory, sqlite, sharded or corpus")
 
     # ------------------------------------------------------------------ #
     # Execution

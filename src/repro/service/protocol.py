@@ -28,9 +28,10 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence
 
-from ..core.engine import ComparisonOutcome
 from ..core.fragments import SearchResult
-from ..core.ranking import RankedFragment
+from ..core.ranking import DocumentRankedFragment, RankedFragment
+from ..corpus.engine import CorpusComparisonOutcome
+from ..corpus.result import CorpusSearchResult
 
 #: Malformed JSON, missing fields, unparseable queries.
 ERROR_BAD_REQUEST = "bad_request"
@@ -66,13 +67,40 @@ class ServiceError(Exception):
 # ---------------------------------------------------------------------- #
 # Canonical payloads
 # ---------------------------------------------------------------------- #
-def result_payload(result: SearchResult) -> Dict[str, object]:
+def result_payload(result) -> Dict[str, object]:
     """The canonical JSON payload of one search result.
 
     Everything the parity contract covers — roots, kept node sets, raw node
     sets, keyword nodes, SLCA flags, LCA list — and nothing
-    non-deterministic (no timings).
+    non-deterministic (no timings).  Corpus results serialize to the
+    doc-id-tagged form of :func:`corpus_result_payload`.
     """
+    if isinstance(result, CorpusSearchResult):
+        return corpus_result_payload(result)
+    return _single_result_payload(result)
+
+
+def corpus_result_payload(result: CorpusSearchResult) -> Dict[str, object]:
+    """The canonical payload of a corpus search: per-document results.
+
+    Documents appear in corpus (sorted doc-id) order and each carries the
+    canonical single-document payload, so a served corpus answer is
+    byte-identical to serializing the direct engine call — the same parity
+    contract every other payload honours.
+    """
+    return {
+        "query": list(result.query.keywords),
+        "algorithm": result.algorithm,
+        "count": result.count,
+        "documents": [
+            {"doc": entry.doc_id,
+             "result": _single_result_payload(entry.result)}
+            for entry in result.documents
+        ],
+    }
+
+
+def _single_result_payload(result: SearchResult) -> Dict[str, object]:
     return {
         "query": list(result.query.keywords),
         "algorithm": result.algorithm,
@@ -92,43 +120,73 @@ def result_payload(result: SearchResult) -> Dict[str, object]:
     }
 
 
-def comparison_payload(outcome: ComparisonOutcome) -> Dict[str, object]:
-    """The canonical payload of a ValidRTF-vs-MaxMatch comparison."""
-    report = outcome.report
+def comparison_payload(outcome) -> Dict[str, object]:
+    """The canonical payload of a ValidRTF-vs-MaxMatch comparison.
+
+    Corpus outcomes carry one report per contributing document plus the
+    corpus-level summary instead of the single-document report.
+    """
+    if isinstance(outcome, CorpusComparisonOutcome):
+        return {
+            "validrtf": corpus_result_payload(outcome.validrtf),
+            "maxmatch": corpus_result_payload(outcome.maxmatch),
+            "documents": [
+                {"doc": doc_id, "report": _report_payload(entry.report)}
+                for doc_id, entry in outcome.documents
+            ],
+            "summary": dict(outcome.summary),
+        }
     return {
         "validrtf": result_payload(outcome.validrtf),
         "maxmatch": result_payload(outcome.maxmatch),
-        "report": {
-            "lca_count": report.lca_count,
-            "cfr": report.cfr,
-            "apr_prime": report.apr_prime,
-            "max_apr": report.max_apr,
-            "comparisons": [
-                {
-                    "root": str(comparison.root),
-                    "identical": comparison.identical,
-                    "maxmatch_size": comparison.maxmatch_size,
-                    "validrtf_size": comparison.validrtf_size,
-                    "extra_pruned": comparison.extra_pruned,
-                }
-                for comparison in report.comparisons
-            ],
-        },
+        "report": _report_payload(outcome.report),
     }
 
 
-def ranking_payload(ranked: Sequence[RankedFragment]) -> List[Dict[str, object]]:
-    """The canonical payload of a ranked fragment list."""
-    return [
-        {
+def _report_payload(report) -> Dict[str, object]:
+    return {
+        "lca_count": report.lca_count,
+        "cfr": report.cfr,
+        "apr_prime": report.apr_prime,
+        "max_apr": report.max_apr,
+        "comparisons": [
+            {
+                "root": str(comparison.root),
+                "identical": comparison.identical,
+                "maxmatch_size": comparison.maxmatch_size,
+                "validrtf_size": comparison.validrtf_size,
+                "extra_pruned": comparison.extra_pruned,
+            }
+            for comparison in report.comparisons
+        ],
+    }
+
+
+def ranking_payload(ranked: Sequence) -> List[Dict[str, object]]:
+    """The canonical payload of a ranked fragment list.
+
+    Corpus rankings (:class:`DocumentRankedFragment` entries) additionally
+    carry the owning doc id.
+    """
+    payload: List[Dict[str, object]] = []
+    for entry in ranked:
+        if isinstance(entry, DocumentRankedFragment):
+            doc_id: Optional[str] = entry.doc_id
+            fragment: RankedFragment = entry.ranked
+        else:
+            doc_id = None
+            fragment = entry
+        row: Dict[str, object] = {
             "root": str(fragment.fragment.root),
             "score": fragment.score,
             "specificity": fragment.specificity,
             "compactness": fragment.compactness,
             "coverage": fragment.coverage,
         }
-        for fragment in ranked
-    ]
+        if doc_id is not None:
+            row["doc"] = doc_id
+        payload.append(row)
+    return payload
 
 
 # ---------------------------------------------------------------------- #

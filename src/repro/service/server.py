@@ -20,11 +20,15 @@ Supported operations::
     {"op": "ping"}
     {"op": "stats"}
     {"op": "algorithms"}
-    {"op": "search",  "query": ..., "algorithm": ..., "cid_mode": ...}
+    {"op": "search",  "query": ..., "algorithm": ..., "cid_mode": ...,
+                      "doc_filter": [...]}
     {"op": "compare", "query": ..., "cid_mode": ...}
     {"op": "rank",    "query": ..., "algorithm": ..., "cid_mode": ...}
 
 Every request may carry an ``id``, echoed verbatim in the response.
+``doc_filter`` (a list of doc ids) restricts a search to a subset of a corpus
+backend's documents; on non-corpus backends it answers with the typed
+``unsupported`` error.
 """
 
 from __future__ import annotations
@@ -32,11 +36,12 @@ from __future__ import annotations
 import asyncio
 import threading
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from ..core import ALGORITHM_NAMES, Query
 from ..core.errors import EmptyQueryError, SearchError
 from ..core.node_record import CID_MODES
+from ..storage.errors import DocumentNotFound
 from ..xmltree import XMLTree
 from .admission import DEFAULT_MAX_INFLIGHT, AdmissionController
 from .batcher import (
@@ -84,6 +89,9 @@ class ServiceConfig:
     max_inflight: int = DEFAULT_MAX_INFLIGHT
     timeout_seconds: Optional[float] = None
     representation: str = "packed"
+    #: Corpus backend only: serve this doc-id subset of the database
+    #: instead of every stored document.
+    documents: Optional[Tuple[str, ...]] = None
 
     def build(self, tree: Optional[XMLTree] = None) -> "SearchService":
         """Assemble pool + batcher + admission into a ready service."""
@@ -91,7 +99,8 @@ class ServiceConfig:
             self.backend, tree=tree, workers=self.workers,
             cache_size=self.cache_size, shards=self.shards,
             db_path=self.db_path, document=self.document,
-            representation=self.representation)
+            representation=self.representation,
+            documents=self.documents)
         return SearchService(
             pool,
             batcher=RequestBatcher(pool, self.max_batch_size,
@@ -180,26 +189,91 @@ class SearchService:
                 f"expected one of {list(CID_MODES)}")
         return query, algorithm, cid_mode
 
+    @staticmethod
+    def _doc_filter(request: Dict[str, object]):
+        """The validated per-request ``doc_filter``, or ``None``."""
+        doc_filter = request.get("doc_filter")
+        if doc_filter is None:
+            return None
+        if not isinstance(doc_filter, list) or not doc_filter or \
+                not all(isinstance(doc, str) and doc for doc in doc_filter):
+            raise ServiceError(
+                ERROR_BAD_REQUEST,
+                "doc_filter must be a non-empty list of document ids")
+        return doc_filter
+
+    @staticmethod
+    def _run_filtered(engine, cid_mode, doc_filter, run):
+        """Worker-side dispatch of a doc-filtered operation (corpus only)."""
+        if not getattr(engine, "is_corpus", False):
+            raise ServiceError(
+                ERROR_UNSUPPORTED,
+                "doc_filter needs a corpus backend (serve with "
+                "--backend corpus)")
+        engine = EnginePool._with_cid_mode(engine, cid_mode)
+        try:
+            return run(engine)
+        except DocumentNotFound as error:
+            raise ServiceError(ERROR_BAD_REQUEST, str(error)) from None
+
+    @staticmethod
+    def _filtered_search(engine, query, algorithm, cid_mode, doc_filter):
+        return SearchService._run_filtered(
+            engine, cid_mode, doc_filter,
+            lambda e: e.search(query, algorithm, doc_filter=doc_filter))
+
+    @staticmethod
+    def _filtered_compare(engine, query, cid_mode, doc_filter):
+        return SearchService._run_filtered(
+            engine, cid_mode, doc_filter,
+            lambda e: e.compare(query, doc_filter=doc_filter))
+
+    @staticmethod
+    def _filtered_rank(engine, query, algorithm, cid_mode, doc_filter):
+        return SearchService._run_filtered(
+            engine, cid_mode, doc_filter,
+            lambda e: e.search_ranked(query, algorithm,
+                                      doc_filter=doc_filter))
+
     async def _search(self, request: Dict[str, object]) -> Dict[str, object]:
         query, algorithm, cid_mode = self._validated(request)
+        doc_filter = self._doc_filter(request)
         with self.admission:
-            result = await self.admission.run(
-                self.batcher.submit(query, algorithm, cid_mode))
+            if doc_filter is None:
+                result = await self.admission.run(
+                    self.batcher.submit(query, algorithm, cid_mode))
+            else:
+                # Filtered requests skip the batcher: a batch must agree on
+                # its document subset, and filtered traffic is rare enough
+                # that coalescing it would mostly create one-request batches.
+                result = await self.admission.run(asyncio.wrap_future(
+                    self.pool.submit(self._filtered_search, query, algorithm,
+                                     cid_mode, doc_filter)))
         return ok_response(result=result_payload(result))
 
     async def _compare(self, request: Dict[str, object]) -> Dict[str, object]:
         query, _, cid_mode = self._validated(request)
+        doc_filter = self._doc_filter(request)
         with self.admission:
-            outcome = await self.admission.run(asyncio.wrap_future(
-                self.pool.compare(query, cid_mode)))
+            if doc_filter is None:
+                future = self.pool.compare(query, cid_mode)
+            else:
+                future = self.pool.submit(self._filtered_compare, query,
+                                          cid_mode, doc_filter)
+            outcome = await self.admission.run(asyncio.wrap_future(future))
         return ok_response(comparison=comparison_payload(outcome))
 
     async def _rank(self, request: Dict[str, object]) -> Dict[str, object]:
         query, algorithm, cid_mode = self._validated(request)
+        doc_filter = self._doc_filter(request)
         with self.admission:
             try:
-                ranked = await self.admission.run(asyncio.wrap_future(
-                    self.pool.rank(query, algorithm, cid_mode)))
+                if doc_filter is None:
+                    future = self.pool.rank(query, algorithm, cid_mode)
+                else:
+                    future = self.pool.submit(self._filtered_rank, query,
+                                              algorithm, cid_mode, doc_filter)
+                ranked = await self.admission.run(asyncio.wrap_future(future))
             except SearchError as error:
                 # Ranking needs a resident tree; tree-free disk backends
                 # answer with the typed "unsupported" error instead of 500s.

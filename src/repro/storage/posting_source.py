@@ -254,13 +254,16 @@ class SQLitePostingSource(StorePostingSource):
         return self._blobs_on_disk
 
     def _fetch_packed(self, normalized: str) -> PackedDeweyList:
-        """Blob-per-keyword load, falling back to row decode on legacy files."""
+        """Blob-per-keyword load, falling back to row decode on legacy files.
+
+        The (cached) blob-presence check runs first: a legacy document would
+        otherwise pay one doomed ``SELECT ... FROM posting`` per keyword on
+        top of every row-decode fallback.
+        """
+        if not self._has_blobs():
+            return super()._fetch_packed(normalized)
         packed = self.store.keyword_packed(self.document, normalized)
-        if packed is not None:
-            return packed
-        if self._has_blobs():
-            return EMPTY_PACKED  # blobs present, keyword genuinely absent
-        return super()._fetch_packed(normalized)
+        return packed if packed is not None else EMPTY_PACKED
 
     def _check_document(self) -> None:
         """Raise :class:`DocumentNotFound` (once) for a misnamed document.

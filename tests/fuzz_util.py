@@ -1,0 +1,123 @@
+"""Shared helpers of the differential corpus fuzz harness.
+
+The corpus correctness contract is *differential*: for any corpus, any
+backend, any representation and any algorithm, the corpus answer must equal
+the **union of the per-document single-document answers** computed by the
+plain in-memory :class:`~repro.core.engine.SearchEngine` (the most-tested
+reference path in the repo).  These helpers generate seeded random corpora
+and queries, build corpus engines across the backend matrix and perform the
+full-fidelity comparison.
+
+Used by the fast bounded tier-1 suite (``tests/test_corpus_fuzz.py``) and
+the deep opt-in sweep (``benchmarks/test_corpus_fuzz.py``); kept
+self-contained (no conftest imports) so both suites can load it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.core import SearchEngine
+from repro.corpus import CorpusSearchEngine
+from repro.xmltree import SubtreeSpec, XMLTree, tree_from_spec
+
+#: Small label/word pools keep keyword collisions (and therefore non-trivial
+#: posting lists spanning several documents) frequent.
+LABEL_POOL = ("a", "b", "c", "d", "e")
+WORD_POOL = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta")
+
+
+def random_document(seed: int, max_children: int = 3, max_depth: int = 4,
+                    max_nodes: int = 40) -> XMLTree:
+    """One deterministic random labelled tree with word-bearing nodes."""
+    rng = random.Random(seed)
+    counter = {"nodes": 1}
+
+    def make(depth: int) -> SubtreeSpec:
+        label = rng.choice(LABEL_POOL)
+        text = None
+        if rng.random() < 0.6:
+            text = " ".join(rng.choice(WORD_POOL)
+                            for _ in range(rng.randint(1, 3)))
+        node = SubtreeSpec(label, text)
+        if depth < max_depth and counter["nodes"] < max_nodes:
+            for _ in range(rng.randint(0, max_children)):
+                if counter["nodes"] >= max_nodes:
+                    break
+                counter["nodes"] += 1
+                node.add(make(depth + 1))
+        return node
+
+    return tree_from_spec(make(0), name=f"fuzz-{seed}")
+
+
+def random_corpus(seed: int, min_docs: int = 2, max_docs: int = 8,
+                  max_nodes: int = 40) -> Dict[str, XMLTree]:
+    """A seeded random corpus of ``min_docs``–``max_docs`` documents."""
+    rng = random.Random(seed * 7919 + 13)
+    count = rng.randint(min_docs, max_docs)
+    return {f"doc-{index:02d}": random_document(seed * 101 + index,
+                                                max_nodes=max_nodes)
+            for index in range(count)}
+
+
+def random_queries(seed: int, count: int = 4,
+                   max_keywords: int = 3) -> List[str]:
+    """Seeded keyword queries over the shared word pool."""
+    rng = random.Random(seed * 31 + count)
+    queries = []
+    for _ in range(count):
+        size = rng.randint(1, max_keywords)
+        queries.append(" ".join(rng.sample(WORD_POOL, size)))
+    return queries
+
+
+def build_corpus_engine(trees: Dict[str, XMLTree], backend: str,
+                        representation: str,
+                        shard_count: int = 2) -> CorpusSearchEngine:
+    """A corpus engine over ``trees`` for one (backend, representation)."""
+    return CorpusSearchEngine.from_trees(trees, backend=backend,
+                                         representation=representation,
+                                         shard_count=shard_count)
+
+
+def reference_engines(trees: Dict[str, XMLTree]) -> Dict[str, SearchEngine]:
+    """One plain memory engine per document — the differential reference."""
+    return {doc_id: SearchEngine(tree) for doc_id, tree in trees.items()}
+
+
+def result_fingerprint(result) -> tuple:
+    """Everything of a SearchResult the union contract covers (no timings)."""
+    return (
+        tuple(str(code) for code in result.lca_nodes),
+        tuple((str(fragment.root), fragment.is_slca,
+               tuple(str(code) for code in fragment.kept_nodes),
+               tuple(str(code) for code in fragment.fragment.nodes),
+               tuple(str(code) for code in fragment.fragment.keyword_nodes))
+              for fragment in result.fragments),
+    )
+
+
+def assert_corpus_equals_union(corpus_result, references, query: str,
+                               algorithm: str, context=()) -> None:
+    """The differential check: corpus answer == per-document union."""
+    expected = {}
+    for doc_id, engine in references.items():
+        result = engine.search(query, algorithm)
+        if result.count or result.lca_nodes:
+            expected[doc_id] = result
+    got = corpus_result.by_doc()
+    assert set(got) == set(expected), (
+        "corpus answered documents differ from the per-document union",
+        sorted(got), sorted(expected), query, algorithm, *context)
+    for doc_id, reference in expected.items():
+        assert result_fingerprint(got[doc_id]) == \
+            result_fingerprint(reference), (
+            "corpus document result differs from its single-document engine",
+            doc_id, query, algorithm, *context)
+    # The aggregate accessors must agree with the per-document concatenation
+    # in corpus (sorted doc-id) order.
+    flat = [fragment for doc_id in sorted(expected)
+            for fragment in expected[doc_id].fragments]
+    assert list(corpus_result.fragments) == flat, (query, algorithm, *context)

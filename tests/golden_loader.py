@@ -45,6 +45,20 @@ def result_payload(result) -> Dict:
     }
 
 
+def corpus_result_payload(result) -> Dict:
+    """Serialize one CorpusSearchResult the way the corpus golden stores it.
+
+    One entry per contributing document (corpus order), each holding the
+    single-document :func:`result_payload` under its doc id.
+    """
+    return {
+        "documents": [
+            {"doc": entry.doc_id, **result_payload(entry.result)}
+            for entry in result.documents
+        ],
+    }
+
+
 def save_golden(dataset: str, payload: Dict) -> Path:
     """Write one dataset's golden payload (used only when regenerating)."""
     path = GOLDEN_DIR / f"{dataset}.json"

@@ -22,6 +22,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ALGORITHM_NAMES, SearchEngine
+from repro.corpus import CorpusSearchEngine
 from repro.datasets import PAPER_QUERIES
 from repro.storage import (
     MemoryStore,
@@ -32,8 +33,9 @@ from repro.storage import (
     source_for_store,
 )
 
-BACKENDS = ("memory", "sqlite", "sharded",
-            "memory-object", "sqlite-object", "sharded-object")
+BACKENDS = ("memory", "sqlite", "sharded", "corpus",
+            "memory-object", "sqlite-object", "sharded-object",
+            "corpus-object")
 
 #: (dataset fixture name, queries) pairs the parity matrix runs over.
 DATASETS = (
@@ -58,6 +60,13 @@ def build_engine(tree, backend: str, name: str = "doc") -> SearchEngine:
     if kind == "sharded":
         return SearchEngine(source=ShardedPostingSource.from_tree(
             tree, shard_count=3, name=name, representation=representation))
+    if kind == "corpus":
+        # A one-document corpus over disk-backed per-document stores: the
+        # corpus answer must equal the single-document answer exactly (the
+        # union of one document is that document's result).
+        return CorpusSearchEngine.from_trees(
+            {name: tree}, backend="sqlite", representation=representation,
+            shard_count=2)
     raise ValueError(backend)
 
 
@@ -158,11 +167,12 @@ def test_source_for_store_picks_specialization(publications, store_class):
 def test_backend_ids_are_distinct(engines):
     ids = {backend: engines[("publications", backend)].backend_id
            for backend in BACKENDS}
-    # The three backend *kinds* must never share cache identity...
-    assert len({ids["memory"], ids["sqlite"], ids["sharded"]}) == 3
+    # The four backend *kinds* must never share cache identity...
+    assert len({ids["memory"], ids["sqlite"], ids["sharded"],
+                ids["corpus"]}) == 4
     # ...while the representation variants of one kind answer byte-identically
     # (that is this suite's parity guarantee), so they deliberately share it.
-    for kind in ("memory", "sqlite", "sharded"):
+    for kind in ("memory", "sqlite", "sharded", "corpus"):
         assert ids[f"{kind}-object"] == ids[kind]
 
 

@@ -1,0 +1,263 @@
+"""Corpus layer unit tests + the 3-document corpus golden regression.
+
+The golden file ``tests/golden/corpus3.json`` stores the expected doc-tagged
+fragments of a fixed 3-document corpus (the two paper figures plus a small
+hand-written notes document whose vocabulary overlaps both) for every
+algorithm, so a refactor that shifts every corpus backend identically still
+fails here.  Regenerate — only when corpus semantics intentionally change —
+with ``python tests/test_corpus.py regen``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from golden_loader import corpus_result_payload, load_golden, save_golden
+from repro.core import ALGORITHM_NAMES
+from repro.corpus import (
+    CorpusPostingSource,
+    CorpusSearchEngine,
+    corpus_from_trees,
+    shard_of_document,
+)
+from repro.datasets import PAPER_QUERIES, publications_tree, team_tree
+from repro.index.packed import PackedDeweyList
+from repro.storage.errors import DocumentNotFound
+from repro.xmltree import SubtreeSpec, tree_from_spec
+
+#: The corpus golden's query set: one per-document query per figure document
+#: plus two queries whose keywords span several documents.
+CORPUS3_QUERIES = {
+    "pub-only": PAPER_QUERIES["Q1"],
+    "team-only": PAPER_QUERIES["Q4"],
+    "cross-name": "name",
+    "cross-xml": "xml search",
+}
+
+CORPUS3_BACKENDS = ("memory", "sqlite")
+
+
+def notes_tree():
+    """A small deterministic third document overlapping both figure docs."""
+    root = SubtreeSpec("notes")
+    for text in ("xml search overview", "team name roster",
+                 "keyword query basics"):
+        root.add(SubtreeSpec("note", text))
+    return tree_from_spec(root, name="notes")
+
+
+def corpus3_trees():
+    """The fixed 3-document corpus the golden file stores the truth for."""
+    return {"publications": publications_tree(), "team": team_tree(),
+            "notes": notes_tree()}
+
+
+# ---------------------------------------------------------------------- #
+# Golden regression
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def corpus3_engines():
+    trees = corpus3_trees()
+    return {backend: CorpusSearchEngine.from_trees(trees, backend=backend,
+                                                   shard_count=2)
+            for backend in CORPUS3_BACKENDS}
+
+
+@pytest.mark.parametrize("backend", CORPUS3_BACKENDS)
+def test_corpus_fragments_match_stored_truth(corpus3_engines, backend):
+    golden = load_golden("corpus3")
+    engine = corpus3_engines[backend]
+    for query_name, entry in golden["queries"].items():
+        for algorithm in ALGORITHM_NAMES:
+            result = engine.search(entry["text"], algorithm)
+            assert corpus_result_payload(result) == \
+                entry["algorithms"][algorithm], (query_name, algorithm, backend)
+
+
+def test_corpus_golden_spans_multiple_documents():
+    """The stored truth really exercises cross-document retrieval."""
+    golden = load_golden("corpus3")
+    cross = golden["queries"]["cross-name"]["algorithms"]["validrtf"]
+    assert len(cross["documents"]) >= 2
+    assert [entry["doc"] for entry in cross["documents"]] == \
+        sorted(entry["doc"] for entry in cross["documents"])
+
+
+# ---------------------------------------------------------------------- #
+# Corpus posting-source invariants (the PostingSource contract)
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def corpus3_source() -> CorpusPostingSource:
+    return corpus_from_trees(corpus3_trees(), backend="memory",
+                             shard_count=2)
+
+
+def test_corpus_postings_are_sorted_and_prefixed(corpus3_source):
+    for keyword in ("name", "xml", "team"):
+        postings = corpus3_source.postings(keyword)
+        codes = list(postings)
+        assert codes == sorted(set(codes)), keyword
+        ordinals = [code.components[0] for code in codes]
+        assert all(0 <= o < len(corpus3_source.doc_ids) for o in ordinals)
+        assert ordinals == sorted(ordinals), "doc ordinals must be grouped"
+        assert len(postings) == corpus3_source.frequency(keyword)
+
+
+def test_corpus_keyword_nodes_match_postings(corpus3_source):
+    lists = corpus3_source.keyword_nodes(["name", "xml", "absentkeyword"])
+    assert list(lists["name"]) == list(corpus3_source.postings("name").deweys)
+    assert len(lists["absentkeyword"]) == 0
+    assert isinstance(lists["name"], PackedDeweyList)  # packed corpus
+
+
+def test_corpus_node_lookups_route_on_ordinal(corpus3_source):
+    postings = corpus3_source.postings("name")
+    first = postings.deweys[0]
+    assert corpus3_source.node_label(first) is not None
+    assert "name" in corpus3_source.node_words(first)
+    # Codes outside the corpus answer absently, never raise.
+    from repro.xmltree import DeweyCode
+    assert corpus3_source.node_label(DeweyCode((99, 0))) is None
+    assert corpus3_source.node_words(DeweyCode((99, 0))) == frozenset()
+
+
+def test_corpus_vocabulary_is_document_union(corpus3_source):
+    vocabulary = set(corpus3_source.vocabulary())
+    for doc_id in corpus3_source.doc_ids:
+        assert set(corpus3_source.document_source(doc_id).vocabulary()) <= \
+            vocabulary
+
+
+def test_corpus_shards_own_whole_documents(corpus3_source):
+    owned = [doc_id for shard in corpus3_source.shards
+             for doc_id in shard.doc_ids]
+    assert sorted(owned) == sorted(corpus3_source.doc_ids)
+    for shard in corpus3_source.shards:
+        for doc_id in shard.doc_ids:
+            assert shard_of_document(doc_id, len(corpus3_source.shards)) == \
+                shard.index
+            assert shard.source(doc_id) is \
+                corpus3_source.document_source(doc_id)
+
+
+def test_unknown_documents_raise(corpus3_source):
+    engine = CorpusSearchEngine(corpus3_source)
+    with pytest.raises(DocumentNotFound):
+        corpus3_source.document_source("nope")
+    with pytest.raises(DocumentNotFound):
+        engine.search("xml", doc_filter=["nope"])
+    with pytest.raises(DocumentNotFound):
+        engine.search("xml", doc_filter=[])
+
+
+def test_corpus_cache_round_trip():
+    engine = CorpusSearchEngine.from_trees(corpus3_trees(), cache_size=8)
+    first = engine.search("name")
+    again = engine.search("name")
+    assert corpus_result_payload(first) == corpus_result_payload(again)
+    stats = engine.cache_stats()
+    assert stats.hits >= 1 and engine.cache_enabled
+    engine.clear_cache()
+    assert engine.cache_stats().size == 0
+
+
+def test_corpus_rank_merges_across_documents():
+    engine = CorpusSearchEngine.from_trees(corpus3_trees())
+    ranked = engine.search_ranked("name", top_k=3)
+    assert 0 < len(ranked) <= 3
+    scores = [entry.score for entry in ranked]
+    assert scores == sorted(scores, reverse=True)
+    assert len({entry.doc_id for entry in
+                engine.search_ranked("name")}) >= 2
+
+
+# ---------------------------------------------------------------------- #
+# CLI round trip: multi-file index, corpus search/compare, doc filter
+# ---------------------------------------------------------------------- #
+def test_cli_corpus_round_trip(tmp_path, capsys):
+    from repro.cli import main
+    from repro.xmltree import write_xml_file
+
+    paths = []
+    for doc_id, tree in corpus3_trees().items():
+        path = tmp_path / f"{doc_id}.xml"
+        write_xml_file(tree, path)
+        paths.append(str(path))
+    db = str(tmp_path / "corpus.db")
+    assert main(["index", *paths, "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "3 documents" in out and "--backend corpus" in out
+    # Growing the corpus without --add is refused (no accidental mixing),
+    # and --force does not bypass the guard (it only replaces same names)...
+    extra = tmp_path / "extra.xml"
+    write_xml_file(notes_tree(), extra)
+    assert main(["index", str(extra), "--db", db]) == 1
+    assert main(["index", str(extra), "--db", db, "--force"]) == 1
+    capsys.readouterr()
+    # ...while --force replaces a same-named document in place.
+    assert main(["index", str(tmp_path / "notes.xml"), "--db", db,
+                 "--force"]) == 0
+    capsys.readouterr()
+
+    assert main(["search", "--db", db, "--backend", "corpus", "name"]) == 0
+    out = capsys.readouterr().out
+    assert "=== document notes" in out and "=== document team" in out
+    assert main(["search", "--db", db, "--backend", "corpus", "--doc",
+                 "team", "name"]) == 0
+    out = capsys.readouterr().out
+    assert "=== document team" in out and "notes" not in out
+    assert main(["compare", "--db", db, "--backend", "corpus", "name"]) == 0
+    out = capsys.readouterr().out
+    assert "documents: 3" in out and "[team]" in out
+
+
+def test_service_config_serves_corpus_document_subset(tmp_path):
+    """ServiceConfig(documents=...) restricts a served corpus to the subset
+    (regression: serve --backend corpus --doc used to be silently ignored)."""
+    from repro.service import ServiceConfig
+    from repro.storage import SQLiteStore
+
+    db = str(tmp_path / "corpus.db")
+    store = SQLiteStore(db)
+    for doc_id, tree in corpus3_trees().items():
+        store.store_tree(tree, doc_id)
+    store.close()
+    config = ServiceConfig(backend="corpus", workers=1, db_path=db,
+                           documents=("team",))
+    service = config.build()
+    try:
+        result = service.pool.search("name").result(timeout=30)
+        assert set(result.doc_ids) == {"team"}
+        engine_id = service.pool.backend_id
+        assert "team" in engine_id and "notes" not in engine_id
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------- #
+# Regeneration entry point (not a test)
+# ---------------------------------------------------------------------- #
+def _regenerate() -> None:
+    engine = CorpusSearchEngine.from_trees(corpus3_trees())
+    payload = {"dataset": "corpus3", "queries": {}}
+    for query_name, text in CORPUS3_QUERIES.items():
+        payload["queries"][query_name] = {
+            "text": text,
+            "algorithms": {
+                algorithm: corpus_result_payload(engine.search(text,
+                                                               algorithm))
+                for algorithm in ALGORITHM_NAMES
+            },
+        }
+    path = save_golden("corpus3", payload)
+    print(f"corpus golden regenerated at {path}")
+
+
+if __name__ == "__main__":
+    if sys.argv[1:] == ["regen"]:
+        _regenerate()
+    else:
+        print("usage: python tests/test_corpus.py regen", file=sys.stderr)
+        sys.exit(2)

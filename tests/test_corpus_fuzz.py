@@ -1,0 +1,89 @@
+"""Differential corpus fuzz (fast, tier-1): corpus == union of per-doc.
+
+Seeded random corpora (2–8 random trees) are searched through the corpus
+engine across every corpus document backend × representation × all four
+algorithms, and each answer is cross-checked against the union of the
+per-document results computed by plain single-document memory engines.  This
+is the corpus layer's core correctness contract (see ROADMAP, "Corpus
+retrieval").
+
+This module is the *bounded* version wired into tier-1 (a few seeds, tiny
+trees); the deep sweep with more seeds, larger documents and the per-document
+sharded backend lives behind the ``bench`` marker in
+``benchmarks/test_corpus_fuzz.py``.  Both share ``tests/fuzz_util.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from fuzz_util import (
+    assert_corpus_equals_union,
+    build_corpus_engine,
+    random_corpus,
+    random_queries,
+    reference_engines,
+)
+from repro.core import ALGORITHM_NAMES
+
+SEEDS = (1, 2, 3)
+BACKENDS = ("memory", "sqlite")
+REPRESENTATIONS = ("packed", "object")
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_corpus_equals_per_document_union(backend, representation):
+    for seed in SEEDS:
+        trees = random_corpus(seed)
+        corpus = build_corpus_engine(trees, backend, representation)
+        references = reference_engines(trees)
+        for query in random_queries(seed):
+            for algorithm in ALGORITHM_NAMES:
+                assert_corpus_equals_union(
+                    corpus.search(query, algorithm), references, query,
+                    algorithm, context=(seed, backend, representation))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_corpus_batch_equals_per_document_union(backend):
+    """search_many (per-document batch fast path) honours the same union."""
+    seed = 4
+    trees = random_corpus(seed)
+    corpus = build_corpus_engine(trees, backend, "packed")
+    references = reference_engines(trees)
+    queries = random_queries(seed, count=5)
+    batched = corpus.search_many(queries, "validrtf")
+    for query, result in zip(queries, batched):
+        assert_corpus_equals_union(result, references, query, "validrtf",
+                                   context=(seed, backend, "batch"))
+
+
+def test_corpus_doc_filter_is_a_sub_union():
+    """A doc_filter answer equals the union restricted to the filter."""
+    seed = 5
+    trees = random_corpus(seed, min_docs=3, max_docs=5)
+    corpus = build_corpus_engine(trees, "memory", "packed")
+    references = reference_engines(trees)
+    subset = sorted(trees)[::2]
+    for query in random_queries(seed, count=3):
+        result = corpus.search(query, "validrtf", doc_filter=subset)
+        restricted = {doc_id: references[doc_id] for doc_id in subset}
+        assert_corpus_equals_union(result, restricted, query, "validrtf",
+                                   context=(seed, "doc_filter"))
+        assert set(result.doc_ids) <= set(subset)
+
+
+def test_corpus_sharding_never_changes_answers():
+    """Doc-partitioned shard counts are invisible in the results."""
+    seed = 6
+    trees = random_corpus(seed, min_docs=4, max_docs=6)
+    references = reference_engines(trees)
+    engines = [build_corpus_engine(trees, "sqlite", "packed",
+                                   shard_count=shard_count)
+               for shard_count in (1, 2, 4)]
+    for query in random_queries(seed, count=3):
+        for engine in engines:
+            assert_corpus_equals_union(
+                engine.search(query, "validrtf"), references, query,
+                "validrtf", context=(seed, len(engine.source.shards)))

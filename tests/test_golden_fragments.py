@@ -20,7 +20,7 @@ _TREES = {"publications": publications_tree, "team": team_tree}
 
 
 def test_golden_files_exist():
-    assert golden_datasets() == ["publications", "team"]
+    assert golden_datasets() == ["corpus3", "publications", "team"]
 
 
 @pytest.fixture(scope="module")

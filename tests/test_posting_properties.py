@@ -178,6 +178,123 @@ def test_legacy_store_without_blobs_falls_back(make_random_tree):
     assert list(batch["definitelyabsentword"]) == []
 
 
+def test_predates_posting_table_row_decode_identical_to_packed(
+        make_random_tree, tmp_path):
+    """A database file written before the ``posting`` table existed answers
+    every path — including a query containing an empty (absent) keyword —
+    identically to a freshly packed database.
+
+    Unlike ``test_legacy_store_without_blobs_falls_back`` (which empties the
+    table) this crafts the raw pre-``posting`` schema on disk, runs the whole
+    engine over it and diffs full search results against the packed store.
+    """
+    import sqlite3
+
+    from repro.core import SearchEngine
+    from repro.storage import CREATE_TABLES_SQL, shred_tree
+
+    tree = make_random_tree(23)
+    shredded = shred_tree(tree, "doc")
+    legacy_path = tmp_path / "legacy.db"
+    connection = sqlite3.connect(legacy_path)
+    for statement in CREATE_TABLES_SQL:
+        if "posting" in statement:
+            continue  # the pre-packed schema had no posting table
+        connection.execute(statement)
+    connection.executemany(
+        "INSERT INTO label (document, label, id) VALUES (?, ?, ?)",
+        [(shredded.name, row.label, row.label_id) for row in shredded.labels])
+    connection.executemany(
+        "INSERT INTO element (document, label, dewey, level, "
+        "label_number_sequence, content_feature_min, content_feature_max) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?)",
+        [(shredded.name, row.label, row.dewey, row.level,
+          row.label_number_sequence, row.content_feature_min,
+          row.content_feature_max) for row in shredded.elements])
+    connection.executemany(
+        "INSERT INTO value (document, label, dewey, attribute, keyword) "
+        "VALUES (?, ?, ?, ?, ?)",
+        [(shredded.name, row.label, row.dewey, row.attribute, row.keyword)
+         for row in shredded.values])
+    connection.commit()
+    connection.close()
+
+    legacy_store = SQLiteStore(legacy_path)
+    packed_store = SQLiteStore()
+    packed_store.store_tree(tree, "doc")
+    assert not legacy_store.has_packed_postings("doc")
+    assert packed_store.has_packed_postings("doc")
+
+    words = InvertedIndex(tree).vocabulary()
+    # A query mixing present keywords with an empty (zero-posting) keyword.
+    mixed_query = words[:2] + ["definitelyabsentword"]
+    for representation in ("packed", "object"):
+        legacy = SQLitePostingSource(legacy_store, "doc",
+                                     representation=representation)
+        packed = SQLitePostingSource(packed_store, "doc",
+                                     representation=representation)
+        legacy_lists = legacy.keyword_nodes(mixed_query)
+        packed_lists = packed.keyword_nodes(mixed_query)
+        assert set(legacy_lists) == set(packed_lists)
+        for keyword in legacy_lists:
+            assert list(legacy_lists[keyword]) == \
+                list(packed_lists[keyword]), (keyword, representation)
+        assert list(legacy.postings("definitelyabsentword").deweys) == []
+        assert legacy.frequency("definitelyabsentword") == 0
+        for algorithm in ("validrtf", "maxmatch"):
+            legacy_result = SearchEngine(
+                source=SQLitePostingSource(
+                    legacy_store, "doc",
+                    representation=representation)).search(
+                        " ".join(mixed_query), algorithm)
+            packed_result = SearchEngine(
+                source=SQLitePostingSource(
+                    packed_store, "doc",
+                    representation=representation)).search(
+                        " ".join(mixed_query), algorithm)
+            assert legacy_result.roots() == packed_result.roots()
+            assert [f.kept_nodes for f in legacy_result] == \
+                [f.kept_nodes for f in packed_result], (algorithm,
+                                                        representation)
+    legacy_store.close()
+    packed_store.close()
+
+
+def test_legacy_fallback_skips_pointless_blob_probes(make_random_tree):
+    """On a no-blob document, per-keyword fetches go straight to row decode.
+
+    Regression guard for the legacy fast path: once ``has_packed_postings``
+    answered False, ``postings()`` must not keep issuing one doomed
+    ``SELECT ... FROM posting`` per keyword before each row-decode fallback.
+    """
+    tree = make_random_tree(29)
+    store = SQLiteStore()
+    store.store_tree(tree, "doc")
+    store._connection.execute("DELETE FROM posting WHERE document = ?",
+                              ("doc",))
+    store._connection.commit()
+    source = SQLitePostingSource(store, "doc", lru_size=0)
+    words = source.vocabulary()[:5]
+    for word in words:
+        source.postings(word)  # prime the has-blobs check
+
+    probes = []
+    original = store.keyword_packed
+
+    def counting_keyword_packed(name, keyword):
+        probes.append(keyword)
+        return original(name, keyword)
+
+    store.keyword_packed = counting_keyword_packed
+    try:
+        for word in words:
+            assert list(source.postings(word).deweys)
+    finally:
+        store.keyword_packed = original
+    assert probes == [], "legacy documents must not probe the posting table " \
+                         "once its absence is known"
+
+
 def test_posting_lru_serves_repeats(make_random_tree):
     """Repeated lookups of one keyword are answered from the source's LRU."""
     tree = make_random_tree(13)

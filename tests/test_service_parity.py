@@ -20,7 +20,8 @@ import threading
 import pytest
 
 from repro.core import ALGORITHM_NAMES, SearchEngine
-from repro.datasets import PAPER_QUERIES
+from repro.corpus import CorpusSearchEngine
+from repro.datasets import PAPER_QUERIES, publications_tree, team_tree
 from repro.service import (
     EnginePool,
     SearchService,
@@ -139,6 +140,95 @@ def test_bad_query_is_typed(served):
         response = client.request({"op": "nonsense", "id": 9})
         assert response["error"]["code"] == "bad_request"
         assert response["id"] == 9  # request ids echo on errors too
+
+
+# ---------------------------------------------------------------------- #
+# Corpus backend over the wire: byte-identical, doc-tagged, filterable
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def served_corpus():
+    """One corpus server over the two figure documents + its reference."""
+    trees = {"publications": publications_tree(), "team": team_tree()}
+    pool = EnginePool.for_backend("corpus", trees=trees, workers=2)
+    reference = CorpusSearchEngine.from_trees(trees, backend="memory")
+    with ServerThread(pool) as server:
+        yield server, reference
+    pool.shutdown()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_served_corpus_search_is_byte_identical(served_corpus, algorithm):
+    server, reference = served_corpus
+    with ServiceClient(*server.address) as client:
+        for query_name in ("Q1", "Q2", "Q4", "Q5"):
+            query = PAPER_QUERIES[query_name]
+            over_the_wire = client.search(query, algorithm)
+            direct = result_payload(reference.search(query, algorithm))
+            assert encode_message(over_the_wire) == encode_message(direct), (
+                query_name, algorithm)
+            assert "documents" in over_the_wire  # doc-id-tagged payload
+
+
+def test_served_corpus_doc_filter_is_byte_identical(served_corpus):
+    server, reference = served_corpus
+    with ServiceClient(*server.address) as client:
+        query = PAPER_QUERIES["Q2"]
+        for doc_filter in (["publications"], ["team"],
+                           ["publications", "team"]):
+            over_the_wire = client.search(query, doc_filter=doc_filter)
+            direct = result_payload(
+                reference.search(query, doc_filter=doc_filter))
+            assert encode_message(over_the_wire) == encode_message(direct), \
+                doc_filter
+
+
+def test_served_corpus_compare_is_byte_identical(served_corpus):
+    server, reference = served_corpus
+    with ServiceClient(*server.address) as client:
+        query = PAPER_QUERIES["Q2"]
+        over_the_wire = client.compare(query)
+        direct = comparison_payload(reference.compare(query))
+        assert encode_message(over_the_wire) == encode_message(direct)
+        # doc_filter is honoured on compare too (never silently ignored).
+        filtered = client.compare(query, doc_filter=["team"])
+        direct = comparison_payload(reference.compare(query,
+                                                      doc_filter=["team"]))
+        assert encode_message(filtered) == encode_message(direct)
+
+
+def test_served_corpus_rank_honours_doc_filter(served_corpus):
+    server, reference = served_corpus
+    with ServiceClient(*server.address) as client:
+        query = PAPER_QUERIES["Q2"]
+        ranking = client.rank(query, doc_filter=["publications"])
+        assert ranking and all(entry["doc"] == "publications"
+                               for entry in ranking)
+        direct = reference.search_ranked(query,
+                                         doc_filter=["publications"])
+        assert [entry["root"] for entry in ranking] == \
+            [str(entry.fragment.root) for entry in direct]
+
+
+def test_corpus_doc_filter_errors_are_typed(served_corpus):
+    server, _ = served_corpus
+    with ServiceClient(*server.address) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.search("xml", doc_filter=["no-such-doc"])
+        assert excinfo.value.code == "bad_request"
+        response = client.request({"op": "search", "query": "xml",
+                                   "doc_filter": "publications"})
+        assert response["error"]["code"] == "bad_request"  # must be a list
+        response = client.request({"op": "search", "query": "xml",
+                                   "doc_filter": []})
+        assert response["error"]["code"] == "bad_request"
+
+
+def test_doc_filter_on_single_document_backend_is_unsupported(served):
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.search("xml", doc_filter=["publications"])
+        assert excinfo.value.code == "unsupported"
 
 
 def test_rank_on_tree_free_backend_is_unsupported(served):

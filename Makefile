@@ -4,10 +4,27 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all coverage bench bench-collect bench-export smoke \
-	loadtest-smoke perf-smoke fuzz-smoke
+	loadtest-smoke perf-smoke fuzz-smoke lint
 
 test:            ## fast unit suite (tier-1)
 	$(PYTHON) -m pytest -x -q
+
+lint:            ## static-analysis gate: AST invariant rules + ruff/mypy when present
+	$(PYTHON) -m repro.analysis src
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+	    $(PYTHON) -m ruff check src tests benchmarks scripts; \
+	elif command -v ruff >/dev/null 2>&1; then \
+	    ruff check src tests benchmarks scripts; \
+	else \
+	    echo "ruff is not installed; skipping the style sweep"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+	    $(PYTHON) -m mypy; \
+	elif command -v mypy >/dev/null 2>&1; then \
+	    mypy; \
+	else \
+	    echo "mypy is not installed; skipping the strict typing gate"; \
+	fi
 
 test-all:        ## tier-1 (incl. parity/property/golden) + benchmark suite
 	$(PYTHON) -m pytest -x -q

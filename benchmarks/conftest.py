@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import DatasetSpec, WorkloadRun, default_datasets, run_workload
+from repro.bench import DatasetSpec, default_datasets, run_workload
 from repro.core import SearchEngine
 
 #: Sizes of the benchmark documents (publications / base items).

@@ -8,12 +8,11 @@ over the same label groups and verifies they always agree.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import pytest
 
 from repro.core import Query
-from repro.core.node_record import NodeRecord
 from repro.core.valid_contributor import _is_covered
 
 from .conftest import representative_queries

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Query
 from repro.lca import (
     indexed_lookup_eager_slca,
     indexed_stack_elca,

@@ -6,6 +6,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== static-analysis gate (AST invariant rules) =="
+make lint
+
 echo "== tier-1: unit suite =="
 python -m pytest -x -q
 

@@ -1,0 +1,60 @@
+"""``python -m repro.analysis`` — run the invariant linter.
+
+Usage::
+
+    python -m repro.analysis [paths...]        # default: src/
+    python -m repro.analysis --list-rules
+    python -m repro.analysis --rule hot-loop-purity src/repro/lca
+
+Exit status: 0 when clean, 1 when any diagnostic was reported, 2 when the
+analysis itself could not run (bad path, unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .diagnostics import format_diagnostics
+from .engine import AnalysisError, run_analysis
+from .rules import RULES, rule_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant linter for the repro codebase",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        metavar="NAME",
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.list_rules:
+        width = max(len(name) for name in rule_names())
+        for rule in sorted(RULES, key=lambda r: r.name):
+            print(f"{rule.name.ljust(width)}  {rule.description}")
+        return 0
+    paths: List[str] = arguments.paths or ["src"]
+    try:
+        diagnostics = run_analysis(paths, rules=arguments.rules)
+    except AnalysisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if diagnostics:
+        print(format_diagnostics(diagnostics))
+        print(f"{len(diagnostics)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Diagnostics: what a rule reports and how it is rendered.
+
+One :class:`Diagnostic` per finding, carrying the file, position, rule name
+and message.  Rendering is one line per finding in the classic
+``path:line:col: rule: message`` compiler shape, sorted by (file, line, col)
+so output is stable across runs and diffable in CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one source position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The finding as one ``path:line:col: rule: message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def format_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    """All findings, one per line, in stable (file, line, col) order."""
+    ordered: List[Diagnostic] = sorted(diagnostics,
+                                       key=Diagnostic.sort_key)
+    return "\n".join(diagnostic.render() for diagnostic in ordered)

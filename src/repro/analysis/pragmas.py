@@ -1,0 +1,87 @@
+"""Suppression pragmas: per-line and per-file rule allowlists.
+
+Syntax (inside a regular ``#`` comment)::
+
+    x = DeweyCode(...)  # lint: allow(hot-loop-purity) result boundary
+    # lint: allow(rule-a, rule-b)   <- alone on a line: applies to the NEXT line
+    # lint: allow-file(sqlite-discipline)
+
+``allow(*)`` suppresses every rule on that line.  Trailing free text after
+the closing parenthesis is encouraged — it is the human justification for
+the declared exception.
+
+Comments are found with :mod:`tokenize` so pragma-looking text inside string
+literals never suppresses anything; files that fail to tokenize (the engine
+only analyzes files that parse, so this is rare) fall back to a conservative
+line scan.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+_PRAGMA = re.compile(r"#\s*lint:\s*(allow|allow-file)\(([^)]*)\)")
+
+
+@dataclass
+class PragmaIndex:
+    """Which rules are allowed on which lines (plus file-wide allowances)."""
+
+    line_allows: Dict[int, Set[str]] = field(default_factory=dict)
+    file_allows: Set[str] = field(default_factory=set)
+
+    def allows(self, line: int, rule: str) -> bool:
+        """True when ``rule`` is suppressed at ``line``."""
+        if rule in self.file_allows or "*" in self.file_allows:
+            return True
+        allowed = self.line_allows.get(line)
+        if not allowed:
+            return False
+        return rule in allowed or "*" in allowed
+
+    def _add(self, kind: str, names: Set[str], line: int,
+             standalone: bool) -> None:
+        if kind == "allow-file":
+            self.file_allows |= names
+            return
+        self.line_allows.setdefault(line, set()).update(names)
+        if standalone:
+            # A pragma comment alone on its line covers the next line too,
+            # so multi-line statements can carry the pragma above them.
+            self.line_allows.setdefault(line + 1, set()).update(names)
+
+
+def _parse_comment(text: str) -> Tuple[str, Set[str]]:
+    """``(kind, rule names)`` of one comment, or ``("", set())``."""
+    match = _PRAGMA.search(text)
+    if not match:
+        return "", set()
+    names = {name.strip() for name in match.group(2).split(",") if name.strip()}
+    return match.group(1), names
+
+
+def parse_pragmas(source: str) -> PragmaIndex:
+    """Extract every pragma of one file's source text."""
+    index = PragmaIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError, IndentationError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            kind, names = _parse_comment(line)
+            if names:
+                index._add(kind, names, lineno,
+                           standalone=line.lstrip().startswith("#"))
+        return index
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        kind, names = _parse_comment(token.string)
+        if not names:
+            continue
+        standalone = token.line.lstrip().startswith("#")
+        index._add(kind, names, token.start[0], standalone)
+    return index

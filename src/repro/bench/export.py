@@ -106,9 +106,34 @@ def export_run(run: WorkloadRun, directory: PathLike,
     return artefacts
 
 
+def require_verified_payload(payload: Dict[str, object]) -> None:
+    """Refuse core-bench payloads whose parity guard did not run.
+
+    :func:`~repro.bench.core_bench.run_core_bench` records whether the
+    packed-vs-object parity sweep (and the corpus union check) ran under
+    ``protocol.verified_parity``.  An unverified payload may contain
+    fast-but-wrong numbers, so persisting it as the ``BENCH_core.json``
+    artefact is forbidden — re-run without ``--no-verify``.
+    """
+    from .core_bench import RepresentationParityError
+
+    protocol = payload.get("protocol")
+    verified = isinstance(protocol, dict) and protocol.get("verified_parity")
+    if not verified:
+        raise RepresentationParityError(
+            "refusing to persist an unverified core-bench payload "
+            "(protocol.verified_parity is not set); re-run with verify=True")
+
+
 def write_core_bench(payload: Dict[str, object],
                      path: PathLike = "BENCH_core.json") -> Path:
-    """Persist a :func:`~repro.bench.core_bench.run_core_bench` payload."""
+    """Persist a :func:`~repro.bench.core_bench.run_core_bench` payload.
+
+    Calls :func:`require_verified_payload` first: the artefact is only ever
+    written from a parity-verified run (the bench-honesty contract the lint
+    gate enforces on every ``BENCH_*.json`` writer).
+    """
+    require_verified_payload(payload)
     return write_json(payload, path)
 
 

@@ -8,9 +8,9 @@ same three series per dataset as rows/series of numbers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from .harness import DatasetSpec, QueryMeasurement, WorkloadRun, run_workload
+from .harness import DatasetSpec, WorkloadRun, run_workload
 from .reporting import format_series, format_table
 
 #: Columns of the Figure 5 table, in print order.

@@ -12,7 +12,7 @@ them and also checks the qualitative shape the paper reports:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Sequence
 
 from .harness import DatasetSpec, WorkloadRun, run_workload
 from .reporting import format_table

@@ -36,7 +36,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .bench import (
     BACKEND_NAMES,
@@ -507,7 +507,13 @@ def _command_bench_export(arguments: argparse.Namespace) -> int:
               f"sequential-per-doc {corpus['sequential_total_ms']:.2f} ms"
               f"{ratio_text}")
     if arguments.output and arguments.output != "-":
-        path = write_core_bench(payload, arguments.output)
+        try:
+            path = write_core_bench(payload, arguments.output)
+        except RepresentationParityError as error:
+            # --no-verify runs can print summaries but never persist the
+            # artefact: BENCH_core.json is only written from verified runs.
+            print(f"artefact not written: {error}", file=sys.stderr)
+            return 1
         print(f"artefact written to {path}")
     return 0
 

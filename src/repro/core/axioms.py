@@ -19,8 +19,8 @@ violation; they are used both in the unit/property tests and in the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
 
 from ..text import DEFAULT_TOKENIZER
 from ..xmltree import DeweyCode, SubtreeSpec, XMLTree

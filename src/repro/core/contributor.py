@@ -19,7 +19,7 @@ from collections import deque
 from typing import List, Sequence
 
 from ..xmltree import DeweyCode
-from .fragments import Fragment, PrunedFragment
+from .fragments import PrunedFragment
 from .node_record import NodeRecord, RecordTree
 
 

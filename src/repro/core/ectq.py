@@ -34,7 +34,7 @@ and 4, and random inputs).
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, FrozenSet, List, Mapping, Sequence
+from typing import FrozenSet, List, Mapping, Sequence
 
 from ..lca import naive_elca
 from ..xmltree import DeweyCode, lca_of_codes

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..xmltree import DeweyCode
 from .contributor import is_contributor
-from .fragments import PrunedFragment, SearchResult
+from .fragments import SearchResult
 from .node_record import NodeRecord, RecordTree
 from .query import Query
 

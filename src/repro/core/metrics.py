@@ -19,7 +19,7 @@ LCA roots ``A`` — the paper defines:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..xmltree import DeweyCode
 from .fragments import PrunedFragment, SearchResult

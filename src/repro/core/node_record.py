@@ -25,7 +25,7 @@ Two content-feature modes are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple, Union
 
 from ..text import ContentAnalyzer
 from ..xmltree import DeweyCode, XMLTree
@@ -191,6 +191,7 @@ def build_record_tree_from_lookups(
     stack: List[Tuple[Tuple[int, ...], NodeRecord]] = []
     root = fragment.root
     for dewey in fragment.nodes:
+        # lint: allow(hot-loop-purity) fragment nodes arrive boxed; unbox once
         comps = dewey.components
         record = NodeRecord(
             dewey=dewey,

@@ -10,7 +10,7 @@ filtering mechanism.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..index import InvertedIndex, PostingSource
 from ..lca import elca_is_slca, indexed_stack_elca, indexed_lookup_eager_slca

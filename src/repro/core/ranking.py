@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from heapq import merge as _heap_merge
 from itertools import islice
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
 from ..text import ContentAnalyzer
 from ..xmltree import XMLTree

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..index.packed import all_packed, iter_matches
 from ..xmltree import DeweyCode, XMLTree
@@ -39,6 +39,7 @@ def assign_keyword_nodes(
     seen: set = set()
     for deweys in keyword_lists.values():
         for dewey in deweys:
+            # lint: allow(hot-loop-purity) object path's input normalization
             code = DeweyCode.coerce(dewey)
             if code in seen:
                 continue
@@ -68,6 +69,7 @@ def build_rtfs(
     """
     sorted_lcas = sorted(lca_nodes)
     if slca_flags and len(slca_flags) == len(lca_nodes):
+        # lint: allow(hot-loop-purity) boxed LCA roots are the result keys
         flag_by_code = {DeweyCode.coerce(code): flag
                         for code, flag in zip(lca_nodes, slca_flags)}
     else:
@@ -105,6 +107,7 @@ def _build_rtfs_packed(sorted_lcas: Sequence[DeweyCode],
     materialized only for the fragments actually returned — dropped keyword
     nodes (outside every interesting LCA) never become objects at all.
     """
+    # lint: allow(hot-loop-purity) unpacking the (small) root set once
     lca_arrays = [array("I", code.components) for code in sorted_lcas]
     assigned: List[List[Tuple[int, ...]]] = [[] for _ in sorted_lcas]
     for comps, _ in iter_matches(packed):
@@ -123,7 +126,7 @@ def _build_rtfs_packed(sorted_lcas: Sequence[DeweyCode],
     for root, keyword_tuples in zip(sorted_lcas, assigned):
         if not keyword_tuples:
             continue
-        root_depth = len(root.components)
+        root_depth = len(root.components)  # lint: allow(hot-loop-purity) per-root, not per-node
         prefixes: set = set()
         add = prefixes.add
         for parts in keyword_tuples:
@@ -136,8 +139,10 @@ def _build_rtfs_packed(sorted_lcas: Sequence[DeweyCode],
             root=root,
             # The merged stream is in document order, so per-root assignment
             # order already matches the object path's sorted keyword list.
+            # lint: allow(hot-loop-purity) result boundary: only surviving
             keyword_nodes=tuple(from_tuple(parts)
                                 for parts in keyword_tuples),
+            # lint: allow(hot-loop-purity) fragments are ever boxed
             nodes=tuple(from_tuple(parts) for parts in sorted(prefixes)),
             is_slca=flag_by_code[root],
         ))

@@ -23,10 +23,10 @@ Content equality uses the node record's content feature: the paper's
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from ..xmltree import DeweyCode
-from .fragments import Fragment, PrunedFragment
+from .fragments import PrunedFragment
 from .node_record import ContentFeature, LabelGroup, NodeRecord, RecordTree
 
 

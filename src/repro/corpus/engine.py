@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.cache import CacheStats
 from ..core.engine import ComparisonOutcome, SearchEngine
+from ..core.fragments import SearchResult
 from ..core.errors import SearchError
 from ..core.metrics import summarize_reports
 from ..core.query import Query, QueryLike
@@ -33,6 +34,7 @@ from ..core.ranking import (
     merge_ranked,
     rank_result,
 )
+from ..storage import MemoryStore, SQLiteStore
 from ..storage.errors import DocumentNotFound
 from ..xmltree import XMLTree
 from .result import CorpusSearchResult, DocumentResult
@@ -76,7 +78,7 @@ class CorpusSearchEngine:
 
     def __init__(self, source: CorpusPostingSource,
                  trees: Optional[Mapping[str, XMLTree]] = None,
-                 cid_mode: str = "minmax", cache_size: int = 0):
+                 cid_mode: str = "minmax", cache_size: int = 0) -> None:
         self.source = source
         self.trees: Dict[str, XMLTree] = dict(trees or {})
         unknown = sorted(set(self.trees) - set(source.doc_ids))
@@ -115,7 +117,8 @@ class CorpusSearchEngine:
                    cache_size=cache_size)
 
     @classmethod
-    def from_store(cls, store, documents: Optional[Sequence[str]] = None,
+    def from_store(cls, store: "Union[MemoryStore, SQLiteStore]",
+                   documents: Optional[Sequence[str]] = None,
                    representation: str = "packed", cid_mode: str = "minmax",
                    cache_size: int = 0) -> "CorpusSearchEngine":
         """A corpus engine over the documents of an already-indexed store."""
@@ -171,7 +174,7 @@ class CorpusSearchEngine:
     # Search
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _contributes(result) -> bool:
+    def _contributes(result: "SearchResult") -> bool:
         """Whether a per-document result adds anything to the union."""
         return bool(result.count or result.lca_nodes)
 

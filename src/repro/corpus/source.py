@@ -36,9 +36,10 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
-from ..index import InvertedIndex, PostingList
+from ..index import InvertedIndex, PostingList, PostingSource
 from ..index.packed import (
     EMPTY_PACKED,
     PackedDeweyList,
@@ -48,6 +49,7 @@ from ..index.packed import (
 )
 from ..storage import (
     DEFAULT_POSTING_LRU_SIZE,
+    MemoryStore,
     ShardedPostingSource,
     SQLiteStore,
     source_for_store,
@@ -86,12 +88,12 @@ class CorpusShard:
     __slots__ = ("index", "doc_ids", "_sources")
 
     def __init__(self, index: int, doc_ids: Tuple[str, ...],
-                 sources: Mapping[str, object]):
+                 sources: Mapping[str, PostingSource]) -> None:
         self.index = index
         self.doc_ids = doc_ids
         self._sources = dict(sources)
 
-    def source(self, doc_id: str):
+    def source(self, doc_id: str) -> PostingSource:
         """The posting source of one owned document."""
         return self._sources[doc_id]
 
@@ -123,7 +125,8 @@ class CorpusPostingSource:
         (clamped to the document count).  Each shard owns whole documents.
     """
 
-    def __init__(self, documents: Mapping[str, object], shard_count: int = 1):
+    def __init__(self, documents: Mapping[str, PostingSource],
+                 shard_count: int = 1) -> None:
         items = sorted(dict(documents).items())
         if not items:
             raise ValueError("a corpus needs at least one document")
@@ -150,7 +153,7 @@ class CorpusPostingSource:
     # ------------------------------------------------------------------ #
     # Corpus accessors
     # ------------------------------------------------------------------ #
-    def document_source(self, doc_id: str):
+    def document_source(self, doc_id: str) -> PostingSource:
         """The per-document posting source of one doc id."""
         try:
             return self._sources[doc_id]
@@ -281,7 +284,8 @@ class CorpusPostingSource:
     def _empty(self) -> Sequence[DeweyCode]:
         return EMPTY_PACKED if self.representation == "packed" else ()
 
-    def _route(self, dewey: DeweyCode):
+    def _route(self, dewey: DeweyCode
+               ) -> Optional[Tuple[PostingSource, DeweyCode]]:
         """``(source, inner code)`` of a corpus-wide code, or ``None``."""
         components = dewey.components
         if len(components) < 2 or not 0 <= components[0] < len(self.doc_ids):
@@ -341,7 +345,8 @@ def corpus_from_trees(trees: Mapping[str, XMLTree], backend: str = "memory",
     return CorpusPostingSource(sources, shard_count=shard_count)
 
 
-def corpus_from_store(store, documents: Optional[Sequence[str]] = None,
+def corpus_from_store(store: Union[MemoryStore, SQLiteStore],
+                      documents: Optional[Sequence[str]] = None,
                       representation: str = "packed",
                       lru_size: int = DEFAULT_POSTING_LRU_SIZE,
                       ) -> CorpusPostingSource:

@@ -27,7 +27,6 @@ from typing import Dict, List, Optional, Sequence
 
 from ..xmltree import TreeBuilder, XMLTree
 from .vocabulary import (
-    DBLP_PAPER_FREQUENCIES,
     FILLER_WORDS,
     FIRST_NAMES,
     LAST_NAMES,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..xmltree import TreeBuilder, XMLTree
 from .vocabulary import (
@@ -27,7 +27,6 @@ from .vocabulary import (
     ITEM_WORDS,
     LAST_NAMES,
     PLACES,
-    XMARK_PAPER_FREQUENCIES,
     XMARK_TEXT_WORDS,
     xmark_target_frequencies,
 )

@@ -9,7 +9,16 @@ document so repeated queries only cost a dictionary lookup per keyword.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from ..text import ContentAnalyzer, DEFAULT_TOKENIZER, Tokenizer
 from ..xmltree import DeweyCode, XMLTree
@@ -35,14 +44,14 @@ class PostingList:
     keyword: str
     deweys: Sequence[DeweyCode]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not isinstance(self.deweys, (tuple, PackedDeweyList)):
             object.__setattr__(self, "deweys", tuple(self.deweys))
 
     def __len__(self) -> int:
         return len(self.deweys)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[DeweyCode]:
         return iter(self.deweys)
 
     def __bool__(self) -> bool:
@@ -73,7 +82,7 @@ class InvertedIndex:
     """
 
     def __init__(self, tree: XMLTree, tokenizer: Tokenizer = DEFAULT_TOKENIZER,
-                 representation: str = "packed"):
+                 representation: str = "packed") -> None:
         if representation not in REPRESENTATIONS:
             raise ValueError(f"unknown representation {representation!r}; "
                              f"expected one of {REPRESENTATIONS}")

@@ -38,7 +38,7 @@ import sys
 from array import array
 from collections.abc import Sequence as _SequenceABC
 from heapq import heapify, heappop, heappush
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..xmltree import DeweyCode
 from ..xmltree.errors import InvalidDeweyCode
@@ -87,7 +87,7 @@ class PackedDeweyList(_SequenceABC):
 
     __slots__ = ("data", "offsets", "_hash")
 
-    def __init__(self, data: array, offsets: array):
+    def __init__(self, data: "array[int]", offsets: "array[int]") -> None:
         if data.typecode != "I" or offsets.typecode != "I":
             raise ValueError("packed columns must be array('I')")
         if not len(offsets) or offsets[0] != 0 or offsets[-1] != len(data):
@@ -102,7 +102,8 @@ class PackedDeweyList(_SequenceABC):
     def __len__(self) -> int:
         return len(self.offsets) - 1
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Union[int, slice]
+                    ) -> Union[DeweyCode, "PackedDeweyList"]:
         if isinstance(index, slice):
             start, stop, step = index.indices(len(self))
             if step != 1:
@@ -122,6 +123,7 @@ class PackedDeweyList(_SequenceABC):
             index += len(self)
         if not 0 <= index < len(self):
             raise IndexError("packed posting index out of range")
+        # lint: allow(hot-loop-purity) result boundary: one boxed code out
         return DeweyCode._from_tuple(
             tuple(self.data[offsets[index]:offsets[index + 1]]))
 
@@ -129,6 +131,7 @@ class PackedDeweyList(_SequenceABC):
         data, offsets = self.data, self.offsets
         from_tuple = DeweyCode._from_tuple
         for i in range(len(offsets) - 1):
+            # lint: allow(hot-loop-purity) boxing IS this method's contract
             yield from_tuple(tuple(data[offsets[i]:offsets[i + 1]]))
 
     def __bool__(self) -> bool:
@@ -140,7 +143,9 @@ class PackedDeweyList(_SequenceABC):
         if isinstance(other, (list, tuple)):
             # Drop-in Sequence[DeweyCode] compatibility: compare by content.
             return len(other) == len(self) and all(
-                isinstance(code, DeweyCode) and comps == code.components
+                isinstance(code, DeweyCode)
+                # lint: allow(hot-loop-purity) comparing against boxed input
+                and comps == code.components
                 for comps, code in zip(self._component_tuples(), other))
         return NotImplemented
 
@@ -352,6 +357,7 @@ def pack_deweys(deweys: Iterable[DeweyCode],
                 presorted: bool = False) -> PackedDeweyList:
     """Pack :class:`DeweyCode` objects (the object→packed conversion)."""
     return pack_component_tuples(
+        # lint: allow(hot-loop-purity) the object→packed conversion boundary
         (code.components for code in deweys), presorted=presorted)
 
 
@@ -360,6 +366,7 @@ def as_packed(postings: Sequence) -> PackedDeweyList:
     if isinstance(postings, PackedDeweyList):
         return postings
     return pack_deweys(
+        # lint: allow(hot-loop-purity) ingest boundary: any input → packed
         (DeweyCode.coerce(code) for code in postings), presorted=False)
 
 
@@ -392,6 +399,7 @@ def deepest_neighbor_prefix_len(node: Sequence[int], plist: PackedDeweyList,
             best = shared
     if not best:
         raise InvalidDeweyCode(
+            # lint: allow(hot-loop-purity) error path, never taken when hot
             f"{DeweyCode._from_tuple(tuple(node))} shares no common "
             f"prefix with the posting list (different roots)")
     return best
@@ -515,6 +523,7 @@ def prefix_postings(deweys: Sequence, prefix: int) -> Sequence:
     """
     if isinstance(deweys, PackedDeweyList):
         return prefix_packed(deweys, prefix)
+    # lint: allow(hot-loop-purity) object representation's own path
     return tuple(DeweyCode._from_tuple((prefix,) + code.components)
                  for code in deweys)
 

@@ -52,6 +52,7 @@ def normalize_lists(lists: KeywordLists) -> List[List[DeweyCode]]:
     """
     normalized: List[List[DeweyCode]] = []
     for keyword, deweys in lists.items():
+        # lint: allow(hot-loop-purity) object path's input normalization
         unique = sorted(set(DeweyCode.coerce(code) for code in deweys))
         if not unique:
             raise EmptyKeywordList(f"keyword {keyword!r} has no occurrence")
@@ -94,6 +95,7 @@ def iter_object_matches(normalized: Sequence[Sequence[DeweyCode]]
     feeds :func:`repro.index.packed.iter_matches` straight from the columns.
     """
     for match in merge_matches(normalized):
+        # lint: allow(hot-loop-purity) unboxing adapter: objects → components
         yield match.dewey.components, match.mask
 
 

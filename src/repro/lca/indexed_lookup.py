@@ -68,6 +68,7 @@ def _packed_fold(packed: List[PackedDeweyList]) -> List[DeweyCode]:
         current = remove_ancestors_slices(candidates)
         if not current:
             return []
+    # lint: allow(hot-loop-purity) result boundary: the final SLCA set
     return [DeweyCode._from_tuple(tuple(comps)) for comps in current]
 
 

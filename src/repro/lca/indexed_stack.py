@@ -76,6 +76,7 @@ def _scan(stream: Iterator[Tuple[Iterable[int], int]],
         subtree = subtree_masks.pop()
         exclusive = exclusive_masks.pop()
         if exclusive == target:
+            # lint: allow(hot-loop-purity) result boundary: ELCAs survive
             results.append(DeweyCode._from_tuple(tuple(components)))
         components.pop()
         if subtree_masks:

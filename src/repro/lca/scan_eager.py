@@ -58,6 +58,7 @@ def _packed_scan(packed: List[PackedDeweyList]) -> List[DeweyCode]:
     Nothing is materialized until the final SLCA set.
     """
     if len(packed) == 1:
+        # lint: allow(hot-loop-purity) result boundary: the final SLCA set
         return [DeweyCode._from_tuple(tuple(comps))
                 for comps in remove_ancestors_slices(
                     list(packed[0].iter_slices()))]
@@ -76,6 +77,7 @@ def _packed_scan(packed: List[PackedDeweyList]) -> List[DeweyCode]:
             if depth is None or best < depth:
                 depth = best
         append(node[:depth])
+    # lint: allow(hot-loop-purity) result boundary: the final SLCA set
     return [DeweyCode._from_tuple(tuple(comps))
             for comps in remove_ancestors_slices(candidates)]
 

@@ -61,6 +61,7 @@ def _scan(stream: Iterator[Tuple[Iterable[int], int]],
         flag = flags.pop()
         is_slca = mask == target and not flag
         if is_slca:
+            # lint: allow(hot-loop-purity) result boundary: SLCAs survive
             results.append(DeweyCode._from_tuple(tuple(components)))
         components.pop()
         if masks:

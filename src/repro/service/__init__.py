@@ -42,10 +42,12 @@ from .client import ServiceClient
 from .engine_pool import EnginePool
 from .loadgen import (
     LoadReport,
+    ServiceBenchIntegrityError,
     loadtest,
     percentile,
     run_closed_loop,
     run_open_loop,
+    verify_service_reports,
     write_service_bench,
 )
 from .protocol import (
@@ -96,5 +98,7 @@ __all__ = [
     "result_payload",
     "run_closed_loop",
     "run_open_loop",
+    "ServiceBenchIntegrityError",
+    "verify_service_reports",
     "write_service_bench",
 ]

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Awaitable, Dict, Optional, TypeVar
+from types import TracebackType
+from typing import Awaitable, Dict, Optional, Type, TypeVar
 
 from .protocol import ERROR_OVERLOADED, ERROR_TIMEOUT, ServiceError
 
@@ -38,7 +39,7 @@ class AdmissionController:
     """
 
     def __init__(self, max_inflight: int = DEFAULT_MAX_INFLIGHT,
-                 timeout_seconds: Optional[float] = None):
+                 timeout_seconds: Optional[float] = None) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be positive, got {max_inflight}")
         if timeout_seconds is not None and timeout_seconds <= 0:
@@ -80,7 +81,9 @@ class AdmissionController:
         self.acquire()
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc_value: Optional[BaseException],
+                 traceback: Optional[TracebackType]) -> None:
         self.release()
 
     async def run(self, awaitable: Awaitable[T]) -> T:

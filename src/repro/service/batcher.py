@@ -24,6 +24,7 @@ import asyncio
 from typing import Dict, List, Optional, Tuple
 
 from ..core.fragments import SearchResult
+from ..core.query import QueryLike
 from .engine_pool import EnginePool
 from .protocol import ERROR_INTERNAL, ServiceError
 
@@ -42,7 +43,7 @@ class _Bucket:
 
     __slots__ = ("entries", "timer")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.entries: List[Tuple[object, asyncio.Future]] = []
         self.timer: Optional[asyncio.TimerHandle] = None
 
@@ -56,7 +57,7 @@ class RequestBatcher:
 
     def __init__(self, pool: EnginePool,
                  max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
-                 max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS):
+                 max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS) -> None:
         if max_batch_size < 1:
             raise ValueError(
                 f"max_batch_size must be positive, got {max_batch_size}")
@@ -81,7 +82,7 @@ class RequestBatcher:
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
-    async def submit(self, query, algorithm: str = "validrtf",
+    async def submit(self, query: QueryLike, algorithm: str = "validrtf",
                      cid_mode: Optional[str] = None) -> SearchResult:
         """Enqueue one query; resolves when its batch has been computed."""
         if self._closed:

@@ -9,7 +9,8 @@ calls.
 from __future__ import annotations
 
 import socket
-from typing import Dict, Optional, Tuple
+from types import TracebackType
+from typing import BinaryIO, Dict, Optional, Tuple, Type
 
 from .protocol import ServiceError, decode_message, encode_message
 
@@ -25,11 +26,11 @@ class ServiceClient:
         Socket timeout in seconds for connect and each response.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
         self.address: Tuple[str, int] = (host, int(port))
         self.timeout = timeout
         self._socket: Optional[socket.socket] = None
-        self._file = None
+        self._file: Optional[BinaryIO] = None
 
     # ------------------------------------------------------------------ #
     # Connection management
@@ -54,7 +55,9 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self.connect()
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc_value: Optional[BaseException],
+                 traceback: Optional[TracebackType]) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
@@ -113,7 +116,7 @@ class ServiceClient:
 
     def rank(self, query: str, algorithm: str = "validrtf",
              cid_mode: Optional[str] = None,
-             doc_filter: Optional[list] = None):
+             doc_filter: Optional[list] = None) -> Dict[str, object]:
         """Ranked fragment payload for one query (memory backend only)."""
         message: Dict[str, object] = {"op": "rank", "query": query,
                                       "algorithm": algorithm}
@@ -126,6 +129,12 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         """The server's merged pool/batcher/admission counters."""
         return self._checked({"op": "stats"})["stats"]
+
+    def algorithms(self) -> Dict[str, object]:
+        """The algorithm and cid-mode names the server accepts."""
+        response = self._checked({"op": "algorithms"})
+        return {"algorithms": response["algorithms"],
+                "cid_modes": response["cid_modes"]}
 
     def __repr__(self) -> str:
         state = "connected" if self._socket is not None else "disconnected"

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence
+from types import TracebackType
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from ..core import SearchEngine
 from ..core.cache import CacheStats
 from ..core.engine import ComparisonOutcome
 from ..core.fragments import SearchResult
+from ..core.query import QueryLike
 from ..corpus import CorpusSearchEngine, corpus_from_trees
 from ..index import InvertedIndex
 from ..storage import (
@@ -68,7 +70,8 @@ class EnginePool:
     """
 
     def __init__(self, engine_factory: Callable[[], SearchEngine],
-                 workers: int = DEFAULT_WORKERS, name: str = "repro-service"):
+                 workers: int = DEFAULT_WORKERS,
+                 name: str = "repro-service") -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers
@@ -200,13 +203,15 @@ class EnginePool:
                 self._engines.append(engine)
         return engine
 
-    def submit(self, fn: Callable[..., object], *args, **kwargs) -> Future:
+    def submit(self, fn: Callable[..., object], *args: object,
+               **kwargs: object) -> Future:
         """Run ``fn(engine, *args, **kwargs)`` on a worker thread."""
         if self._closed:
             raise RuntimeError("the engine pool is shut down")
         return self._executor.submit(self._invoke, fn, args, kwargs)
 
-    def _invoke(self, fn, args, kwargs):
+    def _invoke(self, fn: Callable[..., object], args: Tuple[object, ...],
+                kwargs: Dict[str, object]) -> object:
         return fn(self._thread_engine(), *args, **kwargs)
 
     @staticmethod
@@ -222,7 +227,7 @@ class EnginePool:
             engine.set_cid_mode(cid_mode)
         return engine
 
-    def search(self, query, algorithm: str = "validrtf",
+    def search(self, query: QueryLike, algorithm: str = "validrtf",
                cid_mode: Optional[str] = None) -> "Future[SearchResult]":
         """One query on any worker; returns a future."""
         return self.submit(
@@ -238,17 +243,18 @@ class EnginePool:
                 self._with_cid_mode(engine, m).search_many(qs, a),
             queries, algorithm, cid_mode)
 
-    def compare(self, query,
+    def compare(self, query: QueryLike,
                 cid_mode: Optional[str] = None) -> "Future[ComparisonOutcome]":
         """ValidRTF-vs-MaxMatch comparison on any worker."""
         return self.submit(
             lambda engine, q, m: self._with_cid_mode(engine, m).compare(q),
             query, cid_mode)
 
-    def rank(self, query, algorithm: str = "validrtf",
+    def rank(self, query: QueryLike, algorithm: str = "validrtf",
              cid_mode: Optional[str] = None) -> Future:
         """Search then rank on one worker (needs a resident tree)."""
-        def ranked(engine: SearchEngine, q, a, m):
+        def ranked(engine: SearchEngine, q: QueryLike, a: str,
+                   m: Optional[str]) -> object:
             engine = self._with_cid_mode(engine, m)
             return engine.rank(engine.search(q, a))
         return self.submit(ranked, query, algorithm, cid_mode)
@@ -322,7 +328,9 @@ class EnginePool:
     def __enter__(self) -> "EnginePool":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc_value: Optional[BaseException],
+                 traceback: Optional[TracebackType]) -> None:
         self.shutdown()
 
     def __repr__(self) -> str:

@@ -28,9 +28,10 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..bench.export import write_json
+from ..bench.export import PathLike, write_json
 from ..xmltree import XMLTree
 from .client import ServiceClient
 from .protocol import ServiceError
@@ -133,7 +134,7 @@ class LoadReport:
 class _Recorder:
     """Thread-safe collection of latencies and typed-error counts."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self.latencies_ms: List[float] = []
         self.errors: Dict[str, int] = {}
@@ -302,9 +303,49 @@ def loadtest(config: ServiceConfig, queries: Sequence[str],
     return report
 
 
-def write_service_bench(reports, path="BENCH_service.json"):
-    """Persist one report (or a list of them) as the service bench artefact."""
+class ServiceBenchIntegrityError(AssertionError):
+    """A load report failed its sanity checks; it must not be persisted."""
+
+
+def verify_service_reports(reports: Sequence[LoadReport]) -> None:
+    """Sanity-check reports before they become a bench artefact.
+
+    A report that answered nothing, recorded a negative latency or whose
+    percentiles are out of order is a harness bug, not a measurement —
+    writing it to ``BENCH_service.json`` would archive a lie.  This is the
+    service-side analogue of the core bench's representation-parity guard.
+    """
+    if not reports:
+        raise ServiceBenchIntegrityError("no load reports to persist")
+    for index, report in enumerate(reports):
+        where = f"report[{index}] ({report.mode}/{report.algorithm})"
+        if report.completed + report.error_count == 0:
+            raise ServiceBenchIntegrityError(
+                f"{where}: the run answered no request at all")
+        if report.elapsed_seconds <= 0:
+            raise ServiceBenchIntegrityError(
+                f"{where}: non-positive elapsed time "
+                f"{report.elapsed_seconds!r}")
+        if any(latency < 0 for latency in report.latencies_ms):
+            raise ServiceBenchIntegrityError(
+                f"{where}: negative latency recorded")
+        latency = report.latency_summary_ms()
+        if not (latency["p50"] <= latency["p95"] <= latency["p99"]
+                <= latency["max"]):
+            raise ServiceBenchIntegrityError(
+                f"{where}: percentiles out of order: {latency}")
+
+
+def write_service_bench(reports: "Union[LoadReport, Sequence[LoadReport]]",
+                        path: PathLike = "BENCH_service.json") -> "Path":
+    """Persist one report (or a list of them) as the service bench artefact.
+
+    Refuses (raises :class:`ServiceBenchIntegrityError`) when any report
+    fails :func:`verify_service_reports` — the bench-honesty contract the
+    lint gate enforces on every ``BENCH_*.json`` writer.
+    """
     if isinstance(reports, LoadReport):
         reports = [reports]
+    verify_service_reports(reports)
     payload = {"service_bench": [report.payload() for report in reports]}
     return write_json(payload, path)

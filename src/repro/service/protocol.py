@@ -26,9 +26,11 @@ Two properties matter here:
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
+from ..core.engine import ComparisonOutcome
 from ..core.fragments import SearchResult
+from ..core.metrics import EffectivenessReport
 from ..core.ranking import DocumentRankedFragment, RankedFragment
 from ..corpus.engine import CorpusComparisonOutcome
 from ..corpus.result import CorpusSearchResult
@@ -54,7 +56,7 @@ ERROR_CODES = (ERROR_BAD_REQUEST, ERROR_UNKNOWN_ALGORITHM, ERROR_OVERLOADED,
 class ServiceError(Exception):
     """A failure with a stable wire-level error code."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
@@ -67,7 +69,8 @@ class ServiceError(Exception):
 # ---------------------------------------------------------------------- #
 # Canonical payloads
 # ---------------------------------------------------------------------- #
-def result_payload(result) -> Dict[str, object]:
+def result_payload(result: Union[SearchResult, CorpusSearchResult]
+                   ) -> Dict[str, object]:
     """The canonical JSON payload of one search result.
 
     Everything the parity contract covers — roots, kept node sets, raw node
@@ -120,7 +123,9 @@ def _single_result_payload(result: SearchResult) -> Dict[str, object]:
     }
 
 
-def comparison_payload(outcome) -> Dict[str, object]:
+def comparison_payload(
+        outcome: Union[ComparisonOutcome, CorpusComparisonOutcome]
+) -> Dict[str, object]:
     """The canonical payload of a ValidRTF-vs-MaxMatch comparison.
 
     Corpus outcomes carry one report per contributing document plus the
@@ -143,7 +148,7 @@ def comparison_payload(outcome) -> Dict[str, object]:
     }
 
 
-def _report_payload(report) -> Dict[str, object]:
+def _report_payload(report: EffectivenessReport) -> Dict[str, object]:
     return {
         "lca_count": report.lca_count,
         "cfr": report.cfr,

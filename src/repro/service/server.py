@@ -36,10 +36,12 @@ from __future__ import annotations
 import asyncio
 import threading
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from types import TracebackType
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
-from ..core import ALGORITHM_NAMES, Query
+from ..core import ALGORITHM_NAMES, Query, SearchEngine
 from ..core.errors import EmptyQueryError, SearchError
+from ..corpus import CorpusSearchEngine
 from ..core.node_record import CID_MODES
 from ..storage.errors import DocumentNotFound
 from ..xmltree import XMLTree
@@ -119,7 +121,7 @@ class SearchService:
                  batcher: Optional[RequestBatcher] = None,
                  admission: Optional[AdmissionController] = None,
                  default_cid_mode: str = "minmax",
-                 owns_pool: bool = False):
+                 owns_pool: bool = False) -> None:
         self.pool = pool
         self.batcher = batcher if batcher is not None else RequestBatcher(pool)
         self.admission = (admission if admission is not None
@@ -165,7 +167,7 @@ class SearchService:
     # ------------------------------------------------------------------ #
     # Operations
     # ------------------------------------------------------------------ #
-    def _validated(self, request: Dict[str, object]):
+    def _validated(self, request: Dict[str, object]) -> Tuple[str, str, str]:
         """Extract and validate (query, algorithm, cid_mode)."""
         query = request.get("query")
         if not isinstance(query, str) or not query.strip():
@@ -190,7 +192,7 @@ class SearchService:
         return query, algorithm, cid_mode
 
     @staticmethod
-    def _doc_filter(request: Dict[str, object]):
+    def _doc_filter(request: Dict[str, object]) -> Optional[List[str]]:
         """The validated per-request ``doc_filter``, or ``None``."""
         doc_filter = request.get("doc_filter")
         if doc_filter is None:
@@ -203,7 +205,9 @@ class SearchService:
         return doc_filter
 
     @staticmethod
-    def _run_filtered(engine, cid_mode, doc_filter, run):
+    def _run_filtered(engine: Union[SearchEngine, CorpusSearchEngine],
+                      cid_mode: Optional[str], doc_filter: Sequence[str],
+                      run: Callable[[CorpusSearchEngine], object]) -> object:
         """Worker-side dispatch of a doc-filtered operation (corpus only)."""
         if not getattr(engine, "is_corpus", False):
             raise ServiceError(
@@ -217,19 +221,25 @@ class SearchService:
             raise ServiceError(ERROR_BAD_REQUEST, str(error)) from None
 
     @staticmethod
-    def _filtered_search(engine, query, algorithm, cid_mode, doc_filter):
+    def _filtered_search(engine: Union[SearchEngine, CorpusSearchEngine],
+                         query: str, algorithm: str, cid_mode: Optional[str],
+                         doc_filter: Sequence[str]) -> object:
         return SearchService._run_filtered(
             engine, cid_mode, doc_filter,
             lambda e: e.search(query, algorithm, doc_filter=doc_filter))
 
     @staticmethod
-    def _filtered_compare(engine, query, cid_mode, doc_filter):
+    def _filtered_compare(engine: Union[SearchEngine, CorpusSearchEngine],
+                          query: str, cid_mode: Optional[str],
+                          doc_filter: Sequence[str]) -> object:
         return SearchService._run_filtered(
             engine, cid_mode, doc_filter,
             lambda e: e.compare(query, doc_filter=doc_filter))
 
     @staticmethod
-    def _filtered_rank(engine, query, algorithm, cid_mode, doc_filter):
+    def _filtered_rank(engine: Union[SearchEngine, CorpusSearchEngine],
+                       query: str, algorithm: str, cid_mode: Optional[str],
+                       doc_filter: Sequence[str]) -> object:
         return SearchService._run_filtered(
             engine, cid_mode, doc_filter,
             lambda e: e.search_ranked(query, algorithm,
@@ -305,20 +315,20 @@ class SearchServer:
     """One JSON object per line over TCP, answered in per-connection order."""
 
     def __init__(self, service: SearchService, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0) -> None:
         self.service = service
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
 
     @property
-    def address(self):
+    def address(self) -> Tuple[str, int]:
         """``(host, port)`` actually bound (port 0 resolves on start)."""
         if self._server is None:
             raise RuntimeError("the server is not started")
         return self._server.sockets[0].getsockname()[:2]
 
-    async def start(self):
+    async def start(self) -> Tuple[str, int]:
         """Bind the socket; returns the bound ``(host, port)``."""
         self._server = await asyncio.start_server(
             self._on_client, self.host, self.port, limit=_READLINE_LIMIT)
@@ -384,7 +394,7 @@ class ServerThread:
 
     def __init__(self, service: Union[SearchService, EnginePool, ServiceConfig],
                  host: str = "127.0.0.1", port: int = 0,
-                 tree: Optional[XMLTree] = None):
+                 tree: Optional[XMLTree] = None) -> None:
         if isinstance(service, ServiceConfig):
             service = service.build(tree)
         elif isinstance(service, EnginePool):
@@ -392,7 +402,7 @@ class ServerThread:
         self.service = service
         self.host = host
         self.port = port
-        self.address = None
+        self.address: Optional[Tuple[str, int]] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -448,5 +458,7 @@ class ServerThread:
     def __enter__(self) -> "ServerThread":
         return self.start()
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc_value: Optional[BaseException],
+                 traceback: Optional[TracebackType]) -> None:
         self.stop()

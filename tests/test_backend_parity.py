@@ -37,6 +37,18 @@ BACKENDS = ("memory", "sqlite", "sharded", "corpus",
             "memory-object", "sqlite-object", "sharded-object",
             "corpus-object")
 
+#: The registration contract the lint gate (``parity-registration``)
+#: machine-checks: every class in ``src/`` that implements the
+#: ``PostingSource`` protocol must appear here, mapped to the ``BACKENDS``
+#: entries it serves, and together the entries must cover all of BACKENDS.
+PARITY_SOURCES = {
+    "InvertedIndex": ("memory", "memory-object"),
+    "StorePostingSource": ("sqlite", "sqlite-object"),
+    "SQLitePostingSource": ("sqlite", "sqlite-object"),
+    "ShardedPostingSource": ("sharded", "sharded-object"),
+    "CorpusPostingSource": ("corpus", "corpus-object"),
+}
+
 #: (dataset fixture name, queries) pairs the parity matrix runs over.
 DATASETS = (
     ("publications", ("Q1", "Q2", "Q3")),
@@ -159,6 +171,35 @@ def test_source_for_store_picks_specialization(publications, store_class):
     assert isinstance(source, StorePostingSource)
     assert isinstance(source, SQLitePostingSource) == \
         isinstance(store, SQLiteStore)
+
+
+# ---------------------------------------------------------------------- #
+# The registration contract itself
+# ---------------------------------------------------------------------- #
+def test_parity_sources_cover_backends():
+    """PARITY_SOURCES names real PostingSource classes and covers BACKENDS."""
+    from repro.corpus.source import CorpusPostingSource
+    from repro.index import InvertedIndex
+
+    classes = {
+        "InvertedIndex": InvertedIndex,
+        "StorePostingSource": StorePostingSource,
+        "SQLitePostingSource": SQLitePostingSource,
+        "ShardedPostingSource": ShardedPostingSource,
+        "CorpusPostingSource": CorpusPostingSource,
+    }
+    assert set(classes) == set(PARITY_SOURCES)
+    protocol_members = ("source_id", "postings", "keyword_nodes", "frequency",
+                        "vocabulary", "node_label", "node_words")
+    claimed = set()
+    for name, entries in PARITY_SOURCES.items():
+        for member in protocol_members:
+            assert hasattr(classes[name], member), (name, member)
+        assert entries, name
+        for entry in entries:
+            assert entry in BACKENDS, (name, entry)
+        claimed.update(entries)
+    assert claimed == set(BACKENDS)
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,83 @@
+"""Regression tests for the bench-honesty guards the lint gate requires.
+
+``write_core_bench`` and ``write_service_bench`` are the two ``BENCH_*.json``
+writers; both must refuse to persist an artefact whose verification did not
+run (or whose numbers are internally inconsistent).  These tests pin the
+refusal paths the ``bench-honesty`` lint rule assumes exist.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import require_verified_payload, write_core_bench
+from repro.bench.core_bench import RepresentationParityError
+from repro.service import (
+    LoadReport,
+    ServiceBenchIntegrityError,
+    verify_service_reports,
+    write_service_bench,
+)
+
+
+def good_report(**overrides):
+    fields = dict(mode="closed", requests=4, concurrency=2,
+                  algorithm="validrtf", elapsed_seconds=0.5,
+                  latencies_ms=[1.0, 2.0, 3.0, 4.0])
+    fields.update(overrides)
+    return LoadReport(**fields)
+
+
+class TestCoreBenchGuard:
+    def test_unverified_payload_is_refused(self, tmp_path):
+        target = tmp_path / "BENCH_core.json"
+        with pytest.raises(RepresentationParityError):
+            write_core_bench({"protocol": {"verified_parity": False}}, target)
+        assert not target.exists()
+
+    def test_missing_protocol_block_is_refused(self, tmp_path):
+        with pytest.raises(RepresentationParityError):
+            write_core_bench({"results": []}, tmp_path / "BENCH_core.json")
+
+    def test_verified_payload_is_written(self, tmp_path):
+        target = tmp_path / "BENCH_core.json"
+        payload = {"protocol": {"verified_parity": True}, "results": []}
+        require_verified_payload(payload)  # does not raise
+        path = write_core_bench(payload, target)
+        assert json.loads(path.read_text())["protocol"]["verified_parity"]
+
+
+class TestServiceBenchGuard:
+    def test_good_report_passes_and_is_written(self, tmp_path):
+        report = good_report()
+        verify_service_reports([report])  # does not raise
+        path = write_service_bench(report, tmp_path / "BENCH_service.json")
+        payload = json.loads(path.read_text())
+        assert payload["service_bench"][0]["completed"] == 4
+
+    def test_empty_report_list_is_refused(self):
+        with pytest.raises(ServiceBenchIntegrityError):
+            verify_service_reports([])
+
+    def test_run_that_answered_nothing_is_refused(self, tmp_path):
+        report = good_report(latencies_ms=[])
+        with pytest.raises(ServiceBenchIntegrityError):
+            write_service_bench(report, tmp_path / "BENCH_service.json")
+        assert not (tmp_path / "BENCH_service.json").exists()
+
+    def test_non_positive_elapsed_is_refused(self):
+        with pytest.raises(ServiceBenchIntegrityError):
+            verify_service_reports([good_report(elapsed_seconds=0.0)])
+
+    def test_negative_latency_is_refused(self):
+        with pytest.raises(ServiceBenchIntegrityError):
+            verify_service_reports([good_report(latencies_ms=[1.0, -0.5])])
+
+    def test_error_only_run_still_counts_as_answered(self):
+        report = good_report(latencies_ms=[],
+                             errors={"overloaded": 4})
+        verify_service_reports([report])  # typed errors are real answers
+
+    def test_integrity_error_is_an_assertion(self):
+        # The guard doubles as a test-style assertion for harness callers.
+        assert issubclass(ServiceBenchIntegrityError, AssertionError)

@@ -7,7 +7,6 @@ import pytest
 from repro.core import (
     EmptyQueryError,
     MaxMatch,
-    Query,
     SearchEngine,
     ValidRTF,
     build_fragment,

@@ -8,7 +8,6 @@ from repro.core import (
     Decision,
     DifferenceKind,
     Query,
-    SearchEngine,
     classify_differences,
     explain_contributor,
     explain_valid_contributor,

@@ -11,19 +11,8 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import DatasetSpec, figure6_summary, run_workload
-from repro.core import (
-    MaxMatch,
-    SearchEngine,
-    ValidRTF,
-    effectiveness,
-)
-from repro.datasets import (
-    PAPER_QUERIES,
-    dblp_workload,
-    publications_tree,
-    xmark_workload,
-)
-from repro.index import InvertedIndex
+from repro.core import SearchEngine, ValidRTF, effectiveness
+from repro.datasets import PAPER_QUERIES, dblp_workload, xmark_workload
 from repro.storage import MemoryStore, SQLiteStore, StoredDocumentSearch
 from repro.xmltree import parse_string, to_xml_string
 

@@ -7,9 +7,7 @@ revised MaxMatch baseline and ValidRTF.
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core import SearchEngine
 from repro.datasets import PAPER_QUERIES
 from repro.xmltree import DeweyCode
 

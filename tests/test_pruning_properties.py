@@ -17,7 +17,7 @@ must satisfy the structural invariants the paper relies on:
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import Tuple
 
 from hypothesis import given, settings, strategies as st
 

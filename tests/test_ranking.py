@@ -4,13 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import (
-    Query,
-    RankingWeights,
-    SearchEngine,
-    rank_fragments,
-    rank_result,
-)
+from repro.core import Query, RankingWeights, rank_fragments, rank_result
 from repro.datasets import PAPER_QUERIES
 
 

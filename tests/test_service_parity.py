@@ -143,6 +143,40 @@ def test_bad_query_is_typed(served):
 
 
 # ---------------------------------------------------------------------- #
+# Introspection ops over the wire: ping, stats, algorithms
+# ---------------------------------------------------------------------- #
+def test_ping_answers_pong(served):
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        assert client.ping() is True
+        response = client.request({"op": "ping", "id": 3})
+        assert response == {"ok": True, "pong": True, "id": 3}
+
+
+def test_stats_reports_every_layer(served):
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        client.search(PAPER_QUERIES["Q1"])
+        stats = client.stats()
+    assert set(stats) == {"pool", "batcher", "admission"}
+    assert stats["pool"]["workers"] == 2
+    assert stats["pool"]["backend"].startswith("memory")
+
+
+def test_algorithms_lists_the_engine_registry(served):
+    from repro.core.node_record import CID_MODES
+
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        payload = client.algorithms()
+        raw = client.request({"op": "algorithms"})
+    assert payload["algorithms"] == list(ALGORITHM_NAMES)
+    assert payload["cid_modes"] == list(CID_MODES)
+    assert raw == {"ok": True, "algorithms": list(ALGORITHM_NAMES),
+                   "cid_modes": list(CID_MODES)}
+
+
+# ---------------------------------------------------------------------- #
 # Corpus backend over the wire: byte-identical, doc-tagged, filterable
 # ---------------------------------------------------------------------- #
 @pytest.fixture(scope="module")

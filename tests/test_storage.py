@@ -18,7 +18,6 @@ from repro.storage import (
     shred_tree,
 )
 from repro.datasets import PAPER_QUERIES
-from repro.index import InvertedIndex
 from repro.xmltree import DeweyCode
 
 D = DeweyCode.parse

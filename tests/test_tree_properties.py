@@ -9,7 +9,6 @@ from hypothesis import given, settings, strategies as st
 from repro.xmltree import (
     DeweyCode,
     SubtreeSpec,
-    XMLTree,
     parse_string,
     to_xml_string,
     tree_from_spec,

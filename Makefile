@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all coverage bench bench-collect bench-export smoke \
-	loadtest-smoke perf-smoke fuzz-smoke lint
+	loadtest-smoke perf-smoke fuzz-smoke update-smoke lint
 
 test:            ## fast unit suite (tier-1)
 	$(PYTHON) -m pytest -x -q
@@ -63,3 +63,6 @@ perf-smoke:      ## one tiny packed-vs-object query with the parity guard (CI)
 fuzz-smoke:      ## seeded differential corpus fuzz: fast tier-1 + deep sweep
 	$(PYTHON) -m pytest tests/test_corpus_fuzz.py \
 	    benchmarks/test_corpus_fuzz.py -q
+
+update-smoke:    ## segmented lifecycle through the CLI: ingest/update/delete/compact
+	bash scripts/update_smoke.sh

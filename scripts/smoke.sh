@@ -32,6 +32,9 @@ rm -rf "$(dirname "$smoke_db")"
 echo "== differential corpus fuzz (seeded) =="
 make fuzz-smoke
 
+echo "== segmented update lifecycle (ingest/update/delete/compact) =="
+make update-smoke
+
 echo "== end-to-end: tiny cached benchmark run =="
 python -m repro.cli bench --dataset dblp --figure 5 --repetitions 1 --cache
 

@@ -6,7 +6,11 @@ Sub-commands
     Shred XML file(s) (or a built-in dataset) into a sqlite database so later
     queries can run disk-backed without re-parsing the document.  Several
     files build a multi-document corpus database (grow it later with
-    ``--add``).
+    ``--add``, absorb new document versions with ``--update``, tombstone
+    documents with ``--delete``).
+``compact``
+    Fold the delta segments written by ``index --update`` / ``--delete``
+    into the database's base generation.
 ``search``
     Run a keyword query against an XML file, a built-in dataset, an indexed
     sqlite store (``--db file.db --backend sqlite``), or a whole corpus
@@ -47,7 +51,8 @@ from .bench import (
 )
 from .core import SearchEngine
 from .corpus import CorpusSearchEngine
-from .storage import SQLitePostingSource, SQLiteStore
+from .storage import SegmentedStore, source_for_store
+from .storage.errors import DocumentNotFound
 from .datasets import (
     DBLPConfig,
     PAPER_QUERIES,
@@ -112,7 +117,22 @@ def _build_parser() -> argparse.ArgumentParser:
                             "accidentally mixing corpora)")
     index.add_argument("--force", action="store_true",
                        help="replace documents that are already stored")
+    index.add_argument("--update", action="store_true",
+                       help="absorb the document(s) as immutable delta "
+                            "segments (new or changed versions) instead of "
+                            "rewriting base rows; serve them immediately, "
+                            "fold them later with `repro-xks compact`")
+    index.add_argument("--delete", action="append", default=None,
+                       metavar="DOC_ID",
+                       help="tombstone a stored document (repeatable); "
+                            "consulted at read time, removed by `compact`")
     index.set_defaults(handler=_command_index)
+
+    compact = subparsers.add_parser(
+        "compact", help="fold index --update/--delete delta segments into "
+                        "the base generation")
+    compact.add_argument("--db", required=True, help="sqlite database file")
+    compact.set_defaults(handler=_command_compact)
 
     search = subparsers.add_parser("search", help="run one keyword query")
     _add_document_arguments(search)
@@ -308,8 +328,15 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
 # Commands
 # ---------------------------------------------------------------------- #
 def _command_index(arguments: argparse.Namespace) -> int:
+    if arguments.delete:
+        return _command_index_delete(arguments)
     if arguments.documents and arguments.dataset:
         print("give XML file(s) or --dataset, not both", file=sys.stderr)
+        return 2
+    if arguments.update and arguments.force:
+        print("--update and --force are different write paths: --update "
+              "shadows the old version in a delta segment, --force rewrites "
+              "base rows; pick one", file=sys.stderr)
         return 2
     if arguments.name and len(arguments.documents) > 1:
         print("--name only applies to a single document; corpus ingestion "
@@ -338,8 +365,22 @@ def _command_index(arguments: argparse.Namespace) -> int:
               f"(rename the files or index them separately with --name)",
               file=sys.stderr)
         return 2
-    store = SQLiteStore(arguments.db)
+    store = SegmentedStore(arguments.db)
     stored = store.documents()
+    if arguments.update:
+        # Delta-segment path: new and changed versions land as immutable
+        # segments; nothing existing is rewritten, so no guard applies.
+        for name, tree_factory in pending:
+            segment = store.update_document(tree_factory(), name)
+            stats = store.document_stats(name)
+            verb = "updated" if name in stored else "added"
+            print(f"{verb} {name!r} in {arguments.db} (delta segment "
+                  f"{segment}): {stats['nodes']} element rows, "
+                  f"{stats['values']} value rows, {stats['labels']} labels")
+        print(f"{arguments.db} now carries {store.segment_count()} delta "
+              f"segment(s); fold them with `repro-xks compact "
+              f"--db {arguments.db}`")
+        return 0
     foreign = sorted(set(stored) - set(names))
     growing = [name for name in names if name not in stored]
     # --force only governs replacing same-named documents; adding *new*
@@ -370,6 +411,53 @@ def _command_index(arguments: argparse.Namespace) -> int:
         print(f"{arguments.db} now holds {len(documents)} documents "
               f"({', '.join(documents)}); search them together with "
               f"--backend corpus")
+    return 0
+
+
+def _command_index_delete(arguments: argparse.Namespace) -> int:
+    """``index --delete DOC_ID``: tombstone stored document(s)."""
+    if arguments.documents or arguments.dataset:
+        print("--delete removes stored documents; it takes no XML file or "
+              "--dataset", file=sys.stderr)
+        return 2
+    if arguments.update or arguments.force or arguments.add:
+        print("--delete cannot be combined with --update/--force/--add",
+              file=sys.stderr)
+        return 2
+    if not Path(arguments.db).exists():
+        print(f"no such database file: {arguments.db}", file=sys.stderr)
+        return 2
+    store = SegmentedStore(arguments.db)
+    for name in arguments.delete:
+        try:
+            segment = store.delete_document(name)
+        except DocumentNotFound:
+            stored = store.documents()
+            print(f"no document {name!r} in {arguments.db}"
+                  + (f"; stored: {', '.join(stored)}" if stored else ""),
+                  file=sys.stderr)
+            return 1
+        print(f"deleted {name!r} from {arguments.db} (tombstone segment "
+              f"{segment})")
+    remaining = store.documents()
+    print(f"{arguments.db} now holds {len(remaining)} live document(s)"
+          + (f" ({', '.join(remaining)})" if remaining else "")
+          + f"; reclaim space with `repro-xks compact --db {arguments.db}`")
+    return 0
+
+
+def _command_compact(arguments: argparse.Namespace) -> int:
+    """``compact --db``: fold delta segments into the base generation."""
+    if not Path(arguments.db).exists():
+        raise CliError(f"no such database file: {arguments.db} "
+                       f"(create it with `repro-xks index`)")
+    store = SegmentedStore(arguments.db)
+    stats = store.compact()
+    documents = store.documents()
+    print(f"compacted {arguments.db}: folded {stats['folded']} updated "
+          f"document(s), dropped {stats['dropped']} deleted document(s), "
+          f"absorbed {stats['segments']} delta segment(s); "
+          f"{len(documents)} live document(s) remain")
     return 0
 
 
@@ -605,7 +693,7 @@ def _resolve_stored_document(arguments: argparse.Namespace) -> str:
     if not Path(arguments.db).exists():
         raise CliError(f"no such database file: {arguments.db} "
                        f"(create it with `repro-xks index`)")
-    store = SQLiteStore(arguments.db)
+    store = SegmentedStore(arguments.db)
     documents = store.documents()
     store.close()
     if not documents:
@@ -634,7 +722,7 @@ def _resolve_corpus_documents(arguments: argparse.Namespace):
     if not Path(arguments.db).exists():
         raise CliError(f"no such database file: {arguments.db} "
                        f"(create it with `repro-xks index`)")
-    store = SQLiteStore(arguments.db)
+    store = SegmentedStore(arguments.db)
     documents = store.documents()
     store.close()
     if not documents:
@@ -754,16 +842,18 @@ def _build_engine(arguments: argparse.Namespace) -> SearchEngine:
     representation = getattr(arguments, "representation", "packed")
     if backend == "corpus" and arguments.db:
         # Corpus path: serve every document of the database (or the --doc
-        # subset) with doc-id-tagged answers, no XML parse at all.
+        # subset) with doc-id-tagged answers, no XML parse at all.  The
+        # segmented store serves documents living in delta segments
+        # (index --update) exactly like base-generation ones.
         documents = _resolve_corpus_documents(arguments)
-        store = SQLiteStore(arguments.db)
+        store = SegmentedStore(arguments.db)
         return CorpusSearchEngine.from_store(store, documents=documents,
                                              representation=representation)
     if backend == "sqlite" and arguments.db:
         # Disk-backed path: open an indexed database, no XML parse at all.
         document = _resolve_stored_document(arguments)
-        store = SQLiteStore(arguments.db)
-        return SearchEngine(source=SQLitePostingSource(
+        store = SegmentedStore(arguments.db)
+        return SearchEngine(source=source_for_store(
             store, document, representation=representation))
     if arguments.db:
         raise CliError(f"--db needs --backend sqlite or corpus, "

@@ -126,6 +126,26 @@ class ServiceClient:
             message["doc_filter"] = list(doc_filter)
         return self._checked(message)["ranking"]
 
+    def update(self, doc: str, xml: str) -> Dict[str, object]:
+        """Absorb ``xml`` under doc id ``doc`` (add or shadow) via a delta
+        segment; returns ``{"updated", "segment", "documents"}``.
+
+        Needs a corpus backend served from a database (typed ``unsupported``
+        error otherwise).
+        """
+        response = self._checked({"op": "update", "doc": doc, "xml": xml})
+        return {"updated": response["updated"],
+                "segment": response["segment"],
+                "documents": response["documents"]}
+
+    def delete_doc(self, doc: str) -> Dict[str, object]:
+        """Tombstone document ``doc``; returns ``{"deleted", "segment",
+        "documents"}`` (the post-delete live document list)."""
+        response = self._checked({"op": "delete_doc", "doc": doc})
+        return {"deleted": response["deleted"],
+                "segment": response["segment"],
+                "documents": response["documents"]}
+
     def stats(self) -> Dict[str, object]:
         """The server's merged pool/batcher/admission counters."""
         return self._checked({"op": "stats"})["stats"]

@@ -39,6 +39,7 @@ from ..corpus import CorpusSearchEngine, corpus_from_trees
 from ..index import InvertedIndex
 from ..storage import (
     DEFAULT_POSTING_LRU_SIZE,
+    SegmentedStore,
     ShardedPostingSource,
     SQLitePostingSource,
     SQLiteStore,
@@ -82,6 +83,14 @@ class EnginePool:
         self._engines: List[SearchEngine] = []
         self._engines_lock = threading.Lock()
         self._closed = False
+        #: Bumped by :meth:`invalidate_engines`; worker engines built under
+        #: an older generation are discarded and rebuilt on next use.
+        self._engine_version = 0
+        #: Set by the corpus-database builder: the shared
+        #: :class:`~repro.storage.segments.SegmentedStore` live updates are
+        #: written to (``None`` for immutable backends, and for corpus pools
+        #: pinned to a document subset).
+        self.mutable_store: Optional[SegmentedStore] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -154,7 +163,11 @@ class EnginePool:
             return cls(sharded_engine, workers=workers)
         if backend == "corpus":
             if db_path:
-                store = SQLiteStore(db_path)
+                # Segment-aware store: documents absorbed through
+                # `index --update` (or the live `update` wire op) serve
+                # exactly like base-generation ones, and the pool can keep
+                # taking writes without a restart.
+                store = SegmentedStore(db_path)
                 stored = store.documents()
                 if not stored:
                     raise ValueError(
@@ -169,10 +182,15 @@ class EnginePool:
                     raise ValueError(
                         f"no document(s) named {', '.join(unknown)} in "
                         f"{db_path!r}; stored: {', '.join(stored)}")
-                return cls(lambda: CorpusSearchEngine.from_store(
+                pool = cls(lambda: CorpusSearchEngine.from_store(
                     store, documents=served,
                     representation=representation,
                     cache_size=cache_size), workers=workers)
+                if served is None:
+                    # A pinned subset cannot absorb adds/deletes coherently,
+                    # so only serve-everything pools accept live writes.
+                    pool.mutable_store = store
+                return pool
             corpus_trees = dict(trees) if trees else (
                 {document: tree} if tree is not None else None)
             if not corpus_trees:
@@ -194,14 +212,44 @@ class EnginePool:
     # Execution
     # ------------------------------------------------------------------ #
     def _thread_engine(self) -> SearchEngine:
-        """This worker thread's engine, built on first use."""
+        """This worker thread's engine, built on first use.
+
+        An engine built before the last :meth:`invalidate_engines` call is
+        discarded and rebuilt here, so every request dispatched after a
+        mutation commits sees the post-mutation corpus.
+        """
         engine = getattr(self._local, "engine", None)
-        if engine is None:
+        version = getattr(self._local, "engine_version", -1)
+        if engine is None or version != self._engine_version:
             engine = self._factory()
             self._local.engine = engine
+            self._local.engine_version = self._engine_version
             with self._engines_lock:
                 self._engines.append(engine)
         return engine
+
+    def invalidate_engines(self) -> None:
+        """Discard every worker's engine; they rebuild lazily on next use.
+
+        Called after a live mutation (``update`` / ``delete_doc``) commits:
+        worker engines are snapshots over the shared store, so absorbing a
+        write means rebuilding them — in-flight requests finish on their old
+        snapshot, later ones see the new state.
+        """
+        with self._engines_lock:
+            self._engine_version += 1
+            self._engines.clear()
+
+    def submit_direct(self, fn: Callable[..., object],
+                      *args: object) -> Future:
+        """Run ``fn(*args)`` on a worker thread, without an engine argument.
+
+        For store-level mutations, which need the executor (so the event
+        loop never blocks on sqlite writes) but not a search engine.
+        """
+        if self._closed:
+            raise RuntimeError("the engine pool is shut down")
+        return self._executor.submit(fn, *args)
 
     def submit(self, fn: Callable[..., object], *args: object,
                **kwargs: object) -> Future:

@@ -24,11 +24,23 @@ Supported operations::
                       "doc_filter": [...]}
     {"op": "compare", "query": ..., "cid_mode": ...}
     {"op": "rank",    "query": ..., "algorithm": ..., "cid_mode": ...}
+    {"op": "update",     "doc": ..., "xml": ...}
+    {"op": "delete_doc", "doc": ...}
 
 Every request may carry an ``id``, echoed verbatim in the response.
 ``doc_filter`` (a list of doc ids) restricts a search to a subset of a corpus
 backend's documents; on non-corpus backends it answers with the typed
 ``unsupported`` error.
+
+``update`` and ``delete_doc`` are the live-mutation operations: the first
+shreds the ``xml`` payload into a delta segment under the given doc id
+(adding the document if it is new, shadowing the stored version otherwise),
+the second writes a tombstone.  Both need a corpus backend served from a
+database (``--backend corpus --db ...``) without a pinned document subset —
+anything else answers ``unsupported``.  After a mutation commits, the pool's
+worker engines are invalidated, so every later request sees the new corpus
+without a restart; responses carry the delta segment id and the live
+document list.
 """
 
 from __future__ import annotations
@@ -43,8 +55,9 @@ from ..core import ALGORITHM_NAMES, Query, SearchEngine
 from ..core.errors import EmptyQueryError, SearchError
 from ..corpus import CorpusSearchEngine
 from ..core.node_record import CID_MODES
+from ..storage import SegmentedStore
 from ..storage.errors import DocumentNotFound
-from ..xmltree import XMLTree
+from ..xmltree import ParseError, XMLTree, parse_string
 from .admission import DEFAULT_MAX_INFLIGHT, AdmissionController
 from .batcher import (
     DEFAULT_MAX_BATCH_SIZE,
@@ -162,6 +175,10 @@ class SearchService:
             return await self._compare(request)
         if op == "rank":
             return await self._rank(request)
+        if op == "update":
+            return await self._update(request)
+        if op == "delete_doc":
+            return await self._delete_doc(request)
         raise ServiceError(ERROR_BAD_REQUEST, f"unknown op {op!r}")
 
     # ------------------------------------------------------------------ #
@@ -289,6 +306,84 @@ class SearchService:
                 # answer with the typed "unsupported" error instead of 500s.
                 raise ServiceError(ERROR_UNSUPPORTED, str(error)) from None
         return ok_response(ranking=ranking_payload(ranked))
+
+    # ------------------------------------------------------------------ #
+    # Live mutations
+    # ------------------------------------------------------------------ #
+    def _mutable_store(self) -> "SegmentedStore":
+        """The pool's writable store, or the typed ``unsupported`` error."""
+        store = self.pool.mutable_store
+        if store is None:
+            raise ServiceError(
+                ERROR_UNSUPPORTED,
+                "live updates need a corpus backend served from a database "
+                "without a pinned document subset (serve with "
+                "--backend corpus --db ...)")
+        return store
+
+    @staticmethod
+    def _required_doc(request: Dict[str, object]) -> str:
+        doc = request.get("doc")
+        if not isinstance(doc, str) or not doc.strip():
+            raise ServiceError(ERROR_BAD_REQUEST,
+                               "a non-empty string 'doc' is required")
+        return doc
+
+    async def _update(self, request: Dict[str, object]) -> Dict[str, object]:
+        store = self._mutable_store()
+        doc = self._required_doc(request)
+        xml = request.get("xml")
+        if not isinstance(xml, str) or not xml.strip():
+            raise ServiceError(ERROR_BAD_REQUEST,
+                               "a non-empty string 'xml' is required")
+        try:
+            tree = parse_string(xml, doc)
+        except ParseError as error:
+            raise ServiceError(ERROR_BAD_REQUEST,
+                               f"unparsable xml: {error}") from None
+
+        def mutate() -> int:
+            segment = store.update_document(tree, doc)
+            # Worker engines are snapshots; rebuild them so every request
+            # dispatched from here on sees the post-update corpus.
+            self.pool.invalidate_engines()
+            return segment
+
+        with self.admission:
+            segment = await self.admission.run(asyncio.wrap_future(
+                self.pool.submit_direct(mutate)))
+        return ok_response(updated=doc, segment=segment,
+                           documents=store.documents())
+
+    async def _delete_doc(self,
+                          request: Dict[str, object]) -> Dict[str, object]:
+        store = self._mutable_store()
+        doc = self._required_doc(request)
+
+        def mutate() -> int:
+            live = store.documents()
+            if doc not in live:
+                raise ServiceError(
+                    ERROR_BAD_REQUEST,
+                    f"no document named {doc!r}; stored: {', '.join(live)}")
+            if len(live) == 1:
+                raise ServiceError(
+                    ERROR_BAD_REQUEST,
+                    f"refusing to delete {doc!r}: it is the last live "
+                    f"document (a corpus backend cannot serve an empty "
+                    f"database)")
+            try:
+                segment = store.delete_document(doc)
+            except DocumentNotFound as error:  # raced with another delete
+                raise ServiceError(ERROR_BAD_REQUEST, str(error)) from None
+            self.pool.invalidate_engines()
+            return segment
+
+        with self.admission:
+            segment = await self.admission.run(asyncio.wrap_future(
+                self.pool.submit_direct(mutate)))
+        return ok_response(deleted=doc, segment=segment,
+                           documents=store.documents())
 
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection

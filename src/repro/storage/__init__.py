@@ -12,6 +12,13 @@ from .schema import (
 from .shredder import ShreddedDocument, packed_posting_rows, shred_tree
 from .memory_backend import MemoryStore
 from .sqlite_backend import SQLiteStore
+from .segments import (
+    BASE_GENERATION,
+    SEGMENT_KIND_DOC,
+    SEGMENT_KIND_TOMBSTONE,
+    SegmentedPostingSource,
+    SegmentedStore,
+)
 from .posting_source import (
     DEFAULT_POSTING_LRU_SIZE,
     ShardedPostingSource,
@@ -39,6 +46,11 @@ __all__ = [
     "shred_tree",
     "MemoryStore",
     "SQLiteStore",
+    "SegmentedStore",
+    "SegmentedPostingSource",
+    "BASE_GENERATION",
+    "SEGMENT_KIND_DOC",
+    "SEGMENT_KIND_TOMBSTONE",
     "StorePostingSource",
     "SQLitePostingSource",
     "ShardedPostingSource",

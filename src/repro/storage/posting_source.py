@@ -642,6 +642,11 @@ def source_for_store(store, document: str,
                      lru_size: int = DEFAULT_POSTING_LRU_SIZE,
                      representation: str = "packed") -> StorePostingSource:
     """The most specific posting source for a store backend."""
+    # Local import: segments.py builds on this module's classes.
+    from .segments import SegmentedPostingSource, SegmentedStore
+    if isinstance(store, SegmentedStore):
+        return SegmentedPostingSource(store, document, lru_size,
+                                      representation=representation)
     if isinstance(store, SQLiteStore):
         return SQLitePostingSource(store, document, lru_size,
                                    representation=representation)

@@ -104,6 +104,74 @@ CREATE_TABLES_SQL: Tuple[str, ...] = (
     "CREATE INDEX IF NOT EXISTS idx_value_keyword ON value (document, keyword)",
     "CREATE INDEX IF NOT EXISTS idx_value_dewey ON value (document, dewey)",
     "CREATE INDEX IF NOT EXISTS idx_element_label ON element (document, label)",
+    # ------------------------------------------------------------------ #
+    # Segmented incremental updates (repro.storage.segments).  The four
+    # tables above are the **base generation**; every update/delete lands in
+    # an immutable delta segment instead of rewriting base rows.  ``segment``
+    # is the catalog: one row per (segment, document) event — kind ``doc``
+    # carries a full replacement row set in the ``segment_*`` tables below,
+    # kind ``tombstone`` marks the document deleted as of that segment.  A
+    # document's live version is decided by its highest-numbered event;
+    # ``compact()`` folds live versions into the base tables and clears all
+    # five segment tables.  The DDL is idempotent, so any database opened by
+    # a segment-aware store is upgraded in place (legacy files simply start
+    # with empty segment tables).
+    """
+    CREATE TABLE IF NOT EXISTS segment (
+        segment_id INTEGER NOT NULL,
+        document   TEXT NOT NULL,
+        kind       TEXT NOT NULL,
+        PRIMARY KEY (segment_id, document)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS segment_label (
+        segment_id INTEGER NOT NULL,
+        document   TEXT NOT NULL,
+        label      TEXT NOT NULL,
+        id         INTEGER NOT NULL,
+        PRIMARY KEY (segment_id, document, label)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS segment_element (
+        segment_id            INTEGER NOT NULL,
+        document              TEXT NOT NULL,
+        label                 TEXT NOT NULL,
+        dewey                 TEXT NOT NULL,
+        level                 INTEGER NOT NULL,
+        label_number_sequence TEXT NOT NULL,
+        content_feature_min   TEXT NOT NULL,
+        content_feature_max   TEXT NOT NULL,
+        PRIMARY KEY (segment_id, document, dewey)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS segment_value (
+        segment_id INTEGER NOT NULL,
+        document   TEXT NOT NULL,
+        label      TEXT NOT NULL,
+        dewey      TEXT NOT NULL,
+        attribute  TEXT NOT NULL,
+        keyword    TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS segment_posting (
+        segment_id  INTEGER NOT NULL,
+        document    TEXT NOT NULL,
+        keyword     TEXT NOT NULL,
+        cardinality INTEGER NOT NULL,
+        blob        BLOB NOT NULL,
+        PRIMARY KEY (segment_id, document, keyword)
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_segment_document "
+    "ON segment (document, segment_id)",
+    "CREATE INDEX IF NOT EXISTS idx_segment_value_keyword "
+    "ON segment_value (segment_id, document, keyword)",
+    "CREATE INDEX IF NOT EXISTS idx_segment_value_dewey "
+    "ON segment_value (segment_id, document, dewey)",
 )
 
 #: Dewey codes are stored as dotted strings; padding each component keeps the

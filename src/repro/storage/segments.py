@@ -1,0 +1,557 @@
+"""Segmented incremental updates: add/update/delete documents without re-shredding.
+
+A :class:`SegmentedStore` is a :class:`~repro.storage.sqlite_backend.SQLiteStore`
+whose four classic tables form the **base generation**, plus a Lucene-style
+sequence of immutable **delta segments**:
+
+* :meth:`SegmentedStore.update_document` shreds the new document version once
+  and writes its complete row set — including the per-keyword packed posting
+  blobs of :func:`~repro.storage.shredder.packed_posting_rows` — into the
+  ``segment_*`` tables under a fresh, monotonically increasing segment id.
+  No base row is rewritten; the previous version is merely *shadowed*.
+* :meth:`SegmentedStore.delete_document` appends a **tombstone** event: a
+  ``segment`` catalog row with no row payload.  Tombstones are consulted at
+  read time; nothing is physically removed until compaction.
+* Reads resolve a document to its **live location**: the highest-numbered
+  segment event wins, and a document with no events lives in the base
+  generation.  Because the corpus layer is doc-partitioned (the unit of
+  update is a whole document), LCA semantics never mix generations — a
+  keyword read merges the packed cursors of the document's live generation(s)
+  with :func:`~repro.index.packed.merge_packed`; with whole-document
+  replacement exactly one cursor is live, and the merge keeps the read path
+  correct should finer-grained deltas ever land.
+* :meth:`SegmentedStore.compact` folds every document's live version into the
+  base tables and clears the segment tables, leaving the database
+  byte-for-byte equivalent (as observed through every query method) to one
+  re-shredded from scratch at the same logical state.
+
+:class:`SegmentedPostingSource` puts a segmented document behind the standard
+:class:`~repro.index.source.PostingSource` seam, so it slots into
+:class:`~repro.corpus.source.CorpusPostingSource` /
+:func:`~repro.corpus.source.corpus_from_store` unchanged.  It inherits the
+batched ``IN (...)`` machinery of
+:class:`~repro.storage.posting_source.SQLitePostingSource` and reroutes the
+raw-SQL paths to the segment tables when the document lives in a delta
+segment.  Base-resident documents keep the full legacy story: a database file
+written before the ``posting`` table existed still answers through the
+per-row decode fallback — absorbing an update must never turn the untouched
+documents of a legacy file into silent empty posting lists.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..index.packed import PackedDeweyList, merge_packed
+from ..text import DEFAULT_TOKENIZER, Tokenizer
+from ..xmltree import DeweyCode, XMLTree
+from .errors import DocumentAlreadyStored, DocumentNotFound
+from .posting_source import (
+    DEFAULT_NODE_LRU_SIZE,
+    DEFAULT_POSTING_LRU_SIZE,
+    SQLitePostingSource,
+    _chunked,
+)
+from .schema import decode_dewey, encode_dewey
+from .shredder import ShreddedDocument, packed_posting_rows, shred_tree
+from .sqlite_backend import SQLiteStore
+
+#: Segment event kinds recorded in the ``segment`` catalog table.
+SEGMENT_KIND_DOC = "doc"
+SEGMENT_KIND_TOMBSTONE = "tombstone"
+
+#: The pseudo-location of documents served from the classic base tables.
+BASE_GENERATION = 0
+
+#: The base tables and their matching delta-segment tables.
+_BASE_TABLES = ("label", "element", "value", "posting")
+_SEGMENT_TABLES = ("segment", "segment_label", "segment_element",
+                   "segment_value", "segment_posting")
+
+
+class SegmentedStore(SQLiteStore):
+    """A sqlite store that absorbs document updates as immutable segments.
+
+    All :class:`SQLiteStore` query methods keep their exact semantics; they
+    are rerouted per document to the live generation (base tables or the
+    newest ``doc`` segment), with tombstoned documents answering
+    :class:`~repro.storage.errors.DocumentNotFound` everywhere.  Writes
+    (base ingestion, updates, deletes, compaction) serialize on one
+    store-level lock; readers see each committed mutation atomically.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:",
+                 tokenizer: Tokenizer = DEFAULT_TOKENIZER):
+        super().__init__(path, tokenizer)
+        self._write_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Location resolution
+    # ------------------------------------------------------------------ #
+    def location_of(self, name: str) -> Optional[int]:
+        """Where ``name`` currently lives.
+
+        ``None`` — absent (never stored, or tombstoned);
+        :data:`BASE_GENERATION` — the classic base tables; a positive
+        integer — that delta segment.  The highest-numbered event decides.
+        """
+        row = self._connection.execute(
+            "SELECT segment_id, kind FROM segment WHERE document = ? "
+            "ORDER BY segment_id DESC LIMIT 1", (name,)).fetchone()
+        if row is not None:
+            segment_id, kind = row
+            return None if kind == SEGMENT_KIND_TOMBSTONE else int(segment_id)
+        in_base = self._scalar(
+            "SELECT COUNT(*) FROM element WHERE document = ?", name)
+        return BASE_GENERATION if in_base else None
+
+    def _live_location(self, name: str) -> int:
+        location = self.location_of(name)
+        if location is None:
+            raise DocumentNotFound(f"no stored document named {name!r}")
+        return location
+
+    def _require(self, name: str) -> None:
+        if self.location_of(name) is None:
+            raise DocumentNotFound(f"no stored document named {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Segment introspection
+    # ------------------------------------------------------------------ #
+    def segment_events(self) -> List[Tuple[int, str, str]]:
+        """Every ``(segment_id, document, kind)`` catalog row, in order."""
+        rows = self._connection.execute(
+            "SELECT segment_id, document, kind FROM segment "
+            "ORDER BY segment_id, document").fetchall()
+        return [(int(seg), doc, kind) for seg, doc, kind in rows]
+
+    def segment_count(self) -> int:
+        """Number of delta segments currently on disk (0 after compact)."""
+        return self._scalar("SELECT COUNT(DISTINCT segment_id) FROM segment")
+
+    def tombstoned_documents(self) -> List[str]:
+        """Documents whose latest event is a tombstone (dead until re-added)."""
+        return sorted(doc for doc, (_, kind) in self._latest_events().items()
+                      if kind == SEGMENT_KIND_TOMBSTONE)
+
+    def _latest_events(self) -> Dict[str, Tuple[int, str]]:
+        latest: Dict[str, Tuple[int, str]] = {}
+        for seg, doc, kind in self.segment_events():
+            if doc not in latest or seg > latest[doc][0]:
+                latest[doc] = (seg, kind)
+        return latest
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
+    def update_document(self, tree: XMLTree, name: str = "") -> int:
+        """Absorb a new version of one document as a fresh delta segment.
+
+        Works for brand-new documents too (an add is an update with no
+        shadowed predecessor).  Returns the new segment id.
+        """
+        document = name or tree.name or "document"
+        shredded = shred_tree(tree, document, self.tokenizer)
+        return self.update_shredded(shredded)
+
+    def update_shredded(self, shredded: ShreddedDocument) -> int:
+        """Write one already-shredded document version as a delta segment."""
+        with self._write_lock:
+            connection = self._connection
+            try:
+                segment_id = self._next_segment_id()
+                cursor = connection.cursor()
+                cursor.execute(
+                    "INSERT INTO segment (segment_id, document, kind) "
+                    "VALUES (?, ?, ?)",
+                    (segment_id, shredded.name, SEGMENT_KIND_DOC))
+                cursor.executemany(
+                    "INSERT INTO segment_label (segment_id, document, label, "
+                    "id) VALUES (?, ?, ?, ?)",
+                    [(segment_id, shredded.name, row.label, row.label_id)
+                     for row in shredded.labels])
+                cursor.executemany(
+                    "INSERT INTO segment_element (segment_id, document, "
+                    "label, dewey, level, label_number_sequence, "
+                    "content_feature_min, content_feature_max) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    [(segment_id, shredded.name, row.label, row.dewey,
+                      row.level, row.label_number_sequence,
+                      row.content_feature_min, row.content_feature_max)
+                     for row in shredded.elements])
+                cursor.executemany(
+                    "INSERT INTO segment_value (segment_id, document, label, "
+                    "dewey, attribute, keyword) VALUES (?, ?, ?, ?, ?, ?)",
+                    [(segment_id, shredded.name, row.label, row.dewey,
+                      row.attribute, row.keyword)
+                     for row in shredded.values])
+                cursor.executemany(
+                    "INSERT INTO segment_posting (segment_id, document, "
+                    "keyword, cardinality, blob) VALUES (?, ?, ?, ?, ?)",
+                    [(segment_id, shredded.name, keyword, cardinality, blob)
+                     for keyword, cardinality, blob
+                     in packed_posting_rows(shredded)])
+                connection.commit()
+            except BaseException:
+                connection.rollback()
+                raise
+            return segment_id
+
+    def delete_document(self, name: str) -> int:
+        """Tombstone one live document; returns the tombstone's segment id."""
+        with self._write_lock:
+            self._require(name)
+            connection = self._connection
+            try:
+                segment_id = self._next_segment_id()
+                connection.execute(
+                    "INSERT INTO segment (segment_id, document, kind) "
+                    "VALUES (?, ?, ?)",
+                    (segment_id, name, SEGMENT_KIND_TOMBSTONE))
+                connection.commit()
+            except BaseException:
+                connection.rollback()
+                raise
+            return segment_id
+
+    def compact(self) -> Dict[str, int]:
+        """Fold every live delta version into the base generation.
+
+        Shadowed base rows and tombstoned documents are physically removed,
+        the surviving segment row sets are copied into the base tables, and
+        all segment tables are cleared.  Afterwards the store answers every
+        query exactly as a freshly re-shredded one would.  Returns counters:
+        ``folded`` documents materialized from segments, ``dropped``
+        tombstoned documents removed, ``segments`` delta segments absorbed.
+        """
+        with self._write_lock:
+            connection = self._connection
+            try:
+                latest = self._latest_events()
+                segments = self.segment_count()
+                folded = dropped = 0
+                cursor = connection.cursor()
+                for document in sorted(latest):
+                    segment_id, kind = latest[document]
+                    for table in _BASE_TABLES:
+                        cursor.execute(
+                            f"DELETE FROM {table} WHERE document = ?",
+                            (document,))
+                    if kind == SEGMENT_KIND_DOC:
+                        cursor.execute(
+                            "INSERT INTO label (document, label, id) "
+                            "SELECT document, label, id FROM segment_label "
+                            "WHERE segment_id = ? AND document = ?",
+                            (segment_id, document))
+                        cursor.execute(
+                            "INSERT INTO element (document, label, dewey, "
+                            "level, label_number_sequence, "
+                            "content_feature_min, content_feature_max) "
+                            "SELECT document, label, dewey, level, "
+                            "label_number_sequence, content_feature_min, "
+                            "content_feature_max FROM segment_element "
+                            "WHERE segment_id = ? AND document = ?",
+                            (segment_id, document))
+                        cursor.execute(
+                            "INSERT INTO value (document, label, dewey, "
+                            "attribute, keyword) "
+                            "SELECT document, label, dewey, attribute, "
+                            "keyword FROM segment_value "
+                            "WHERE segment_id = ? AND document = ?",
+                            (segment_id, document))
+                        cursor.execute(
+                            "INSERT INTO posting (document, keyword, "
+                            "cardinality, blob) "
+                            "SELECT document, keyword, cardinality, blob "
+                            "FROM segment_posting "
+                            "WHERE segment_id = ? AND document = ?",
+                            (segment_id, document))
+                        folded += 1
+                    else:
+                        dropped += 1
+                for table in _SEGMENT_TABLES:
+                    cursor.execute(f"DELETE FROM {table}")
+                connection.commit()
+            except BaseException:
+                connection.rollback()
+                raise
+            return {"folded": folded, "dropped": dropped,
+                    "segments": segments}
+
+    def store_shredded(self, shredded: ShreddedDocument) -> ShreddedDocument:
+        """Base-generation ingestion, aware of shadowed/tombstoned leftovers.
+
+        A dead document name (deleted, or replaced by a newer segment that
+        was itself deleted) may still own stale base or segment rows; they
+        are purged first so re-adding a deleted document behaves exactly like
+        storing it into a fresh database.
+        """
+        with self._write_lock:
+            if self.location_of(shredded.name) is not None:
+                raise DocumentAlreadyStored(
+                    f"document {shredded.name!r} already stored")
+            connection = self._connection
+            try:
+                self._purge(shredded.name)
+            except BaseException:
+                connection.rollback()
+                raise
+            return super().store_shredded(shredded)
+
+    def drop_document(self, name: str) -> None:
+        """Physically remove every trace of one live document (all tables)."""
+        with self._write_lock:
+            self._require(name)
+            connection = self._connection
+            try:
+                self._purge(name)
+                connection.commit()
+            except BaseException:
+                connection.rollback()
+                raise
+
+    def _purge(self, name: str) -> None:
+        cursor = self._connection.cursor()
+        for table in _BASE_TABLES + _SEGMENT_TABLES:
+            cursor.execute(f"DELETE FROM {table} WHERE document = ?", (name,))
+
+    def _next_segment_id(self) -> int:
+        return self._scalar(
+            "SELECT COALESCE(MAX(segment_id), 0) FROM segment") + 1
+
+    # ------------------------------------------------------------------ #
+    # Queries (rerouted to the live generation)
+    # ------------------------------------------------------------------ #
+    def documents(self) -> List[str]:
+        """Names of the **live** documents (tombstoned ones are gone)."""
+        live = set(super().documents())
+        for document, (_, kind) in self._latest_events().items():
+            if kind == SEGMENT_KIND_DOC:
+                live.add(document)
+            else:
+                live.discard(document)
+        return sorted(live)
+
+    def document_stats(self, name: str) -> Dict[str, int]:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().document_stats(name)
+        nodes = self._scalar(
+            "SELECT COUNT(*) FROM segment_element "
+            "WHERE segment_id = ? AND document = ?", location, name)
+        values = self._scalar(
+            "SELECT COUNT(*) FROM segment_value "
+            "WHERE segment_id = ? AND document = ?", location, name)
+        labels = self._scalar(
+            "SELECT COUNT(*) FROM segment_label "
+            "WHERE segment_id = ? AND document = ?", location, name)
+        return {"nodes": nodes, "values": values, "labels": labels}
+
+    def keyword_deweys(self, name: str, keyword: str) -> List[DeweyCode]:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().keyword_deweys(name, keyword)
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        cursor = self._connection.execute(
+            "SELECT DISTINCT dewey FROM segment_value "
+            "WHERE segment_id = ? AND document = ? AND keyword = ? "
+            "ORDER BY dewey",
+            (location, name, normalized))
+        return [DeweyCode(decode_dewey(text)) for (text,) in cursor]
+
+    def has_packed_postings(self, name: str) -> bool:
+        location = self.location_of(name)
+        if location is None or location == BASE_GENERATION:
+            # Base documents keep the legacy answer: files written before
+            # the ``posting`` table existed say False here and fall back to
+            # per-row decoding — segments never mask that.
+            return super().has_packed_postings(name)
+        return bool(self._scalar(
+            "SELECT COUNT(*) FROM segment_posting "
+            "WHERE segment_id = ? AND document = ?", location, name))
+
+    def keyword_packed(self, name: str,
+                       keyword: str) -> Optional[PackedDeweyList]:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().keyword_packed(name, keyword)
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        cursors = [PackedDeweyList.from_blob(blob) for (blob,) in
+                   self._connection.execute(
+                       "SELECT blob FROM segment_posting WHERE segment_id = ? "
+                       "AND document = ? AND keyword = ?",
+                       (location, name, normalized))]
+        if not cursors:
+            return None
+        # Whole-document replacement means one live cursor per keyword; the
+        # general merge keeps the read correct if a document's postings ever
+        # span several live segments.
+        return cursors[0] if len(cursors) == 1 else merge_packed(cursors)
+
+    def keyword_frequency(self, name: str, keyword: str) -> int:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().keyword_frequency(name, keyword)
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        return self._scalar(
+            "SELECT COUNT(DISTINCT dewey) FROM segment_value "
+            "WHERE segment_id = ? AND document = ? AND keyword = ?",
+            location, name, normalized)
+
+    def vocabulary(self, name: str) -> List[str]:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().vocabulary(name)
+        cursor = self._connection.execute(
+            "SELECT DISTINCT keyword FROM segment_value "
+            "WHERE segment_id = ? AND document = ? ORDER BY keyword",
+            (location, name))
+        return [keyword for (keyword,) in cursor]
+
+    def node_words(self, name: str, dewey: DeweyCode) -> frozenset:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().node_words(name, dewey)
+        cursor = self._connection.execute(
+            "SELECT DISTINCT keyword FROM segment_value "
+            "WHERE segment_id = ? AND document = ? AND dewey = ?",
+            (location, name, encode_dewey(dewey.components)))
+        return frozenset(keyword for (keyword,) in cursor)
+
+    def label_of(self, name: str, dewey: DeweyCode) -> Optional[str]:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().label_of(name, dewey)
+        row = self._connection.execute(
+            "SELECT label FROM segment_element "
+            "WHERE segment_id = ? AND document = ? AND dewey = ?",
+            (location, name, encode_dewey(dewey.components))).fetchone()
+        return row[0] if row else None
+
+    def labels(self, name: str) -> List[str]:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().labels(name)
+        rows = self._connection.execute(
+            "SELECT label FROM segment_label "
+            "WHERE segment_id = ? AND document = ? ORDER BY label",
+            (location, name)).fetchall()
+        return [row[0] for row in rows]
+
+    def label_number_sequence(self, name: str,
+                              dewey: DeweyCode) -> Optional[str]:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().label_number_sequence(name, dewey)
+        row = self._connection.execute(
+            "SELECT label_number_sequence FROM segment_element "
+            "WHERE segment_id = ? AND document = ? AND dewey = ?",
+            (location, name, encode_dewey(dewey.components))).fetchone()
+        return row[0] if row else None
+
+
+class SegmentedPostingSource(SQLitePostingSource):
+    """Posting source over one live document of a :class:`SegmentedStore`.
+
+    A snapshot view: the document's live location is resolved once, on first
+    access, so one source serves one generation consistently.  After a
+    mutation, build a fresh source (the corpus/service layers rebuild their
+    engines, and every cache key carries the generation through
+    :attr:`source_id`).
+    """
+
+    def __init__(self, store: SegmentedStore, document: str,
+                 lru_size: int = DEFAULT_POSTING_LRU_SIZE,
+                 node_lru_size: int = DEFAULT_NODE_LRU_SIZE,
+                 representation: str = "packed"):
+        if not isinstance(store, SegmentedStore):
+            raise TypeError(f"SegmentedPostingSource needs a SegmentedStore, "
+                            f"got {type(store).__name__}")
+        super().__init__(store, document, lru_size, node_lru_size,
+                         representation)
+        self._location: Optional[int] = None
+
+    def _resolve_location(self) -> int:
+        """The generation this source serves (pinned at first resolution)."""
+        if self._location is None:
+            store: SegmentedStore = self.store
+            self._location = store._live_location(self.document)
+        return self._location
+
+    @property
+    def source_id(self) -> str:
+        """Identity including the live generation, so caches never go stale."""
+        return (f"segmented:{self.store.path}#{self.document}"
+                f"@g{self._resolve_location()}")
+
+    def _fetch_blob_rows(self, missing: Sequence[str]
+                         ) -> Dict[str, PackedDeweyList]:
+        location = self._resolve_location()
+        if location == BASE_GENERATION:
+            return super()._fetch_blob_rows(missing)
+        fetched: Dict[str, PackedDeweyList] = {}
+        for chunk in _chunked(missing):
+            placeholders = ",".join("?" for _ in chunk)
+            cursor = self.store._connection.execute(
+                f"SELECT keyword, blob FROM segment_posting "
+                f"WHERE segment_id = ? AND document = ? "
+                f"AND keyword IN ({placeholders})",
+                (location, self.document, *chunk))
+            for keyword, blob in cursor:
+                fetched[keyword] = PackedDeweyList.from_blob(blob)
+        return fetched
+
+    def _fetch_value_rows(self, missing: Sequence[str]
+                          ) -> Dict[str, List[Tuple[int, ...]]]:
+        location = self._resolve_location()
+        if location == BASE_GENERATION:
+            return super()._fetch_value_rows(missing)
+        rows: Dict[str, List[Tuple[int, ...]]] = {}
+        for chunk in _chunked(missing):
+            placeholders = ",".join("?" for _ in chunk)
+            cursor = self.store._connection.execute(
+                f"SELECT DISTINCT keyword, dewey FROM segment_value "
+                f"WHERE segment_id = ? AND document = ? "
+                f"AND keyword IN ({placeholders}) ORDER BY keyword, dewey",
+                (location, self.document, *chunk))
+            for keyword, dewey_text in cursor:
+                rows.setdefault(keyword, []).append(decode_dewey(dewey_text))
+        return rows
+
+    def prefetch_nodes(self, nodes: Iterable[DeweyCode],
+                       keyword_nodes: Iterable[DeweyCode]) -> None:
+        location = self._resolve_location()
+        if location == BASE_GENERATION:
+            super().prefetch_nodes(nodes, keyword_nodes)
+            return
+        self._check_document()
+        missing_labels = [dewey for dewey in nodes if dewey not in self._labels]
+        for chunk in _chunked(missing_labels):
+            encoded = {encode_dewey(dewey.components): dewey for dewey in chunk}
+            placeholders = ",".join("?" for _ in encoded)
+            cursor = self.store._connection.execute(
+                f"SELECT dewey, label FROM segment_element "
+                f"WHERE segment_id = ? AND document = ? "
+                f"AND dewey IN ({placeholders})",
+                (location, self.document, *encoded))
+            found = {dewey_text: label for dewey_text, label in cursor}
+            for dewey_text, dewey in encoded.items():
+                self._cache_node(self._labels, dewey, found.get(dewey_text))
+        missing_words = [dewey for dewey in keyword_nodes
+                         if dewey not in self._words]
+        for chunk in _chunked(missing_words):
+            encoded = {encode_dewey(dewey.components): dewey for dewey in chunk}
+            placeholders = ",".join("?" for _ in encoded)
+            cursor = self.store._connection.execute(
+                f"SELECT DISTINCT dewey, keyword FROM segment_value "
+                f"WHERE segment_id = ? AND document = ? "
+                f"AND dewey IN ({placeholders})",
+                (location, self.document, *encoded))
+            words: Dict[str, set] = {}
+            for dewey_text, keyword in cursor:
+                words.setdefault(dewey_text, set()).add(keyword)
+            for dewey_text, dewey in encoded.items():
+                self._cache_node(self._words, dewey,
+                                 frozenset(words.get(dewey_text, ())))

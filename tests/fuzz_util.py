@@ -8,6 +8,12 @@ reference path in the repo).  These helpers generate seeded random corpora
 and queries, build corpus engines across the backend matrix and perform the
 full-fidelity comparison.
 
+A second, *mutation-sequence* contract rides on top of it: a segmented
+corpus that absorbed any seeded sequence of add / update / delete / compact
+mutations must answer byte-identically (canonical wire payloads) to a corpus
+re-shredded from scratch out of the same live documents — see
+:func:`run_mutation_sequence` and :func:`assert_segmented_matches_fresh`.
+
 Used by the fast bounded tier-1 suite (``tests/test_corpus_fuzz.py``) and
 the deep opt-in sweep (``benchmarks/test_corpus_fuzz.py``); kept
 self-contained (no conftest imports) so both suites can load it.
@@ -16,10 +22,17 @@ self-contained (no conftest imports) so both suites can load it.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Callable, Dict, List
 
-from repro.core import SearchEngine
-from repro.corpus import CorpusSearchEngine
+from repro.core import ALGORITHM_NAMES, SearchEngine
+from repro.corpus import CorpusSearchEngine, corpus_from_store
+from repro.service.protocol import (
+    comparison_payload,
+    encode_message,
+    ranking_payload,
+    result_payload,
+)
+from repro.storage import SegmentedStore
 from repro.xmltree import SubtreeSpec, XMLTree, tree_from_spec
 
 #: Small label/word pools keep keyword collisions (and therefore non-trivial
@@ -121,3 +134,109 @@ def assert_corpus_equals_union(corpus_result, references, query: str,
     flat = [fragment for doc_id in sorted(expected)
             for fragment in expected[doc_id].fragments]
     assert list(corpus_result.fragments) == flat, (query, algorithm, *context)
+
+
+# ---------------------------------------------------------------------- #
+# Mutation-sequence fuzz (segmented incremental updates)
+# ---------------------------------------------------------------------- #
+# The update-oracle convention: a corpus that absorbed ANY sequence of
+# add / update / delete / compact mutations must answer **byte-identically**
+# (canonical wire payloads of search, compare and rank) to a corpus
+# re-shredded from scratch out of the same live documents.  The driver below
+# mirrors every mutation it applies to a ``SegmentedStore`` into a plain
+# ``{doc_id: tree}`` dict — that dict *is* the oracle state, and a fresh
+# in-memory corpus engine built from it is the reference answer.
+
+def wire_lines(engine: CorpusSearchEngine,
+               queries: List[str]) -> List[bytes]:
+    """Canonical wire bytes of every (query × algorithm) search plus the
+    compare and rank answers — the byte-identity fingerprint of an engine."""
+    lines = [
+        encode_message({"query": query, "algorithm": algorithm,
+                        "result": result_payload(
+                            engine.search(query, algorithm))})
+        for query in queries for algorithm in ALGORITHM_NAMES
+    ]
+    for query in queries:
+        lines.append(encode_message(
+            {"query": query,
+             "comparison": comparison_payload(engine.compare(query))}))
+        lines.append(encode_message(
+            {"query": query,
+             "ranking": ranking_payload(engine.search_ranked(query))}))
+    return lines
+
+
+def segmented_engine(store: SegmentedStore, state: Dict[str, XMLTree],
+                     representation: str) -> CorpusSearchEngine:
+    """A corpus engine over the segmented store's current live documents.
+
+    ``state`` supplies the resident trees ranking needs; its keys must be
+    exactly the store's live document set.
+    """
+    source = corpus_from_store(store, representation=representation)
+    return CorpusSearchEngine(source, trees=state)
+
+
+def fresh_oracle(state: Dict[str, XMLTree],
+                 representation: str) -> CorpusSearchEngine:
+    """The update oracle: the live state re-shredded from scratch."""
+    return CorpusSearchEngine.from_trees(state, backend="memory",
+                                         representation=representation)
+
+
+def assert_segmented_matches_fresh(store: SegmentedStore,
+                                   state: Dict[str, XMLTree],
+                                   queries: List[str], representation: str,
+                                   context=()) -> None:
+    """Byte-identity of the mutated store against the fresh-rebuild oracle."""
+    got = wire_lines(segmented_engine(store, state, representation), queries)
+    want = wire_lines(fresh_oracle(state, representation), queries)
+    assert got == want, (
+        "mutated segmented corpus diverged from a fresh rebuild", *context)
+
+
+def run_mutation_sequence(store: SegmentedStore, state: Dict[str, XMLTree],
+                          seed: int, steps: int,
+                          check: Callable[[str], None],
+                          max_nodes: int = 25) -> List[str]:
+    """Drive ``steps`` seeded random mutations through ``store``.
+
+    Every mutation is mirrored into ``state`` (the oracle dict) and
+    ``check(label)`` runs after each commit, so **every intermediate state**
+    is verified, not just the final one.  Kinds: ``add`` a brand-new
+    document, ``update`` (shadow) an existing one, ``delete`` (tombstone)
+    one — only while more than one is live, the engines refuse empty
+    corpora — and ``compact`` the segment log.  Returns the step labels.
+    """
+    rng = random.Random(seed * 7907 + 23)
+    counter = len(state)
+    labels = []
+    for index in range(steps):
+        kinds = ["add", "update", "compact"]
+        if len(state) > 1:
+            kinds.append("delete")
+        kind = rng.choice(kinds)
+        if kind == "add":
+            name = f"doc-{counter:02d}"
+            counter += 1
+            tree = random_document(rng.randrange(1, 1 << 20),
+                                   max_nodes=max_nodes)
+            store.update_document(tree, name)
+            state[name] = tree
+        elif kind == "update":
+            name = rng.choice(sorted(state))
+            tree = random_document(rng.randrange(1, 1 << 20),
+                                   max_nodes=max_nodes)
+            store.update_document(tree, name)
+            state[name] = tree
+        elif kind == "delete":
+            name = rng.choice(sorted(state))
+            store.delete_document(name)
+            del state[name]
+        else:
+            store.compact()
+        label = f"step {index}: {kind}"
+        labels.append(label)
+        check(label)
+    return labels

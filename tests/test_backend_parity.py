@@ -26,6 +26,8 @@ from repro.corpus import CorpusSearchEngine
 from repro.datasets import PAPER_QUERIES
 from repro.storage import (
     MemoryStore,
+    SegmentedPostingSource,
+    SegmentedStore,
     ShardedPostingSource,
     SQLitePostingSource,
     SQLiteStore,
@@ -33,9 +35,9 @@ from repro.storage import (
     source_for_store,
 )
 
-BACKENDS = ("memory", "sqlite", "sharded", "corpus",
+BACKENDS = ("memory", "sqlite", "sharded", "corpus", "segmented",
             "memory-object", "sqlite-object", "sharded-object",
-            "corpus-object")
+            "corpus-object", "segmented-object")
 
 #: The registration contract the lint gate (``parity-registration``)
 #: machine-checks: every class in ``src/`` that implements the
@@ -47,6 +49,7 @@ PARITY_SOURCES = {
     "SQLitePostingSource": ("sqlite", "sqlite-object"),
     "ShardedPostingSource": ("sharded", "sharded-object"),
     "CorpusPostingSource": ("corpus", "corpus-object"),
+    "SegmentedPostingSource": ("segmented", "segmented-object"),
 }
 
 #: (dataset fixture name, queries) pairs the parity matrix runs over.
@@ -79,6 +82,16 @@ def build_engine(tree, backend: str, name: str = "doc") -> SearchEngine:
         return CorpusSearchEngine.from_trees(
             {name: tree}, backend="sqlite", representation=representation,
             shard_count=2)
+    if kind == "segmented":
+        # Store the tree, then shadow the base copy with an identical
+        # delta-segment version: parity runs through the segment read path
+        # (segment_posting / segment_value / segment_element), not just the
+        # base-generation routing that mirrors plain sqlite.
+        store = SegmentedStore()
+        store.store_tree(tree, name)
+        store.update_document(tree, name)
+        return SearchEngine(source=SegmentedPostingSource(
+            store, name, representation=representation))
     raise ValueError(backend)
 
 
@@ -163,7 +176,8 @@ def test_store_postings_agree_with_index(store_agreement, publications,
                      "article", "absentkeyword"])
 
 
-@pytest.mark.parametrize("store_class", [MemoryStore, SQLiteStore])
+@pytest.mark.parametrize("store_class", [MemoryStore, SQLiteStore,
+                                         SegmentedStore])
 def test_source_for_store_picks_specialization(publications, store_class):
     store = store_class()
     store.store_tree(publications, "pub")
@@ -171,6 +185,10 @@ def test_source_for_store_picks_specialization(publications, store_class):
     assert isinstance(source, StorePostingSource)
     assert isinstance(source, SQLitePostingSource) == \
         isinstance(store, SQLiteStore)
+    # The segmented store must get the liveness-aware source (its cache
+    # identity carries the document's segment generation).
+    assert isinstance(source, SegmentedPostingSource) == \
+        isinstance(store, SegmentedStore)
 
 
 # ---------------------------------------------------------------------- #
@@ -187,6 +205,7 @@ def test_parity_sources_cover_backends():
         "SQLitePostingSource": SQLitePostingSource,
         "ShardedPostingSource": ShardedPostingSource,
         "CorpusPostingSource": CorpusPostingSource,
+        "SegmentedPostingSource": SegmentedPostingSource,
     }
     assert set(classes) == set(PARITY_SOURCES)
     protocol_members = ("source_id", "postings", "keyword_nodes", "frequency",
@@ -208,12 +227,12 @@ def test_parity_sources_cover_backends():
 def test_backend_ids_are_distinct(engines):
     ids = {backend: engines[("publications", backend)].backend_id
            for backend in BACKENDS}
-    # The four backend *kinds* must never share cache identity...
+    # The five backend *kinds* must never share cache identity...
     assert len({ids["memory"], ids["sqlite"], ids["sharded"],
-                ids["corpus"]}) == 4
+                ids["corpus"], ids["segmented"]}) == 5
     # ...while the representation variants of one kind answer byte-identically
     # (that is this suite's parity guarantee), so they deliberately share it.
-    for kind in ("memory", "sqlite", "sharded", "corpus"):
+    for kind in ("memory", "sqlite", "sharded", "corpus", "segmented"):
         assert ids[f"{kind}-object"] == ids[kind]
 
 

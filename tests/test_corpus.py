@@ -4,8 +4,11 @@ The golden file ``tests/golden/corpus3.json`` stores the expected doc-tagged
 fragments of a fixed 3-document corpus (the two paper figures plus a small
 hand-written notes document whose vocabulary overlaps both) for every
 algorithm, so a refactor that shifts every corpus backend identically still
-fails here.  Regenerate — only when corpus semantics intentionally change —
-with ``python tests/test_corpus.py regen``.
+fails here.  A second golden, ``tests/golden/corpus_updated.json``, pins the
+same corpus after a fixed mutation sequence (update ``notes`` via a delta
+segment, tombstone ``team``) and is asserted both on the live segment log
+and after ``compact()``.  Regenerate — only when corpus semantics
+intentionally change — with ``python tests/test_corpus.py regen``.
 """
 
 from __future__ import annotations
@@ -54,6 +57,38 @@ def corpus3_trees():
             "notes": notes_tree()}
 
 
+#: The mutated golden's query set: the corpus3 queries (``team-only`` now
+#: proves the tombstone is honoured) plus one query only the *updated* notes
+#: text can answer (proves the delta segment shadows the base version).
+CORPUS_UPDATED_QUERIES = dict(CORPUS3_QUERIES,
+                              **{"segment-update": "segment update"})
+
+
+def updated_notes_tree():
+    """The notes document's second version (one note text replaced)."""
+    root = SubtreeSpec("notes")
+    for text in ("xml search overview", "team name roster",
+                 "segment update basics"):
+        root.add(SubtreeSpec("note", text))
+    return tree_from_spec(root, name="notes")
+
+
+def corpus_updated_store():
+    """corpus3 after the fixed mutation sequence the golden pins.
+
+    Base generation holds all three documents; ``notes`` is then shadowed by
+    an updated delta-segment version and ``team`` is tombstoned.
+    """
+    from repro.storage import SegmentedStore
+
+    store = SegmentedStore()
+    for doc_id, tree in corpus3_trees().items():
+        store.store_tree(tree, doc_id)
+    store.update_document(updated_notes_tree(), "notes")
+    store.delete_document("team")
+    return store
+
+
 # ---------------------------------------------------------------------- #
 # Golden regression
 # ---------------------------------------------------------------------- #
@@ -74,6 +109,35 @@ def test_corpus_fragments_match_stored_truth(corpus3_engines, backend):
             result = engine.search(entry["text"], algorithm)
             assert corpus_result_payload(result) == \
                 entry["algorithms"][algorithm], (query_name, algorithm, backend)
+
+
+@pytest.mark.parametrize("compacted", (False, True),
+                         ids=("segments", "compacted"))
+def test_updated_corpus_fragments_match_stored_truth(compacted):
+    """The mutated corpus answers the pinned truth — live log or folded."""
+    golden = load_golden("corpus_updated")
+    store = corpus_updated_store()
+    if compacted:
+        folded = store.compact()
+        assert folded["folded"] == 1 and store.segment_count() == 0
+    engine = CorpusSearchEngine.from_store(store)
+    assert sorted(engine.source.doc_ids) == ["notes", "publications"]
+    for query_name, entry in golden["queries"].items():
+        for algorithm in ALGORITHM_NAMES:
+            result = engine.search(entry["text"], algorithm)
+            assert corpus_result_payload(result) == \
+                entry["algorithms"][algorithm], \
+                (query_name, algorithm, compacted)
+    store.close()
+
+
+def test_updated_golden_reflects_the_mutations():
+    """The pinned truth really shows both the tombstone and the update."""
+    golden = load_golden("corpus_updated")
+    team_only = golden["queries"]["team-only"]["algorithms"]["validrtf"]
+    assert all(entry["doc"] != "team" for entry in team_only["documents"])
+    updated = golden["queries"]["segment-update"]["algorithms"]["validrtf"]
+    assert [entry["doc"] for entry in updated["documents"]] == ["notes"]
 
 
 def test_corpus_golden_spans_multiple_documents():
@@ -239,10 +303,9 @@ def test_service_config_serves_corpus_document_subset(tmp_path):
 # ---------------------------------------------------------------------- #
 # Regeneration entry point (not a test)
 # ---------------------------------------------------------------------- #
-def _regenerate() -> None:
-    engine = CorpusSearchEngine.from_trees(corpus3_trees())
-    payload = {"dataset": "corpus3", "queries": {}}
-    for query_name, text in CORPUS3_QUERIES.items():
+def _golden_payload(engine, dataset: str, queries) -> dict:
+    payload = {"dataset": dataset, "queries": {}}
+    for query_name, text in queries.items():
         payload["queries"][query_name] = {
             "text": text,
             "algorithms": {
@@ -251,8 +314,21 @@ def _regenerate() -> None:
                 for algorithm in ALGORITHM_NAMES
             },
         }
-    path = save_golden("corpus3", payload)
+    return payload
+
+
+def _regenerate() -> None:
+    engine = CorpusSearchEngine.from_trees(corpus3_trees())
+    path = save_golden("corpus3", _golden_payload(engine, "corpus3",
+                                                  CORPUS3_QUERIES))
     print(f"corpus golden regenerated at {path}")
+    store = corpus_updated_store()
+    updated = CorpusSearchEngine.from_store(store)
+    path = save_golden("corpus_updated",
+                       _golden_payload(updated, "corpus_updated",
+                                       CORPUS_UPDATED_QUERIES))
+    store.close()
+    print(f"updated-corpus golden regenerated at {path}")
 
 
 if __name__ == "__main__":

@@ -19,16 +19,24 @@ import pytest
 
 from fuzz_util import (
     assert_corpus_equals_union,
+    assert_segmented_matches_fresh,
     build_corpus_engine,
     random_corpus,
     random_queries,
     reference_engines,
+    run_mutation_sequence,
+    segmented_engine,
 )
 from repro.core import ALGORITHM_NAMES
+from repro.storage import SegmentedStore
 
 SEEDS = (1, 2, 3)
 BACKENDS = ("memory", "sqlite")
 REPRESENTATIONS = ("packed", "object")
+
+#: Bounded mutation-sequence fuzz (the deep sweep lives in benchmarks/).
+MUTATION_SEEDS = (7, 8)
+MUTATION_STEPS = 5
 
 
 @pytest.mark.parametrize("representation", REPRESENTATIONS)
@@ -72,6 +80,58 @@ def test_corpus_doc_filter_is_a_sub_union():
         assert_corpus_equals_union(result, restricted, query, "validrtf",
                                    context=(seed, "doc_filter"))
         assert set(result.doc_ids) <= set(subset)
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_mutated_corpus_equals_fresh_rebuild(representation):
+    """The update-oracle contract: any mutation sequence == fresh rebuild.
+
+    Every intermediate state (after each add / update / delete / compact)
+    must answer byte-identically — canonical search, compare and rank wire
+    payloads across all four algorithms — to a corpus re-shredded from
+    scratch out of the same live documents.
+    """
+    for seed in MUTATION_SEEDS:
+        state = random_corpus(seed, min_docs=2, max_docs=3, max_nodes=25)
+        store = SegmentedStore()
+        for name in sorted(state):
+            store.store_tree(state[name], name)
+        queries = random_queries(seed, count=3)
+
+        def check(label, state=state, store=store, queries=queries,
+                  seed=seed):
+            assert_segmented_matches_fresh(
+                store, state, queries, representation,
+                context=(seed, representation, label))
+
+        check("initial")
+        run_mutation_sequence(store, state, seed, MUTATION_STEPS, check)
+        # An explicit final compaction must fold every segment away and
+        # still answer identically.
+        store.compact()
+        check("final compact")
+        assert store.segment_count() == 0
+        store.close()
+
+
+def test_mutated_corpus_equals_per_document_union():
+    """The mutated store also honours the original union contract."""
+    seed = 9
+    state = random_corpus(seed, min_docs=2, max_docs=3, max_nodes=25)
+    store = SegmentedStore()
+    for name in sorted(state):
+        store.store_tree(state[name], name)
+
+    def check(label):
+        corpus = segmented_engine(store, state, "packed")
+        references = reference_engines(state)
+        for query in random_queries(seed, count=2):
+            assert_corpus_equals_union(
+                corpus.search(query, "validrtf"), references, query,
+                "validrtf", context=(seed, "mutated-union", label))
+
+    run_mutation_sequence(store, state, seed, MUTATION_STEPS, check)
+    store.close()
 
 
 def test_corpus_sharding_never_changes_answers():

@@ -1,0 +1,179 @@
+"""SegmentedStore unit tests + the legacy row-decode fallback regression.
+
+The segment lifecycle (delta segments, tombstones, liveness resolution,
+compaction) is property-tested end to end in ``tests/test_corpus_fuzz.py``;
+this module pins the store-level semantics directly — and one regression the
+differential harness cannot see: a **legacy** database (indexed before the
+packed ``posting`` table existed) opened segment-aware must keep answering
+through the value-row decode fallback, not degrade to an empty baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchEngine
+from repro.datasets import PAPER_QUERIES, publications_tree, team_tree
+from repro.storage import (
+    BASE_GENERATION,
+    SEGMENT_KIND_DOC,
+    SEGMENT_KIND_TOMBSTONE,
+    SegmentedPostingSource,
+    SegmentedStore,
+    SQLiteStore,
+    source_for_store,
+)
+from repro.storage.errors import DocumentAlreadyStored, DocumentNotFound
+
+
+@pytest.fixture
+def store():
+    segmented = SegmentedStore()
+    segmented.store_tree(publications_tree(), "pub")
+    segmented.store_tree(team_tree(), "team")
+    yield segmented
+    segmented.close()
+
+
+def assert_answers_like_memory(store, document, tree, query):
+    reference = SearchEngine(tree).search(query)
+    candidate = SearchEngine(
+        source=source_for_store(store, document)).search(query)
+    assert candidate.roots() == reference.roots(), (document, query)
+    assert [f.kept_nodes for f in candidate] == \
+        [f.kept_nodes for f in reference], (document, query)
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle semantics
+# ---------------------------------------------------------------------- #
+def test_base_documents_live_at_generation_zero(store):
+    assert store.location_of("pub") == BASE_GENERATION
+    assert store.location_of("missing") is None
+    assert store.documents() == ["pub", "team"]
+    assert store.segment_count() == 0
+
+
+def test_update_shadows_base_with_a_delta_segment(store):
+    first = store.update_document(team_tree(), "team")
+    assert first == 1 and store.location_of("team") == 1
+    second = store.update_document(team_tree(), "team")
+    assert second == 2, "segment ids are monotonically increasing"
+    assert store.location_of("team") == 2, "the highest event wins"
+    assert store.location_of("pub") == BASE_GENERATION
+    assert store.documents() == ["pub", "team"]
+    events = store.segment_events()
+    assert events == [(1, "team", SEGMENT_KIND_DOC),
+                      (2, "team", SEGMENT_KIND_DOC)]
+
+
+def test_update_can_add_a_brand_new_document(store):
+    segment = store.update_document(publications_tree(), "extra")
+    assert store.location_of("extra") == segment
+    assert store.documents() == ["extra", "pub", "team"]
+    assert_answers_like_memory(store, "extra", publications_tree(),
+                               PAPER_QUERIES["Q1"])
+
+
+def test_delete_is_a_tombstone_not_a_purge(store):
+    segment = store.delete_document("team")
+    assert store.location_of("team") is None
+    assert store.documents() == ["pub"]
+    assert store.tombstoned_documents() == ["team"]
+    assert (segment, "team", SEGMENT_KIND_TOMBSTONE) in store.segment_events()
+    with pytest.raises(DocumentNotFound):
+        store.delete_document("team")
+
+
+def test_store_over_live_document_is_refused(store):
+    with pytest.raises(DocumentAlreadyStored):
+        store.store_tree(team_tree(), "team")
+    store.update_document(team_tree(), "team")
+    with pytest.raises(DocumentAlreadyStored):
+        store.store_tree(team_tree(), "team")
+
+
+def test_readd_after_delete_behaves_like_fresh(store):
+    store.update_document(team_tree(), "team")
+    store.delete_document("team")
+    store.store_tree(team_tree(), "team")
+    assert store.location_of("team") == BASE_GENERATION
+    assert store.tombstoned_documents() == []
+    assert_answers_like_memory(store, "team", team_tree(),
+                               PAPER_QUERIES["Q4"])
+
+
+def test_compact_folds_segments_into_base(store):
+    store.update_document(team_tree(), "team")
+    store.delete_document("pub")
+    outcome = store.compact()
+    assert outcome == {"folded": 1, "dropped": 1, "segments": 2}
+    assert store.segment_count() == 0 and store.segment_events() == []
+    assert store.documents() == ["team"]
+    assert store.location_of("team") == BASE_GENERATION
+    assert_answers_like_memory(store, "team", team_tree(),
+                               PAPER_QUERIES["Q4"])
+    # Compacting an already-flat store is a no-op.
+    assert store.compact() == {"folded": 0, "dropped": 0, "segments": 0}
+
+
+def test_segmented_source_id_carries_the_generation(store):
+    base = SegmentedPostingSource(store, "team")
+    assert base.source_id.endswith("#team@g0")
+    store.update_document(team_tree(), "team")
+    shadowed = SegmentedPostingSource(store, "team")
+    assert shadowed.source_id.endswith("#team@g1")
+    # A source pins its snapshot at first resolution: the pre-update source
+    # keeps its identity (engine rebuilds pick up the new generation).
+    assert base.source_id.endswith("#team@g0")
+
+
+def test_plain_sqlite_store_still_opens_segmented_databases(tmp_path):
+    """The segment tables are additive: a plain SQLiteStore sees the base
+    generation of the same file (old readers never break)."""
+    db = str(tmp_path / "shared.db")
+    segmented = SegmentedStore(db)
+    segmented.store_tree(publications_tree(), "pub")
+    segmented.update_document(team_tree(), "team")
+    segmented.close()
+    plain = SQLiteStore(db)
+    assert plain.documents() == ["pub"]  # segment-resident docs invisible
+    plain.close()
+
+
+# ---------------------------------------------------------------------- #
+# The legacy fallback regression
+# ---------------------------------------------------------------------- #
+def test_legacy_database_survives_segmented_updates(tmp_path):
+    """A pre-``posting``-table database opened with updates keeps answering.
+
+    Regression: segmented reads route packed-blob lookups per document, and
+    a bug that consulted only the segment tables would serve legacy base
+    documents an **empty** posting baseline instead of the value-row decode
+    fallback.
+    """
+    db = str(tmp_path / "legacy.db")
+    old = SQLiteStore(db)
+    old.store_tree(publications_tree(), "pub")
+    old.store_tree(team_tree(), "team")
+    # Simulate a database from before the packed posting table existed.
+    connection = old._connection
+    connection.execute("DELETE FROM posting")
+    connection.commit()
+    assert not old.has_packed_postings("pub")
+    old.close()
+
+    store = SegmentedStore(db)
+    segment = store.update_document(team_tree(), "team")
+    assert segment == 1
+    # The legacy base document still answers through the row-decode
+    # fallback (non-empty!), the updated one through its segment blobs.
+    assert not store.has_packed_postings("pub")
+    assert store.has_packed_postings("team")
+    assert_answers_like_memory(store, "pub", publications_tree(),
+                               PAPER_QUERIES["Q1"])
+    assert_answers_like_memory(store, "team", team_tree(),
+                               PAPER_QUERIES["Q4"])
+    reference = SearchEngine(publications_tree()).search(PAPER_QUERIES["Q1"])
+    assert reference.count > 0, "the regression query must be non-trivial"
+    store.close()

@@ -284,6 +284,135 @@ def test_rank_on_memory_backend_works(served, publications):
 
 
 # ---------------------------------------------------------------------- #
+# Live mutations over the wire: update / delete_doc
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def served_mutable(tmp_path):
+    """A corpus server over a segmented database that accepts live writes.
+
+    Function-scoped on purpose: mutation tests change the served corpus, so
+    each gets its own fresh database and server.
+    """
+    from repro.storage import SegmentedStore
+
+    db = str(tmp_path / "live.db")
+    store = SegmentedStore(db)
+    store.store_tree(publications_tree(), "publications")
+    store.store_tree(team_tree(), "team")
+    store.close()
+    pool = EnginePool.for_backend("corpus", db_path=db, workers=2)
+    with ServerThread(pool) as server:
+        yield server
+    pool.shutdown()
+
+
+def test_served_update_is_byte_identical(served_mutable):
+    """An absorbed update serves answers byte-identical to a direct engine
+    over the post-update corpus — no restart, no stale snapshot."""
+    from repro.xmltree import parse_string, to_xml_string
+
+    server = served_mutable
+    xml = to_xml_string(team_tree()).replace("Conley", "Morant")
+    reference = CorpusSearchEngine.from_trees(
+        {"publications": publications_tree(),
+         "team": parse_string(xml, "team")}, backend="memory")
+    with ServiceClient(*server.address) as client:
+        outcome = client.update("team", xml)
+        assert outcome["updated"] == "team" and outcome["segment"] == 1
+        assert outcome["documents"] == ["publications", "team"]
+        for query in (PAPER_QUERIES["Q4"], PAPER_QUERIES["Q1"],
+                      "Morant guard"):
+            for algorithm in ALGORITHM_NAMES:
+                over_the_wire = client.search(query, algorithm)
+                direct = result_payload(reference.search(query, algorithm))
+                assert encode_message(over_the_wire) == \
+                    encode_message(direct), (query, algorithm)
+
+
+def test_served_update_adds_a_new_document(served_mutable):
+    server = served_mutable
+    with ServiceClient(*server.address) as client:
+        outcome = client.update(
+            "notes", "<notes><note>segmented live ingest</note></notes>")
+        assert outcome["documents"] == ["notes", "publications", "team"]
+        payload = client.search("segmented ingest")
+        assert [entry["doc"] for entry in payload["documents"]] == ["notes"]
+
+
+def test_served_delete_doc_is_byte_identical(served_mutable):
+    server = served_mutable
+    reference = CorpusSearchEngine.from_trees(
+        {"publications": publications_tree()}, backend="memory")
+    with ServiceClient(*server.address) as client:
+        outcome = client.delete_doc("team")
+        assert outcome["deleted"] == "team"
+        assert outcome["documents"] == ["publications"]
+        for query_name in ("Q1", "Q4"):
+            query = PAPER_QUERIES[query_name]
+            for algorithm in ALGORITHM_NAMES:
+                over_the_wire = client.search(query, algorithm)
+                direct = result_payload(reference.search(query, algorithm))
+                assert encode_message(over_the_wire) == \
+                    encode_message(direct), (query_name, algorithm)
+
+
+def test_mutation_errors_are_typed(served_mutable):
+    server = served_mutable
+    with ServiceClient(*server.address) as client:
+        # Unknown doc id, missing/blank fields, unparsable xml: bad_request.
+        with pytest.raises(ServiceError) as excinfo:
+            client.delete_doc("no-such-doc")
+        assert excinfo.value.code == "bad_request"
+        for message in ({"op": "update", "doc": "team"},
+                        {"op": "update", "doc": "  ", "xml": "<a/>"},
+                        {"op": "update", "doc": "team", "xml": "<broken"},
+                        {"op": "delete_doc"}):
+            response = client.request(message)
+            assert response["ok"] is False, message
+            assert response["error"]["code"] == "bad_request", message
+        # Deleting down to an empty corpus is refused.
+        client.delete_doc("team")
+        with pytest.raises(ServiceError) as excinfo:
+            client.delete_doc("publications")
+        assert excinfo.value.code == "bad_request"
+        assert "last live" in excinfo.value.message
+
+
+def test_mutations_on_single_document_backends_are_unsupported(served):
+    """update / delete_doc need a database-served corpus; every other
+    backend answers the typed ``unsupported`` error."""
+    for backend in BACKENDS:
+        server, _ = served[("publications", backend)]
+        with ServiceClient(*server.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.update("publications", "<a/>")
+            assert excinfo.value.code == "unsupported", backend
+            with pytest.raises(ServiceError) as excinfo:
+                client.delete_doc("publications")
+            assert excinfo.value.code == "unsupported", backend
+
+
+def test_mutations_on_pinned_subset_corpus_are_unsupported(tmp_path):
+    """A corpus pool pinned to a document subset cannot absorb writes."""
+    from repro.storage import SegmentedStore
+
+    db = str(tmp_path / "subset.db")
+    store = SegmentedStore(db)
+    store.store_tree(publications_tree(), "publications")
+    store.store_tree(team_tree(), "team")
+    store.close()
+    pool = EnginePool.for_backend("corpus", db_path=db, workers=1,
+                                  documents=("team",))
+    assert pool.mutable_store is None
+    with ServerThread(pool) as server:
+        with ServiceClient(*server.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.update("team", "<a/>")
+            assert excinfo.value.code == "unsupported"
+    pool.shutdown()
+
+
+# ---------------------------------------------------------------------- #
 # The concurrent hammer: no cross-request bleed under load
 # ---------------------------------------------------------------------- #
 @pytest.mark.parametrize("backend", BACKENDS)

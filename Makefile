@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all coverage bench bench-collect bench-export smoke \
-	loadtest-smoke perf-smoke fuzz-smoke update-smoke lint
+	loadtest-smoke perf-smoke fuzz-smoke update-smoke obs-smoke lint
 
 test:            ## fast unit suite (tier-1)
 	$(PYTHON) -m pytest -x -q
@@ -66,3 +66,6 @@ fuzz-smoke:      ## seeded differential corpus fuzz: fast tier-1 + deep sweep
 
 update-smoke:    ## segmented lifecycle through the CLI: ingest/update/delete/compact
 	bash scripts/update_smoke.sh
+
+obs-smoke:       ## observability end to end: traced query, serve, metrics scrape
+	bash scripts/obs_smoke.sh

@@ -13,8 +13,11 @@ The demo walks the whole serving stack of :mod:`repro.service`:
 3. talks to it like any remote caller would, through
    :class:`~repro.service.client.ServiceClient` — search with a per-request
    algorithm and ``cid_mode``, a ValidRTF-vs-MaxMatch comparison, and the
-   server's own pool/batcher/admission statistics;
-4. finishes with a tiny closed-loop load test and prints throughput plus
+   server's own pool/batcher/admission/server statistics;
+4. scrapes the live metrics registry (the same merged snapshot the
+   ``stats`` wire op and ``python -m repro.cli metrics`` expose) and prints
+   a few headline series;
+5. finishes with a tiny closed-loop load test and prints throughput plus
    p50/p95/p99 latency.
 
 Run with::
@@ -76,10 +79,20 @@ def main() -> None:
             print(f"workers: {pool['workers']}  engines built: "
                   f"{pool['engines']}  backend: {pool['backend']}")
             print(f"batcher: {stats['batcher']['requests']} request(s) in "
-                  f"{stats['batcher']['batches']} batch(es)")
+                  f"{stats['batcher']['batches']} batch(es), mean queue "
+                  f"wait {stats['batcher']['mean_queue_wait_ms']:.3f} ms")
             print(f"admission: peak in-flight "
                   f"{stats['admission']['peak_inflight']}, "
                   f"rejected {stats['admission']['rejected']}")
+            print(f"server: requests by op {stats['server']['requests']}, "
+                  f"slow queries {stats['server']['slow_queries']}")
+
+            print("\n== live metrics snapshot (counters) ==")
+            snapshot = client.metrics()
+            for key, value in sorted(snapshot["counters"].items()):
+                if key.startswith(("query.count", "server.requests",
+                                   "batcher.", "admission.")):
+                    print(f"  {key} = {value}")
 
         print("\n== closed-loop load test against the same server ==")
         report = loadtest(config, list(PAPER_QUERIES.values()),

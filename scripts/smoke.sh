@@ -35,6 +35,9 @@ make fuzz-smoke
 echo "== segmented update lifecycle (ingest/update/delete/compact) =="
 make update-smoke
 
+echo "== observability (traced query, serve, metrics scrape) =="
+make obs-smoke
+
 echo "== end-to-end: tiny cached benchmark run =="
 python -m repro.cli bench --dataset dblp --figure 5 --repetitions 1 --cache
 

@@ -32,6 +32,8 @@ class AnalysisError(Exception):
 ANCHOR_FILES = (
     "tests/test_backend_parity.py",
     "tests/test_service_parity.py",
+    # The metric-name catalogue metrics-discipline validates against.
+    "src/repro/obs/names.py",
 )
 
 

@@ -1,4 +1,4 @@
-"""The repo-specific rules: five cross-file invariants, machine-checked.
+"""The repo-specific rules: six cross-file invariants, machine-checked.
 
 Each rule is a class with a ``name`` (the pragma/CLI identifier), a one-line
 ``description`` and a ``check(project)`` generator yielding
@@ -48,6 +48,13 @@ The rules and what they protect:
     ``verify_service_reports``, ``_verify_parity``, ``_verify_corpus_union``
     or ``run_core_bench`` itself) so no fast-but-wrong number is ever
     persisted.
+
+``metrics-discipline``
+    Every ``registry.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``
+    call site under ``src/`` must name its metric through a constant of the
+    ``src/repro/obs/names.py`` catalogue (``metric_names.QUERY_COUNT``), not
+    a free string literal — one module owns the metric vocabulary, so a
+    typo'd name fails the lint instead of minting a shadow time series.
 """
 
 from __future__ import annotations
@@ -690,12 +697,103 @@ class BenchHonestyRule(Rule):
         return False
 
 
+# ---------------------------------------------------------------------- #
+# R6: metrics naming discipline
+# ---------------------------------------------------------------------- #
+class MetricsDisciplineRule(Rule):
+    """Metric names come from the obs/names.py catalogue, never free strings."""
+
+    name = "metrics-discipline"
+    description = ("registry.counter/gauge/histogram call sites in src/ must "
+                   "name their metric via a constant of "
+                   "src/repro/obs/names.py, not a string literal")
+
+    CATALOGUE_FILE = "src/repro/obs/names.py"
+    #: The registry's accessor methods whose first argument is a metric name.
+    ACCESSORS = frozenset({"counter", "gauge", "histogram"})
+    #: The catalogue module itself (and the registry that validates against
+    #: it) may hold the raw strings.
+    EXEMPT_PREFIX = "src/repro/obs/"
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        constants = self._catalogue_constants(project)
+        for source_file in _requested_src(project):
+            if source_file.relpath.startswith(self.EXEMPT_PREFIX):
+                continue
+            assert source_file.tree is not None
+            for node in ast.walk(source_file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                if not (isinstance(callee, ast.Attribute)
+                        and callee.attr in self.ACCESSORS):
+                    continue
+                if not node.args:
+                    yield self.diagnostic(source_file, node, (
+                        f"metric accessor .{callee.attr}() called without a "
+                        f"metric name"))
+                    continue
+                argument = node.args[0]
+                if constants is None:
+                    yield self.diagnostic(source_file, node, (
+                        f"{self.CATALOGUE_FILE} is missing or unparsable; "
+                        f"metric names cannot be checked against the "
+                        f"catalogue"))
+                    return
+                yield from self._check_argument(source_file, node, callee,
+                                                argument, constants)
+
+    def _check_argument(self, source_file: SourceFile, node: ast.Call,
+                        callee: ast.Attribute, argument: ast.expr,
+                        constants: Set[str]) -> Iterator[Diagnostic]:
+        if isinstance(argument, ast.Constant) and \
+                isinstance(argument.value, str):
+            yield self.diagnostic(source_file, node, (
+                f"free-string metric name {argument.value!r} passed to "
+                f".{callee.attr}(); register it in {self.CATALOGUE_FILE} "
+                f"and reference the constant"))
+        elif not self._resolves_to_constant(argument, constants):
+            yield self.diagnostic(source_file, node, (
+                f"metric name argument {_name_of(argument)!r} of "
+                f".{callee.attr}() does not reference a "
+                f"{self.CATALOGUE_FILE} constant"))
+
+    @classmethod
+    def _resolves_to_constant(cls, argument: ast.expr,
+                              constants: Set[str]) -> bool:
+        """Does this expression name a catalogue constant (both arms of a
+        conditional must)?"""
+        if isinstance(argument, ast.Name):
+            return argument.id in constants
+        if isinstance(argument, ast.Attribute):
+            return argument.attr in constants
+        if isinstance(argument, ast.IfExp):
+            return cls._resolves_to_constant(argument.body, constants) and \
+                cls._resolves_to_constant(argument.orelse, constants)
+        return False
+
+    def _catalogue_constants(self, project: Project) -> Optional[Set[str]]:
+        catalogue = project.get(self.CATALOGUE_FILE)
+        if catalogue is None or catalogue.tree is None:
+            return None
+        constants: Set[str] = set()
+        for node in catalogue.tree.body:
+            if isinstance(node, ast.Assign) and \
+                    isinstance(node.value, ast.Constant) and \
+                    isinstance(node.value.value, str):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id.isupper():
+                        constants.add(target.id)
+        return constants or None
+
+
 RULES: Tuple[Rule, ...] = (
     HotLoopPurityRule(),
     ParityRegistrationRule(),
     TypedErrorsRule(),
     SqliteDisciplineRule(),
     BenchHonestyRule(),
+    MetricsDisciplineRule(),
 )
 
 _RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in RULES}

@@ -32,7 +32,12 @@ Sub-commands
 ``loadtest``
     Drive a server (self-hosted by default) with an open- or closed-loop
     load generator and report throughput + p50/p95/p99 latency, exporting
-    ``BENCH_service.json``.
+    ``BENCH_service.json`` (``--stats`` folds the server's own counters and
+    metrics snapshot into the report).
+``metrics``
+    Render a metrics-registry snapshot — scraped live from a server
+    (``--address``) or read from a JSON artefact (``--input``) — as
+    Prometheus exposition text.
 """
 
 from __future__ import annotations
@@ -144,6 +149,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "maxmatch-slca"))
     search.add_argument("--no-text", action="store_true",
                         help="hide node text in the rendering")
+    search.add_argument("--trace", action="store_true",
+                        help="print the per-stage span tree (tokenize → "
+                             "postings → lca → fragments) with wall times")
     search.set_defaults(handler=_command_search)
 
     compare = subparsers.add_parser("compare",
@@ -151,6 +159,8 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_document_arguments(compare)
     _add_backend_arguments(compare)
     compare.add_argument("query", help="keyword query or paper query name")
+    compare.add_argument("--trace", action="store_true",
+                         help="print the span tree of both algorithm runs")
     compare.set_defaults(handler=_command_compare)
 
     explain = subparsers.add_parser(
@@ -272,7 +282,22 @@ def _build_parser() -> argparse.ArgumentParser:
                                "the dataset's workload / paper queries)")
     loadtest.add_argument("--output", default="BENCH_service.json",
                           help="write the JSON report here ('-' disables)")
+    loadtest.add_argument("--stats", action="store_true",
+                          help="fetch the server's stats + metrics snapshot "
+                               "after the run and fold them into the report "
+                               "(self-hosted runs always capture them)")
     loadtest.set_defaults(handler=_command_loadtest)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="render a metrics snapshot as Prometheus text")
+    source = metrics.add_mutually_exclusive_group(required=True)
+    source.add_argument("--address", default=None, metavar="HOST:PORT",
+                        help="scrape a running server's merged registry")
+    source.add_argument("--input", default=None, metavar="FILE",
+                        help="read a snapshot from a JSON file (a raw "
+                             "snapshot, or a loadtest report carrying "
+                             "server_metrics)")
+    metrics.set_defaults(handler=_command_metrics)
 
     return parser
 
@@ -322,6 +347,9 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cid-mode", default="minmax",
                         help="default content-feature mode (per-request "
                              "override via the protocol)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="log (to stderr) and count requests slower than "
+                             "this many milliseconds (default: off)")
 
 
 # ---------------------------------------------------------------------- #
@@ -464,17 +492,29 @@ def _command_compact(arguments: argparse.Namespace) -> int:
 def _command_search(arguments: argparse.Namespace) -> int:
     engine = _build_engine(arguments)
     query = _resolve_query(arguments.query)
-    result = engine.search(query, arguments.algorithm)
+    if arguments.trace:
+        from .obs import render_trace
+
+        result, trace = engine.search_traced(query, arguments.algorithm)
+    else:
+        result = engine.search(query, arguments.algorithm)
     print(f"query: {result.query}  algorithm: {result.algorithm}  "
           f"backend: {engine.backend_id}  fragments: {result.count}")
     print(engine.render_result(result, show_text=not arguments.no_text))
+    if arguments.trace:
+        print()
+        print(render_trace(trace))
     return 0
 
 
 def _command_compare(arguments: argparse.Namespace) -> int:
     engine = _build_engine(arguments)
     query = _resolve_query(arguments.query)
-    outcome = engine.compare(query)
+    trace = None
+    if arguments.trace:
+        outcome, trace = engine.compare_traced(query)
+    else:
+        outcome = engine.compare(query)
     print(f"query: {query}")
     if isinstance(engine, CorpusSearchEngine):
         summary = outcome.summary
@@ -485,9 +525,20 @@ def _command_compare(arguments: argparse.Namespace) -> int:
         for doc_id, document_outcome in outcome.documents:
             _print_comparison_report(document_outcome.report,
                                      prefix=f"[{doc_id}] ")
+        _print_trace(trace)
         return 0
     _print_comparison_report(outcome.report)
+    _print_trace(trace)
     return 0
+
+
+def _print_trace(trace) -> None:
+    """Render a finished trace after a command's main output (if traced)."""
+    if trace is not None:
+        from .obs import render_trace
+
+        print()
+        print(render_trace(trace))
 
 
 def _print_comparison_report(report, prefix: str = "") -> None:
@@ -666,14 +717,78 @@ def _command_loadtest(arguments: argparse.Namespace) -> int:
                           mode=arguments.mode, requests=arguments.requests,
                           concurrency=arguments.concurrency,
                           rate=arguments.rate, duration=arguments.duration,
-                          algorithm=arguments.algorithm)
+                          algorithm=arguments.algorithm,
+                          fetch_stats=arguments.stats)
     except ValueError as error:
         raise CliError(str(error)) from None
     print(report.summary())
+    if arguments.stats and report.server_stats:
+        batcher = report.server_stats.get("batcher", {})
+        admission = report.server_stats.get("admission", {})
+        print(f"server: batches={batcher.get('batches', 0)} "
+              f"mean_batch={batcher.get('mean_batch_size', 0.0):.2f} "
+              f"queue_wait_ms={batcher.get('mean_queue_wait_ms', 0.0):.3f}  "
+              f"shed={admission.get('rejected', 0)} "
+              f"timed_out={admission.get('timed_out', 0)} "
+              f"peak_inflight={admission.get('peak_inflight', 0)}")
     if arguments.output and arguments.output != "-":
         path = write_service_bench(report, arguments.output)
         print(f"report written to {path}")
     return 0
+
+
+def _command_metrics(arguments: argparse.Namespace) -> int:
+    """Render a registry snapshot (live server or JSON file) as Prometheus
+    exposition text."""
+    import json
+
+    from .obs import render_prometheus
+
+    if arguments.address:
+        from .service import ServiceClient
+
+        host, _, port = arguments.address.rpartition(":")
+        if not host or not port.isdigit():
+            raise CliError(f"--address must be HOST:PORT, got "
+                           f"{arguments.address!r}")
+        try:
+            with ServiceClient(host, int(port)) as client:
+                snapshot = client.metrics()
+        except (ConnectionError, OSError) as error:
+            raise CliError(f"cannot scrape {arguments.address}: "
+                           f"{error}") from None
+    else:
+        if not Path(arguments.input).exists():
+            raise CliError(f"no such file: {arguments.input}")
+        with open(arguments.input, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        snapshot = _snapshot_from_payload(payload)
+        if snapshot is None:
+            raise CliError(
+                f"{arguments.input} carries no metrics snapshot (expected a "
+                f"raw counters/gauges/histograms object, a loadtest report "
+                f"with server_metrics, or a BENCH_service.json artefact)")
+    print(render_prometheus(snapshot), end="")
+    return 0
+
+
+def _snapshot_from_payload(payload: object):
+    """Find a registry snapshot inside a JSON payload, or ``None``."""
+    if not isinstance(payload, dict):
+        return None
+    if "counters" in payload and "histograms" in payload:
+        return payload
+    if isinstance(payload.get("server_metrics"), dict) and \
+            payload["server_metrics"]:
+        return payload["server_metrics"]
+    reports = payload.get("service_bench")
+    if isinstance(reports, list):
+        # The newest report with a captured snapshot wins.
+        for report in reversed(reports):
+            found = _snapshot_from_payload(report)
+            if found is not None:
+                return found
+    return None
 
 
 # ---------------------------------------------------------------------- #
@@ -785,6 +900,9 @@ def _service_setup(arguments: argparse.Namespace, remote: bool = False):
     if arguments.cid_mode not in CID_MODES:
         raise CliError(f"unknown --cid-mode {arguments.cid_mode!r}; "
                        f"expected one of {list(CID_MODES)}")
+    if arguments.slow_query_ms is not None and arguments.slow_query_ms < 0:
+        raise CliError(f"--slow-query-ms must be >= 0, got "
+                       f"{arguments.slow_query_ms}")
     config = ServiceConfig(
         backend=backend,
         workers=arguments.workers,
@@ -799,6 +917,8 @@ def _service_setup(arguments: argparse.Namespace, remote: bool = False):
         timeout_seconds=arguments.request_timeout,
         representation=getattr(arguments, "representation", "packed"),
         documents=documents,
+        slow_query_seconds=(arguments.slow_query_ms / 1000.0
+                            if arguments.slow_query_ms is not None else None),
     )
     return config, tree
 

@@ -11,6 +11,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..index import InvertedIndex, PostingSource, REPRESENTATIONS
+from ..obs import MetricsRegistry, Trace
+from ..obs import names as metric_names
 from ..text import ContentAnalyzer
 from ..xmltree import DeweyCode, XMLTree, parse_file, parse_string, render_nodes
 from .cache import CacheStats, QueryResultCache
@@ -77,11 +79,17 @@ class SearchEngine:
         physical posting representation and therefore the speed differ.  When
         a prebuilt ``source`` is passed its own representation governs and
         must not contradict an explicit ``representation=``.
+    metrics:
+        An optional :class:`~repro.obs.MetricsRegistry`.  When given, every
+        query reports per-stage timing histograms, candidate/fragment
+        counters, posting-fetch accounting and cache hit/miss counters to
+        it; when ``None`` (the default) instrumentation costs one branch.
     """
 
     def __init__(self, tree: Optional[XMLTree] = None, cid_mode: str = "minmax",
                  cache_size: int = 0, source: Optional[PostingSource] = None,
-                 representation: Optional[str] = None):
+                 representation: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if tree is None and source is None:
             raise ValueError("SearchEngine needs a tree, a source=, or both")
         if representation is not None and representation not in REPRESENTATIONS:
@@ -104,6 +112,7 @@ class SearchEngine:
         self.index = self.source
         self._cache: Optional[QueryResultCache] = (
             QueryResultCache(cache_size) if cache_size else None)
+        self.metrics: Optional[MetricsRegistry] = metrics
         self._build_algorithms()
 
     def _build_algorithms(self) -> None:
@@ -123,6 +132,19 @@ class SearchEngine:
             "maxmatch-slca": MaxMatchSLCA(tree, self.source, cid_mode=cid_mode,
                                           analyzer=analyzer),
         }
+        for pipeline in self._algorithms.values():
+            pipeline.metrics = self.metrics
+
+    def set_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
+        """Attach (or detach) a metrics registry after construction.
+
+        The engine pool builds worker engines lazily through zero-argument
+        factories; this hook lets it hand each worker its own registry, to
+        be merged at snapshot time.
+        """
+        self.metrics = metrics
+        for pipeline in self._algorithms.values():
+            pipeline.metrics = metrics
 
     @property
     def backend_id(self) -> str:
@@ -154,20 +176,44 @@ class SearchEngine:
                 f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}"
             ) from None
 
-    def search(self, query: QueryLike, algorithm: str = "validrtf") -> SearchResult:
-        """Run one query with the chosen algorithm (served from cache if on)."""
+    def search(self, query: QueryLike, algorithm: str = "validrtf",
+               trace: Optional[Trace] = None) -> SearchResult:
+        """Run one query with the chosen algorithm (served from cache if on).
+
+        ``trace`` attaches this query's stage spans (and a ``cache`` span
+        when caching is enabled) under the trace's currently open span.
+        """
         pipeline = self.algorithm(algorithm)
         if self._cache is None:
-            return pipeline.search(query)
+            return pipeline.search(query, trace=trace)
         parsed = Query.parse(query)
         key = QueryResultCache.key_for(algorithm, parsed, self.cid_mode,
                                        self.backend_id)
         cached = self._cache.get(key)
-        if cached is not None:
+        hit = cached is not None
+        if self.metrics is not None:
+            self.metrics.counter(metric_names.CACHE_HITS if hit
+                                 else metric_names.CACHE_MISSES).inc()
+        if trace is not None:
+            trace.current.note(cache="hit" if hit else "miss")
+        if hit:
             return cached
-        result = pipeline.search(parsed)
+        result = pipeline.search(parsed, trace=trace)
         self._cache.put(key, result)
         return result
+
+    def search_traced(self, query: QueryLike, algorithm: str = "validrtf"
+                      ) -> Tuple[SearchResult, Trace]:
+        """Run one query under a fresh trace; returns ``(result, trace)``.
+
+        The trace root covers the whole call, with one child span per
+        pipeline stage — render it with :func:`repro.obs.render_trace`.
+        """
+        trace = Trace("search")
+        trace.root.note(algorithm=algorithm, backend=self.backend_id)
+        result = self.search(query, algorithm, trace=trace)
+        trace.finish()
+        return result, trace
 
     def search_many(self, queries: Sequence[QueryLike],
                     algorithm: str = "validrtf") -> List[SearchResult]:
@@ -262,6 +308,22 @@ class SearchEngine:
         report = effectiveness(maxmatch_result, validrtf_result)
         return ComparisonOutcome(validrtf=validrtf_result, maxmatch=maxmatch_result,
                                  report=report)
+
+    def compare_traced(self, query: QueryLike
+                       ) -> Tuple[ComparisonOutcome, Trace]:
+        """Like :meth:`compare`, under one trace with a span per algorithm."""
+        trace = Trace("compare")
+        trace.root.note(backend=self.backend_id)
+        with trace.span("validrtf"):
+            validrtf_result = self.search(query, "validrtf", trace=trace)
+        with trace.span("maxmatch"):
+            maxmatch_result = self.search(query, "maxmatch", trace=trace)
+        with trace.span("effectiveness"):
+            report = effectiveness(maxmatch_result, validrtf_result)
+        trace.finish()
+        outcome = ComparisonOutcome(validrtf=validrtf_result,
+                                    maxmatch=maxmatch_result, report=report)
+        return outcome, trace
 
     def rank(self, result: SearchResult,
              weights: RankingWeights = RankingWeights()) -> List[RankedFragment]:

@@ -14,6 +14,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..index import InvertedIndex, PostingSource
 from ..lca import elca_is_slca, indexed_stack_elca, indexed_lookup_eager_slca
+from ..obs import MetricsRegistry, Trace
+from ..obs import names as metric_names
 from ..text import ContentAnalyzer
 from ..xmltree import DeweyCode, XMLTree
 from .fragments import Fragment, PrunedFragment, SearchResult
@@ -95,6 +97,9 @@ class FragmentPipeline:
         self.pruner = pruner
         self.cid_mode = cid_mode
         self.name = name
+        # Metrics are opt-in: the owning engine assigns a shared registry
+        # after construction; ``None`` keeps every report behind one branch.
+        self.metrics: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------ #
     # Stage helpers (also exposed individually for tests and examples)
@@ -136,12 +141,73 @@ class FragmentPipeline:
     # ------------------------------------------------------------------ #
     # Full run
     # ------------------------------------------------------------------ #
-    def search(self, query: QueryLike) -> SearchResult:
-        """Run all four stages and return the pruned fragments."""
-        parsed = Query.parse(query)
+    def search(self, query: QueryLike,
+               trace: Optional[Trace] = None) -> SearchResult:
+        """Run all four stages and return the pruned fragments.
+
+        ``trace`` attaches one span per stage under the caller's open span;
+        metrics (when the engine enabled them) are recorded either way.
+        """
+        observing = self.metrics is not None or trace is not None
+        if not observing:
+            parsed = Query.parse(query)
+            started = time.perf_counter()
+            lists = self.source.keyword_nodes(parsed.keywords)
+            return self._run_stages(parsed, lists, started)
+
+        read_stats = getattr(self.source, "read_stats", None)
+        reads_before = read_stats() if read_stats is not None else None
         started = time.perf_counter()
+        parsed = Query.parse(query)
+        tokenized = time.perf_counter()
         lists = self.source.keyword_nodes(parsed.keywords)
-        return self._run_stages(parsed, lists, started)
+        fetched = time.perf_counter()
+        rows = sum(len(postings) for postings in lists.values())
+        if trace is not None:
+            trace.record("tokenize", started, tokenized,
+                         keywords=len(parsed.keywords))
+            span = trace.record("postings", tokenized, fetched,
+                                keywords=len(lists), rows=rows)
+            if reads_before is not None and read_stats is not None:
+                for key, value in read_stats().items():
+                    delta = value - reads_before.get(key, 0)
+                    if delta:
+                        span.note(**{key: delta})
+        if self.metrics is not None:
+            registry = self.metrics
+            registry.histogram(
+                metric_names.STAGE_TOKENIZE_SECONDS).observe(tokenized - started)
+            registry.histogram(
+                metric_names.STAGE_POSTINGS_SECONDS).observe(fetched - tokenized)
+            registry.counter(metric_names.POSTING_KEYWORDS).inc(len(lists))
+            registry.counter(metric_names.POSTING_ROWS).inc(rows)
+            if reads_before is not None and read_stats is not None:
+                self._record_read_deltas(registry, reads_before, read_stats())
+        return self._run_stages(parsed, lists, started, trace=trace)
+
+    #: Posting-source ``read_stats()`` keys folded into registry counters.
+    _READ_COUNTERS = {
+        "lru_hits": metric_names.POSTING_LRU_HITS,
+        "lru_misses": metric_names.POSTING_LRU_MISSES,
+        "bytes": metric_names.POSTING_BYTES,
+        "packed_fetches": metric_names.POSTING_PACKED_FETCHES,
+        "fallback_fetches": metric_names.POSTING_FALLBACK_FETCHES,
+        "segment_reads": metric_names.SEGMENT_READS,
+        "base_reads": metric_names.SEGMENT_BASE_READS,
+        "merged_cursors": metric_names.SEGMENT_MERGED_CURSORS,
+        "tombstone_hits": metric_names.SEGMENT_TOMBSTONE_HITS,
+    }
+
+    def _record_read_deltas(self, registry: MetricsRegistry,
+                            before: Mapping[str, int],
+                            after: Mapping[str, int]) -> None:
+        """Fold one fetch's posting-source counter deltas into the registry."""
+        for key, name in self._READ_COUNTERS.items():
+            delta = after.get(key, 0) - before.get(key, 0)
+            if delta > 0:
+                # name iterates the _READ_COUNTERS mapping, whose values are
+                # catalogue constants
+                registry.counter(name).inc(delta)  # lint: allow(metrics-discipline)
 
     def search_with_lists(self, query: QueryLike,
                           lists: Mapping[str, Sequence[DeweyCode]]) -> SearchResult:
@@ -162,15 +228,45 @@ class FragmentPipeline:
 
     def _run_stages(self, parsed: Query,
                     lists: Mapping[str, Sequence[DeweyCode]],
-                    started: float) -> SearchResult:
-        """Stages 2–4 (``getLCA``, ``getRTF``, ``pruneRTF``) on ready lists."""
+                    started: float,
+                    trace: Optional[Trace] = None) -> SearchResult:
+        """Stages 2–4 (``getLCA``, ``getRTF``, ``pruneRTF``) on ready lists.
+
+        The LCA hot loop and the fragment loop report through *pre-aggregated*
+        values stamped around each stage — never a per-iteration callback —
+        so ``hot-loop-purity`` holds and the untraced path stays branch-cheap.
+        """
+        observing = self.metrics is not None or trace is not None
+        lca_started = time.perf_counter() if observing else 0.0
         roots = self.lca_function(lists)
+        lca_ended = time.perf_counter() if observing else 0.0
         fragments: List[PrunedFragment] = []
         if roots:
             flags = elca_is_slca(roots)
             for fragment in build_rtfs(self.tree, parsed, roots, lists, flags):
                 fragments.append(self.pruner(self.record_tree(parsed, fragment)))
         elapsed = time.perf_counter() - started
+        if observing:
+            fragments_ended = time.perf_counter()
+            if trace is not None:
+                trace.record("lca", lca_started, lca_ended,
+                             algorithm=self.name, candidates=len(roots))
+                trace.record("fragments", lca_ended, fragments_ended,
+                             fragments=len(fragments))
+            if self.metrics is not None:
+                registry = self.metrics
+                labels = {"algorithm": self.name}
+                registry.counter(metric_names.QUERY_COUNT, labels).inc()
+                registry.histogram(metric_names.QUERY_SECONDS,
+                                   labels).observe(elapsed)
+                registry.histogram(metric_names.STAGE_LCA_SECONDS,
+                                   labels).observe(lca_ended - lca_started)
+                registry.histogram(
+                    metric_names.STAGE_FRAGMENTS_SECONDS,
+                    labels).observe(fragments_ended - lca_ended)
+                registry.counter(metric_names.LCA_CANDIDATES).inc(len(roots))
+                registry.counter(metric_names.QUERY_FRAGMENTS).inc(
+                    len(fragments))
         return SearchResult(
             query=parsed,
             algorithm=self.name,

@@ -28,6 +28,8 @@ from ..core.fragments import SearchResult
 from ..core.errors import SearchError
 from ..core.metrics import summarize_reports
 from ..core.query import Query, QueryLike
+from ..obs import MetricsRegistry, Trace
+from ..obs import names as metric_names
 from ..core.ranking import (
     DocumentRankedFragment,
     RankingWeights,
@@ -78,7 +80,8 @@ class CorpusSearchEngine:
 
     def __init__(self, source: CorpusPostingSource,
                  trees: Optional[Mapping[str, XMLTree]] = None,
-                 cid_mode: str = "minmax", cache_size: int = 0) -> None:
+                 cid_mode: str = "minmax", cache_size: int = 0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.source = source
         self.trees: Dict[str, XMLTree] = dict(trees or {})
         unknown = sorted(set(self.trees) - set(source.doc_ids))
@@ -87,10 +90,14 @@ class CorpusSearchEngine:
                              f"{', '.join(unknown)}")
         self.cid_mode = cid_mode
         self.cache_size = cache_size
+        # One registry shared by every per-document engine, so the corpus
+        # reports one merged view instead of N disjoint ones.
+        self.metrics: Optional[MetricsRegistry] = metrics
         self._engines: Dict[str, SearchEngine] = {
             doc_id: SearchEngine(tree=self.trees.get(doc_id),
                                  source=source.document_source(doc_id),
-                                 cid_mode=cid_mode, cache_size=cache_size)
+                                 cid_mode=cid_mode, cache_size=cache_size,
+                                 metrics=metrics)
             for doc_id in source.doc_ids
         }
 
@@ -101,7 +108,9 @@ class CorpusSearchEngine:
     def from_trees(cls, trees: Mapping[str, XMLTree], backend: str = "memory",
                    representation: str = "packed", shard_count: int = 1,
                    cid_mode: str = "minmax", cache_size: int = 0,
-                   doc_shards: int = 2) -> "CorpusSearchEngine":
+                   doc_shards: int = 2,
+                   metrics: Optional[MetricsRegistry] = None
+                   ) -> "CorpusSearchEngine":
         """Ingest one tree per doc id and build the corpus engine.
 
         ``backend`` picks the per-document source kind (see
@@ -114,17 +123,20 @@ class CorpusSearchEngine:
                                    doc_shards=doc_shards)
         resident = trees if backend == "memory" else None
         return cls(source, trees=resident, cid_mode=cid_mode,
-                   cache_size=cache_size)
+                   cache_size=cache_size, metrics=metrics)
 
     @classmethod
     def from_store(cls, store: "Union[MemoryStore, SQLiteStore]",
                    documents: Optional[Sequence[str]] = None,
                    representation: str = "packed", cid_mode: str = "minmax",
-                   cache_size: int = 0) -> "CorpusSearchEngine":
+                   cache_size: int = 0,
+                   metrics: Optional[MetricsRegistry] = None
+                   ) -> "CorpusSearchEngine":
         """A corpus engine over the documents of an already-indexed store."""
         source = corpus_from_store(store, documents=documents,
                                    representation=representation)
-        return cls(source, cid_mode=cid_mode, cache_size=cache_size)
+        return cls(source, cid_mode=cid_mode, cache_size=cache_size,
+                   metrics=metrics)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -179,18 +191,45 @@ class CorpusSearchEngine:
         return bool(result.count or result.lca_nodes)
 
     def search(self, query: QueryLike, algorithm: str = "validrtf",
-               doc_filter: Optional[Sequence[str]] = None) -> CorpusSearchResult:
-        """Run one query per document and union the doc-tagged answers."""
+               doc_filter: Optional[Sequence[str]] = None,
+               trace: Optional[Trace] = None) -> CorpusSearchResult:
+        """Run one query per document and union the doc-tagged answers.
+
+        ``trace`` wraps each document's pipeline in a ``doc`` sub-span, so a
+        corpus trace shows which documents the time actually went to.
+        """
         parsed = Query.parse(query)
         started = time.perf_counter()
         documents: List[DocumentResult] = []
-        for doc_id in self._selected(doc_filter):
-            result = self._engines[doc_id].search(parsed, algorithm)
+        selected = self._selected(doc_filter)
+        for doc_id in selected:
+            if trace is not None:
+                with trace.span("doc", doc=doc_id):
+                    result = self._engines[doc_id].search(parsed, algorithm,
+                                                          trace=trace)
+            else:
+                result = self._engines[doc_id].search(parsed, algorithm)
             if self._contributes(result):
                 documents.append(DocumentResult(doc_id, result))
+        if self.metrics is not None:
+            self.metrics.counter(
+                metric_names.CORPUS_DOCS_SEARCHED).inc(len(selected))
+            self.metrics.counter(
+                metric_names.CORPUS_DOCS_MATCHED).inc(len(documents))
         return CorpusSearchResult(
             query=parsed, algorithm=algorithm, documents=tuple(documents),
             elapsed_seconds=time.perf_counter() - started)
+
+    def search_traced(self, query: QueryLike, algorithm: str = "validrtf",
+                      doc_filter: Optional[Sequence[str]] = None
+                      ) -> Tuple[CorpusSearchResult, Trace]:
+        """Run one corpus query under a fresh trace with per-document spans."""
+        trace = Trace("search")
+        trace.root.note(algorithm=algorithm, backend=self.backend_id)
+        result = self.search(query, algorithm, doc_filter=doc_filter,
+                             trace=trace)
+        trace.finish()
+        return result, trace
 
     def search_many(self, queries: Sequence[QueryLike],
                     algorithm: str = "validrtf",
@@ -219,15 +258,19 @@ class CorpusSearchEngine:
         return results
 
     def compare(self, query: QueryLike,
-                doc_filter: Optional[Sequence[str]] = None
-                ) -> CorpusComparisonOutcome:
+                doc_filter: Optional[Sequence[str]] = None,
+                trace: Optional[Trace] = None) -> CorpusComparisonOutcome:
         """ValidRTF vs MaxMatch per document, with corpus-level summary."""
         parsed = Query.parse(query)
         outcomes: List[Tuple[str, ComparisonOutcome]] = []
         validrtf_docs: List[DocumentResult] = []
         maxmatch_docs: List[DocumentResult] = []
         for doc_id in self._selected(doc_filter):
-            outcome = self._engines[doc_id].compare(parsed)
+            if trace is not None:
+                with trace.span("doc", doc=doc_id):
+                    outcome = self._engines[doc_id].compare(parsed)
+            else:
+                outcome = self._engines[doc_id].compare(parsed)
             if self._contributes(outcome.validrtf):
                 validrtf_docs.append(DocumentResult(doc_id, outcome.validrtf))
             if self._contributes(outcome.maxmatch):
@@ -244,6 +287,16 @@ class CorpusSearchEngine:
             summary=summarize_reports([outcome.report
                                        for _, outcome in outcomes]),
         )
+
+    def compare_traced(self, query: QueryLike,
+                       doc_filter: Optional[Sequence[str]] = None
+                       ) -> Tuple[CorpusComparisonOutcome, Trace]:
+        """Like :meth:`compare`, under one trace with per-document spans."""
+        trace = Trace("compare")
+        trace.root.note(backend=self.backend_id)
+        outcome = self.compare(query, doc_filter=doc_filter, trace=trace)
+        trace.finish()
+        return outcome, trace
 
     # ------------------------------------------------------------------ #
     # Ranking (corpus-level top-k merge)
@@ -303,6 +356,12 @@ class CorpusSearchEngine:
         for engine in self._engines.values():
             engine.set_cid_mode(cid_mode)
         self.cid_mode = cid_mode
+
+    def set_metrics(self, metrics: "Optional[MetricsRegistry]") -> None:
+        """Attach (or detach) a registry on the corpus and every doc engine."""
+        self.metrics = metrics
+        for engine in self._engines.values():
+            engine.set_metrics(metrics)
 
     # ------------------------------------------------------------------ #
     # Rendering

@@ -1,0 +1,43 @@
+"""Observability: live metrics registry + per-query trace spans.
+
+``repro.obs`` is dependency-free and optional everywhere it is threaded:
+every instrumented layer takes an ``Optional[MetricsRegistry]`` (a disabled
+registry costs one ``is not None`` branch) and an optional per-call
+:class:`Trace`.  The serving stack merges per-worker registries into the
+``stats`` wire op; the CLI renders traces (``search --trace``) and
+Prometheus text (``metrics``).
+"""
+
+from . import names
+from .registry import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Snapshot,
+    empty_snapshot,
+    merge_snapshots,
+    render_prometheus,
+    split_series_key,
+)
+from .trace import Trace, TraceSpan, render_trace
+
+__all__ = [
+    "names",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Snapshot",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "empty_snapshot",
+    "merge_snapshots",
+    "render_prometheus",
+    "split_series_key",
+    "Trace",
+    "TraceSpan",
+    "render_trace",
+]

@@ -1,0 +1,339 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+Design constraints (the serving stack's, not Prometheus client parity):
+
+* **Lock-protected.**  One registry lock serializes every mutation, so the
+  pool's worker threads and the asyncio server loop can share a registry
+  without torn counters.  Critical sections are a couple of dict/float
+  operations — the same cost profile as the query-result cache.
+* **Snapshot-able.**  :meth:`MetricsRegistry.snapshot` returns a plain
+  JSON-serializable dict (the ``stats`` wire op ships it verbatim).
+* **Mergeable.**  :func:`merge_snapshots` folds per-worker registries into
+  one service-wide view: counters and histograms add, gauges take the
+  maximum (they carry peaks/levels, where the cross-worker max is the
+  honest aggregate).
+* **Disabled = one branch.**  Instrumented code holds an
+  ``Optional[MetricsRegistry]``; when it is ``None`` the only cost is the
+  ``is not None`` test.  Hot loops never call the registry per iteration —
+  they pre-aggregate locally and report once per call.
+
+Metric names must come from the :mod:`repro.obs.names` catalogue; unknown
+names raise immediately (and the ``metrics-discipline`` lint rule rejects
+free-string names at call sites before they even run).  An optional
+``labels`` mapping splits one name into separate series, rendered into the
+snapshot key as ``name{key="value"}`` in sorted key order.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .names import CATALOGUE
+
+#: Default histogram bucket upper bounds (seconds): tuned for query-stage
+#: latencies spanning microseconds to whole seconds, log-ish spaced.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Default buckets for small cardinalities (batch sizes, candidate counts).
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+)
+
+Snapshot = Dict[str, Dict[str, object]]
+
+
+def _series_key(name: str, labels: Optional[Mapping[str, str]]) -> str:
+    if name not in CATALOGUE:
+        raise ValueError(f"unregistered metric name {name!r}; add it to "
+                         f"repro.obs.names first")
+    if not labels:
+        return name
+    rendered = ",".join(f'{key}="{value}"'
+                        for key, value in sorted(labels.items()))
+    return f"{name}{{{rendered}}}"
+
+
+def split_series_key(key: str) -> Tuple[str, str]:
+    """Split a snapshot key into ``(name, label_body)`` (label body may be '')."""
+    if key.endswith("}") and "{" in key:
+        name, _, labels = key.partition("{")
+        return name, labels[:-1]
+    return key, ""
+
+
+class Counter:
+    """A monotonically increasing integer (increments only)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time level; :meth:`set_max` tracks high-water marks."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/max.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound (rendered as ``le="+Inf"``).
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_count", "_sum", "_max")
+
+    def __init__(self, lock: threading.Lock,
+                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram buckets must be sorted and "
+                             f"non-empty, got {buckets!r}")
+        self._lock = lock
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        slot = len(self.buckets)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = index
+                break
+        with self._lock:
+            self._counts[slot] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+
+class MetricsRegistry:
+    """The process-local home of every live metric series.
+
+    Metrics are created on first reference and cached, so steady-state
+    instrumentation is one dict lookup plus the metric's own lock.  All
+    series of one registry share a single lock — contention is bounded by
+    the handful of increments a query performs.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Series accessors
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str,
+                labels: Optional[Mapping[str, str]] = None) -> Counter:
+        key = _series_key(name, labels)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter(self._lock)
+        return metric
+
+    def gauge(self, name: str,
+              labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        key = _series_key(name, labels)
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge(self._lock)
+        return metric
+
+    def histogram(self, name: str,
+                  labels: Optional[Mapping[str, str]] = None,
+                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+                  ) -> Histogram:
+        key = _series_key(name, labels)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(self._lock, buckets)
+        return metric
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Snapshot:
+        """A consistent, JSON-serializable copy of every series."""
+        with self._lock:
+            counters = {key: metric._value
+                        for key, metric in sorted(self._counters.items())}
+            gauges = {key: metric._value
+                      for key, metric in sorted(self._gauges.items())}
+            histograms = {
+                key: {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric._counts),
+                    "count": metric._count,
+                    "sum": metric._sum,
+                    "max": metric._max,
+                }
+                for key, metric in sorted(self._histograms.items())
+            }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+
+def empty_snapshot() -> Snapshot:
+    """The snapshot of a registry nothing ever reported to."""
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
+    """Fold per-worker snapshots into one service-wide view.
+
+    Counters and histograms (counts, sums) add; gauges take the maximum;
+    histogram ``max`` takes the maximum.  Histograms merged under one key
+    must share their bucket bounds.
+    """
+    merged = empty_snapshot()
+    counters = merged["counters"]
+    gauges = merged["gauges"]
+    histograms = merged["histograms"]
+    for snapshot in snapshots:
+        for key, value in snapshot.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            gauges[key] = max(gauges.get(key, value), value)
+        for key, series in snapshot.get("histograms", {}).items():
+            into = histograms.get(key)
+            if into is None:
+                histograms[key] = {
+                    "buckets": list(series["buckets"]),
+                    "counts": list(series["counts"]),
+                    "count": series["count"],
+                    "sum": series["sum"],
+                    "max": series["max"],
+                }
+                continue
+            if into["buckets"] != list(series["buckets"]):
+                raise ValueError(f"cannot merge histogram {key!r}: bucket "
+                                 f"bounds differ across snapshots")
+            into["counts"] = [a + b for a, b in
+                              zip(into["counts"], series["counts"])]
+            into["count"] += series["count"]
+            into["sum"] += series["sum"]
+            into["max"] = max(into["max"], series["max"])
+    for name in ("counters", "gauges", "histograms"):
+        merged[name] = dict(sorted(merged[name].items()))
+    return merged
+
+
+# --------------------------------------------------------------------- #
+# Prometheus-style text exposition
+# --------------------------------------------------------------------- #
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_")
+
+
+def _labeled(prom: str, label_body: str, extra: str = "") -> str:
+    parts = [part for part in (label_body, extra) if part]
+    return f"{prom}{{{','.join(parts)}}}" if parts else prom
+
+
+def render_prometheus(snapshot: Snapshot) -> str:
+    """Render one snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_types: set = set()
+
+    def type_line(prom: str, kind: str) -> None:
+        if prom not in seen_types:
+            seen_types.add(prom)
+            lines.append(f"# TYPE {prom} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, label_body = split_series_key(key)
+        prom = _prom_name(name) + "_total"
+        type_line(prom, "counter")
+        lines.append(f"{_labeled(prom, label_body)} {value}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, label_body = split_series_key(key)
+        prom = _prom_name(name)
+        type_line(prom, "gauge")
+        lines.append(f"{_labeled(prom, label_body)} {_format(value)}")
+    for key, series in snapshot.get("histograms", {}).items():
+        name, label_body = split_series_key(key)
+        prom = _prom_name(name)
+        type_line(prom, "histogram")
+        cumulative = 0
+        for bound, count in zip(series["buckets"], series["counts"]):
+            cumulative += count
+            le = f'le="{_format_label(bound)}"'
+            lines.append(f"{_labeled(prom + '_bucket', label_body, le)} "
+                         f"{cumulative}")
+        inf = 'le="+Inf"'
+        lines.append(f"{_labeled(prom + '_bucket', label_body, inf)} "
+                     f"{series['count']}")
+        lines.append(f"{_labeled(prom + '_sum', label_body)} {_format(series['sum'])}")
+        lines.append(f"{_labeled(prom + '_count', label_body)} {series['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(value)
+
+
+def _format_label(bound: float) -> str:
+    return str(int(bound)) if float(bound).is_integer() else str(bound)

@@ -1,0 +1,149 @@
+"""Per-query trace spans: where one request's time actually went.
+
+A :class:`Trace` is one query's span tree.  The pipeline opens a child span
+per stage (tokenize, postings, lca, fragments), the corpus engine opens one
+per searched document, and nested calls attach under whatever span is open
+— so a corpus search over three documents shows twelve stage spans grouped
+under three document spans, all under one root.
+
+Two attachment styles coexist:
+
+* :meth:`Trace.span` — a context manager that times its block and nests
+  anything recorded inside it (used by layers that *call down*, e.g. the
+  corpus engine's per-document dispatch);
+* :meth:`Trace.record` — attach an already-measured interval (used by the
+  pipeline, which stamps ``perf_counter`` around each stage so the
+  untraced fast path stays free of context-manager overhead).
+
+Rendering (:func:`render_trace`) prints one line per span with its wall
+time, notes, and — on spans with children — the *self* time not accounted
+for by any child, so the stage timings visibly sum to the total.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class TraceSpan:
+    """One timed interval in a query's span tree."""
+
+    __slots__ = ("name", "started", "ended", "notes", "children")
+
+    def __init__(self, name: str, started: Optional[float] = None) -> None:
+        self.name = name
+        self.started = time.perf_counter() if started is None else started
+        self.ended: Optional[float] = None
+        self.notes: Dict[str, object] = {}
+        self.children: List["TraceSpan"] = []
+
+    def note(self, **notes: object) -> "TraceSpan":
+        """Attach key=value annotations (counts, sizes, code paths)."""
+        self.notes.update(notes)
+        return self
+
+    def finish(self, ended: Optional[float] = None) -> None:
+        if self.ended is None:
+            self.ended = time.perf_counter() if ended is None else ended
+
+    @property
+    def seconds(self) -> float:
+        if self.ended is None:
+            return 0.0
+        return self.ended - self.started
+
+    @property
+    def child_seconds(self) -> float:
+        return sum(child.seconds for child in self.children)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (milliseconds, nested children)."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "ms": round(self.seconds * 1000.0, 4),
+        }
+        if self.notes:
+            payload["notes"] = dict(self.notes)
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    def __repr__(self) -> str:
+        return f"TraceSpan({self.name!r}, {self.seconds * 1000.0:.3f} ms)"
+
+
+class Trace:
+    """One query's span tree plus the open-span stack for nesting."""
+
+    def __init__(self, name: str = "query") -> None:
+        self.root = TraceSpan(name)
+        self._stack: List[TraceSpan] = [self.root]
+
+    @property
+    def current(self) -> TraceSpan:
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, **notes: object) -> Iterator[TraceSpan]:
+        """Open a child of the current span for the duration of the block."""
+        child = TraceSpan(name)
+        child.notes.update(notes)
+        self.current.children.append(child)
+        self._stack.append(child)
+        try:
+            yield child
+        finally:
+            child.finish()
+            self._stack.pop()
+
+    def record(self, name: str, started: float, ended: float,
+               **notes: object) -> TraceSpan:
+        """Attach an already-measured interval under the current span."""
+        child = TraceSpan(name, started=started)
+        child.finish(ended)
+        child.notes.update(notes)
+        self.current.children.append(child)
+        return child
+
+    def finish(self) -> "Trace":
+        """Close the root span (idempotent); inner spans must be closed."""
+        self.root.finish()
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return self.root.to_dict()
+
+
+def _format_notes(notes: Dict[str, object]) -> str:
+    if not notes:
+        return ""
+    return "  " + " ".join(f"{key}={value}" for key, value in notes.items())
+
+
+def render_trace(trace: Trace) -> str:
+    """The span tree as an indented text table with millisecond timings."""
+    trace.finish()
+    lines: List[str] = []
+
+    def walk(span: TraceSpan, prefix: str, is_last: bool, depth: int) -> None:
+        if depth == 0:
+            head = ""
+            child_prefix = ""
+        else:
+            head = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        lines.append(f"{head}{span.name:<{max(1, 24 - len(head))}} "
+                     f"{span.seconds * 1000.0:9.3f} ms"
+                     f"{_format_notes(span.notes)}")
+        children = span.children
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, depth + 1)
+        if children:
+            unaccounted = span.seconds - span.child_seconds
+            lines.append(f"{child_prefix}   (self: "
+                         f"{unaccounted * 1000.0:.3f} ms unaccounted)")
+
+    walk(trace.root, "", True, 0)
+    return "\n".join(lines)

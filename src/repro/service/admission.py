@@ -7,8 +7,12 @@ number of requests past the front door: request N+1 beyond
 instead of queueing, and every admitted request runs under an optional
 deadline that turns into the typed ``timeout`` error.
 
-The counters are lock-protected so the asyncio front end and any
-thread-based caller share one consistent view.
+The shed/timeout counters and the in-flight gauges live in a
+:class:`~repro.obs.MetricsRegistry` (the service passes its shared one);
+:meth:`AdmissionController.stats` is *derived* from that registry, so the
+``stats`` wire op and any metrics scrape can never disagree.  Only the
+in-flight level itself stays under the controller's own lock — the bound
+check and the increment must be atomic.
 """
 
 from __future__ import annotations
@@ -18,6 +22,8 @@ import threading
 from types import TracebackType
 from typing import Awaitable, Dict, Optional, Type, TypeVar
 
+from ..obs import MetricsRegistry
+from ..obs import names as metric_names
 from .protocol import ERROR_OVERLOADED, ERROR_TIMEOUT, ServiceError
 
 T = TypeVar("T")
@@ -36,10 +42,14 @@ class AdmissionController:
         shed with :data:`~repro.service.protocol.ERROR_OVERLOADED`.
     timeout_seconds:
         Per-request deadline applied by :meth:`run`; ``None`` disables it.
+    metrics:
+        The registry carrying the admission counters/gauges; a private one
+        is created when omitted (standalone use keeps full accounting).
     """
 
     def __init__(self, max_inflight: int = DEFAULT_MAX_INFLIGHT,
-                 timeout_seconds: Optional[float] = None) -> None:
+                 timeout_seconds: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be positive, got {max_inflight}")
         if timeout_seconds is not None and timeout_seconds <= 0:
@@ -47,12 +57,10 @@ class AdmissionController:
                 f"timeout_seconds must be positive, got {timeout_seconds}")
         self.max_inflight = max_inflight
         self.timeout_seconds = timeout_seconds
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry())
         self._lock = threading.Lock()
         self._inflight = 0
-        self._admitted = 0
-        self._rejected = 0
-        self._timed_out = 0
-        self._peak_inflight = 0
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -61,14 +69,22 @@ class AdmissionController:
         """Admit one request or shed it with the ``overloaded`` error."""
         with self._lock:
             if self._inflight >= self.max_inflight:
-                self._rejected += 1
-                raise ServiceError(
-                    ERROR_OVERLOADED,
-                    f"load shed: {self._inflight} requests in flight "
-                    f"(bound {self.max_inflight})")
-            self._inflight += 1
-            self._admitted += 1
-            self._peak_inflight = max(self._peak_inflight, self._inflight)
+                inflight = self._inflight
+                shed = True
+            else:
+                self._inflight += 1
+                inflight = self._inflight
+                shed = False
+        if shed:
+            self.metrics.counter(metric_names.ADMISSION_REJECTED).inc()
+            raise ServiceError(
+                ERROR_OVERLOADED,
+                f"load shed: {inflight} requests in flight "
+                f"(bound {self.max_inflight})")
+        self.metrics.counter(metric_names.ADMISSION_ADMITTED).inc()
+        self.metrics.gauge(metric_names.ADMISSION_INFLIGHT).set(inflight)
+        self.metrics.gauge(
+            metric_names.ADMISSION_PEAK_INFLIGHT).set_max(inflight)
 
     def release(self) -> None:
         """Mark one admitted request as finished."""
@@ -76,6 +92,8 @@ class AdmissionController:
             if self._inflight <= 0:
                 raise RuntimeError("release() without a matching acquire()")
             self._inflight -= 1
+            inflight = self._inflight
+        self.metrics.gauge(metric_names.ADMISSION_INFLIGHT).set(inflight)
 
     def __enter__(self) -> "AdmissionController":
         self.acquire()
@@ -93,8 +111,7 @@ class AdmissionController:
         try:
             return await asyncio.wait_for(awaitable, self.timeout_seconds)
         except asyncio.TimeoutError:
-            with self._lock:
-                self._timed_out += 1
+            self.metrics.counter(metric_names.ADMISSION_TIMED_OUT).inc()
             raise ServiceError(
                 ERROR_TIMEOUT,
                 f"request exceeded its {self.timeout_seconds:g}s deadline"
@@ -110,17 +127,20 @@ class AdmissionController:
             return self._inflight
 
     def stats(self) -> Dict[str, object]:
-        """Counters for the ``stats`` endpoint and the load reports."""
-        with self._lock:
-            return {
-                "max_inflight": self.max_inflight,
-                "timeout_seconds": self.timeout_seconds,
-                "inflight": self._inflight,
-                "peak_inflight": self._peak_inflight,
-                "admitted": self._admitted,
-                "rejected": self._rejected,
-                "timed_out": self._timed_out,
-            }
+        """Counters for the ``stats`` endpoint — derived from the registry."""
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        return {
+            "max_inflight": self.max_inflight,
+            "timeout_seconds": self.timeout_seconds,
+            "inflight": int(gauges.get(metric_names.ADMISSION_INFLIGHT, 0)),
+            "peak_inflight": int(
+                gauges.get(metric_names.ADMISSION_PEAK_INFLIGHT, 0)),
+            "admitted": counters.get(metric_names.ADMISSION_ADMITTED, 0),
+            "rejected": counters.get(metric_names.ADMISSION_REJECTED, 0),
+            "timed_out": counters.get(metric_names.ADMISSION_TIMED_OUT, 0),
+        }
 
     def __repr__(self) -> str:
         return (f"AdmissionController(inflight={self.inflight}/"

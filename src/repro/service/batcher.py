@@ -16,15 +16,23 @@ the asyncio shim that turns independent in-flight requests into such batches:
 
 Failures propagate to every request of the batch; requests whose future was
 already cancelled (deadline hit while queued) are skipped.
+
+All batching counters — requests, batches, flush causes — plus the
+queue-wait and batch-occupancy histograms live in a
+:class:`~repro.obs.MetricsRegistry`; :meth:`RequestBatcher.stats` is derived
+from it, so the ``stats`` wire op and a metrics scrape always agree.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..core.fragments import SearchResult
 from ..core.query import QueryLike
+from ..obs import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+from ..obs import names as metric_names
 from .engine_pool import EnginePool
 from .protocol import ERROR_INTERNAL, ServiceError
 
@@ -37,6 +45,9 @@ DEFAULT_MAX_WAIT_SECONDS = 0.002
 #: A bucket key: the knobs all requests of one batch must share.
 BatchKey = Tuple[str, Optional[str]]
 
+#: One queued request: (query, its future, its enqueue timestamp).
+_Entry = Tuple[object, "asyncio.Future", float]
+
 
 class _Bucket:
     """The open batch of one ``(algorithm, cid_mode)`` key."""
@@ -44,7 +55,7 @@ class _Bucket:
     __slots__ = ("entries", "timer")
 
     def __init__(self) -> None:
-        self.entries: List[Tuple[object, asyncio.Future]] = []
+        self.entries: List[_Entry] = []
         self.timer: Optional[asyncio.TimerHandle] = None
 
 
@@ -57,7 +68,8 @@ class RequestBatcher:
 
     def __init__(self, pool: EnginePool,
                  max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
-                 max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS) -> None:
+                 max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_batch_size < 1:
             raise ValueError(
                 f"max_batch_size must be positive, got {max_batch_size}")
@@ -67,17 +79,13 @@ class RequestBatcher:
         self.pool = pool
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_seconds
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry())
         self._buckets: Dict[BatchKey, _Bucket] = {}
         # Strong references to in-flight flush tasks: the event loop only
         # keeps weak ones, and a collected task would drop its whole batch.
         self._tasks: set = set()
         self._closed = False
-        # Counters for the stats endpoint / load reports.
-        self._requests = 0
-        self._batches = 0
-        self._largest_batch = 0
-        self._size_flushes = 0
-        self._timer_flushes = 0
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -93,10 +101,10 @@ class RequestBatcher:
         bucket = self._buckets.get(key)
         if bucket is None:
             bucket = self._buckets[key] = _Bucket()
-        bucket.entries.append((query, future))
-        self._requests += 1
+        bucket.entries.append((query, future, time.monotonic()))
+        self.metrics.counter(metric_names.BATCHER_REQUESTS).inc()
         if len(bucket.entries) >= self.max_batch_size:
-            self._size_flushes += 1
+            self.metrics.counter(metric_names.BATCHER_SIZE_FLUSHES).inc()
             self._flush(key)
         elif bucket.timer is None:
             bucket.timer = loop.call_later(self.max_wait_seconds,
@@ -108,7 +116,7 @@ class RequestBatcher:
     # ------------------------------------------------------------------ #
     def _timer_flush(self, key: BatchKey) -> None:
         if key in self._buckets:
-            self._timer_flushes += 1
+            self.metrics.counter(metric_names.BATCHER_TIMER_FLUSHES).inc()
             self._flush(key)
 
     def _flush(self, key: BatchKey) -> None:
@@ -118,25 +126,32 @@ class RequestBatcher:
         if bucket.timer is not None:
             bucket.timer.cancel()
         if bucket.entries:
-            self._batches += 1
-            self._largest_batch = max(self._largest_batch, len(bucket.entries))
+            self.metrics.counter(metric_names.BATCHER_BATCHES).inc()
+            self.metrics.histogram(
+                metric_names.BATCHER_BATCH_SIZE,
+                buckets=DEFAULT_COUNT_BUCKETS,
+            ).observe(len(bucket.entries))
+            flushed_at = time.monotonic()
+            waits = self.metrics.histogram(
+                metric_names.BATCHER_QUEUE_WAIT_SECONDS)
+            for _, _, enqueued_at in bucket.entries:
+                waits.observe(flushed_at - enqueued_at)
             task = asyncio.ensure_future(self._run_batch(key, bucket.entries))
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
 
-    async def _run_batch(self, key: BatchKey,
-                         entries: List[Tuple[object, asyncio.Future]]) -> None:
+    async def _run_batch(self, key: BatchKey, entries: List[_Entry]) -> None:
         algorithm, cid_mode = key
-        queries = [query for query, _ in entries]
+        queries = [query for query, _, _ in entries]
         try:
             results = await asyncio.wrap_future(
                 self.pool.search_many(queries, algorithm, cid_mode))
         except Exception as error:  # noqa: BLE001 - fan the failure out
-            for _, future in entries:
+            for _, future, _ in entries:
                 if not future.done():
                     future.set_exception(_as_service_error(error))
             return
-        for (_, future), result in zip(entries, results):
+        for (_, future, _), result in zip(entries, results):
             if not future.done():
                 future.set_result(result)
 
@@ -154,17 +169,33 @@ class RequestBatcher:
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
-        """Batching counters for the ``stats`` endpoint / load reports."""
+        """Batching counters for the ``stats`` endpoint / load reports.
+
+        Derived entirely from the metrics registry: ``largest_batch`` is the
+        batch-size histogram's maximum; ``mean_queue_wait_ms`` the queue-wait
+        histogram's mean.
+        """
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        histograms = snapshot["histograms"]
+        requests = counters.get(metric_names.BATCHER_REQUESTS, 0)
+        batches = counters.get(metric_names.BATCHER_BATCHES, 0)
+        sizes = histograms.get(metric_names.BATCHER_BATCH_SIZE)
+        waits = histograms.get(metric_names.BATCHER_QUEUE_WAIT_SECONDS)
         return {
             "max_batch_size": self.max_batch_size,
             "max_wait_seconds": self.max_wait_seconds,
-            "requests": self._requests,
-            "batches": self._batches,
-            "largest_batch": self._largest_batch,
-            "size_flushes": self._size_flushes,
-            "timer_flushes": self._timer_flushes,
-            "mean_batch_size": (self._requests / self._batches
-                                if self._batches else 0.0),
+            "requests": requests,
+            "batches": batches,
+            "largest_batch": int(sizes["max"]) if sizes else 0,
+            "size_flushes": counters.get(
+                metric_names.BATCHER_SIZE_FLUSHES, 0),
+            "timer_flushes": counters.get(
+                metric_names.BATCHER_TIMER_FLUSHES, 0),
+            "mean_batch_size": (requests / batches if batches else 0.0),
+            "mean_queue_wait_ms": (
+                round(waits["sum"] / waits["count"] * 1000.0, 4)
+                if waits and waits["count"] else 0.0),
         }
 
     def __repr__(self) -> str:

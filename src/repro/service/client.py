@@ -146,9 +146,25 @@ class ServiceClient:
                 "segment": response["segment"],
                 "documents": response["documents"]}
 
-    def stats(self) -> Dict[str, object]:
-        """The server's merged pool/batcher/admission counters."""
-        return self._checked({"op": "stats"})["stats"]
+    def stats(self, section: Optional[str] = None) -> Dict[str, object]:
+        """The server's merged pool/batcher/admission/server counters.
+
+        ``section`` narrows the payload to one layer (typed ``bad_request``
+        error on unknown section names).
+        """
+        message: Dict[str, object] = {"op": "stats"}
+        if section is not None:
+            message["section"] = section
+        return self._checked(message)["stats"]
+
+    def metrics(self) -> Dict[str, object]:
+        """The server's merged metrics-registry snapshot.
+
+        The ``counters`` / ``gauges`` / ``histograms`` mapping every
+        registry of the serving stack folds into (see
+        :meth:`repro.service.server.SearchService.metrics_snapshot`).
+        """
+        return self._checked({"op": "stats"})["metrics"]
 
     def algorithms(self) -> Dict[str, object]:
         """The algorithm and cid-mode names the server accepts."""

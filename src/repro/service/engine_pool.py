@@ -37,6 +37,7 @@ from ..core.fragments import SearchResult
 from ..core.query import QueryLike
 from ..corpus import CorpusSearchEngine, corpus_from_trees
 from ..index import InvertedIndex
+from ..obs import MetricsRegistry, Snapshot, empty_snapshot, merge_snapshots
 from ..storage import (
     DEFAULT_POSTING_LRU_SIZE,
     SegmentedStore,
@@ -81,6 +82,10 @@ class EnginePool:
                                             thread_name_prefix=name)
         self._local = threading.local()
         self._engines: List[SearchEngine] = []
+        # One registry per worker engine ever built (kept across engine
+        # invalidations so the counters stay cumulative); merged lazily by
+        # :meth:`metrics_snapshot`.
+        self._engine_registries: List[MetricsRegistry] = []
         self._engines_lock = threading.Lock()
         self._closed = False
         #: Bumped by :meth:`invalidate_engines`; worker engines built under
@@ -222,10 +227,18 @@ class EnginePool:
         version = getattr(self._local, "engine_version", -1)
         if engine is None or version != self._engine_version:
             engine = self._factory()
+            # Every worker engine observes into its own registry (no lock
+            # contention between workers on the hot path); snapshots are
+            # merged on demand.
+            registry = MetricsRegistry()
+            setter = getattr(engine, "set_metrics", None)
+            if setter is not None:
+                setter(registry)
             self._local.engine = engine
             self._local.engine_version = self._engine_version
             with self._engines_lock:
                 self._engines.append(engine)
+                self._engine_registries.append(registry)
         return engine
 
     def invalidate_engines(self) -> None:
@@ -351,6 +364,19 @@ class EnginePool:
             size=sum(stats.size for stats in totals),
             max_size=sum(stats.max_size for stats in totals),
         )
+
+    def metrics_snapshot(self) -> Snapshot:
+        """Merged engine-level metrics across every worker registry.
+
+        Registries of invalidated (discarded) engines are included, so the
+        counters remain cumulative across live-mutation rebuilds.
+        """
+        with self._engines_lock:
+            registries = list(self._engine_registries)
+        if not registries:
+            return empty_snapshot()
+        return merge_snapshots([registry.snapshot()
+                                for registry in registries])
 
     def stats(self) -> Dict[str, object]:
         """Pool-level counters for the ``stats`` endpoint."""

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bench.export import PathLike, write_json
+from ..obs import names as metric_names
 from ..xmltree import XMLTree
 from .client import ServiceClient
 from .protocol import ServiceError
@@ -63,6 +64,9 @@ class LoadReport:
     target_rate: Optional[float] = None
     config: Dict[str, object] = field(default_factory=dict)
     server_stats: Dict[str, object] = field(default_factory=dict)
+    #: The server's merged metrics-registry snapshot taken after the run
+    #: (queue waits, batch occupancy, shed counters, engine-level series).
+    server_metrics: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @property
@@ -109,6 +113,7 @@ class LoadReport:
             "errors": dict(self.errors),
             "config": self.config,
             "server_stats": self.server_stats,
+            "server_metrics": self.server_metrics,
         }
 
     def summary(self) -> str:
@@ -265,11 +270,14 @@ def loadtest(config: ServiceConfig, queries: Sequence[str],
              address: Optional[Tuple[str, int]] = None,
              mode: str = "closed", requests: int = 200, concurrency: int = 4,
              rate: float = 100.0, duration: float = 2.0,
-             algorithm: str = "validrtf") -> LoadReport:
+             algorithm: str = "validrtf",
+             fetch_stats: bool = False) -> LoadReport:
     """Drive one load run, self-hosting a server unless ``address`` is given.
 
     Returns the :class:`LoadReport`, annotated with the service config and
-    (when self-hosting) the server's own pool/batcher/admission counters.
+    (when self-hosting, or when ``fetch_stats`` is set against an external
+    ``address``) the server's own pool/batcher/admission/server counters
+    plus its merged metrics-registry snapshot.
     """
     def drive(target: Tuple[str, int]) -> LoadReport:
         if mode == "closed":
@@ -284,10 +292,17 @@ def loadtest(config: ServiceConfig, queries: Sequence[str],
 
     if address is not None:
         report = drive(address)
+        if fetch_stats:
+            with ServiceClient(*address) as client:
+                response = client.request({"op": "stats"})
+            if response.get("ok"):
+                report.server_stats = response.get("stats", {})
+                report.server_metrics = response.get("metrics", {})
     else:
         with ServerThread(config, tree=tree) as server:
             report = drive(server.address)
             report.server_stats = server.service.stats()
+            report.server_metrics = server.service.metrics_snapshot()
     report.config = {
         "backend": config.backend,
         "workers": config.workers,
@@ -334,6 +349,55 @@ def verify_service_reports(reports: Sequence[LoadReport]) -> None:
                 <= latency["max"]):
             raise ServiceBenchIntegrityError(
                 f"{where}: percentiles out of order: {latency}")
+        _verify_server_metrics(where, report)
+
+
+def _verify_server_metrics(where: str, report: LoadReport) -> None:
+    """Metrics-snapshot invariants for reports that captured one.
+
+    The snapshot and the stats dict are derived from the same registries,
+    so they must agree exactly — a divergence means the old two-bookkeeping
+    bug is back.
+    """
+    metrics = report.server_metrics
+    if not metrics:
+        return
+    counters = metrics.get("counters", {})
+    for key, value in counters.items():
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ServiceBenchIntegrityError(
+                f"{where}: counter {key} has impossible value {value!r}")
+    for key, histogram in metrics.get("histograms", {}).items():
+        if histogram["count"] != sum(histogram["counts"]):
+            raise ServiceBenchIntegrityError(
+                f"{where}: histogram {key} count {histogram['count']} != "
+                f"sum of its bucket counts")
+        if histogram["count"] < 0 or histogram["sum"] < 0:
+            raise ServiceBenchIntegrityError(
+                f"{where}: histogram {key} has negative count/sum")
+    batcher = (report.server_stats or {}).get("batcher")
+    if isinstance(batcher, dict):
+        for stat_key, metric in (
+                ("requests", metric_names.BATCHER_REQUESTS),
+                ("batches", metric_names.BATCHER_BATCHES),
+                ("size_flushes", metric_names.BATCHER_SIZE_FLUSHES),
+                ("timer_flushes", metric_names.BATCHER_TIMER_FLUSHES)):
+            if batcher.get(stat_key) != counters.get(metric, 0):
+                raise ServiceBenchIntegrityError(
+                    f"{where}: stats batcher.{stat_key} "
+                    f"({batcher.get(stat_key)}) disagrees with metrics "
+                    f"counter {metric} ({counters.get(metric, 0)})")
+    admission = (report.server_stats or {}).get("admission")
+    if isinstance(admission, dict):
+        for stat_key, metric in (
+                ("admitted", metric_names.ADMISSION_ADMITTED),
+                ("rejected", metric_names.ADMISSION_REJECTED),
+                ("timed_out", metric_names.ADMISSION_TIMED_OUT)):
+            if admission.get(stat_key) != counters.get(metric, 0):
+                raise ServiceBenchIntegrityError(
+                    f"{where}: stats admission.{stat_key} "
+                    f"({admission.get(stat_key)}) disagrees with metrics "
+                    f"counter {metric} ({counters.get(metric, 0)})")
 
 
 def write_service_bench(reports: "Union[LoadReport, Sequence[LoadReport]]",

@@ -46,8 +46,10 @@ document list.
 from __future__ import annotations
 
 import asyncio
+import sys
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from types import TracebackType
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
@@ -55,6 +57,8 @@ from ..core import ALGORITHM_NAMES, Query, SearchEngine
 from ..core.errors import EmptyQueryError, SearchError
 from ..corpus import CorpusSearchEngine
 from ..core.node_record import CID_MODES
+from ..obs import MetricsRegistry, Snapshot, merge_snapshots, split_series_key
+from ..obs import names as metric_names
 from ..storage import SegmentedStore
 from ..storage.errors import DocumentNotFound
 from ..xmltree import ParseError, XMLTree, parse_string
@@ -84,6 +88,15 @@ from .protocol import (
 _READLINE_LIMIT = 1 << 20
 
 
+def _label_value(label_body: str, key: str) -> str:
+    """Extract one label's value from a snapshot key's label body."""
+    for part in label_body.split(","):
+        name, _, value = part.partition("=")
+        if name == key:
+            return value.strip('"')
+    return ""
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Every knob of the serving stack in one place.
@@ -107,39 +120,68 @@ class ServiceConfig:
     #: Corpus backend only: serve this doc-id subset of the database
     #: instead of every stored document.
     documents: Optional[Tuple[str, ...]] = None
+    #: Log (and count) requests slower than this many seconds; ``None``
+    #: disables the slow-query log.
+    slow_query_seconds: Optional[float] = None
 
     def build(self, tree: Optional[XMLTree] = None) -> "SearchService":
-        """Assemble pool + batcher + admission into a ready service."""
+        """Assemble pool + batcher + admission into a ready service.
+
+        One shared :class:`~repro.obs.MetricsRegistry` carries the
+        service-level series (requests, queue waits, shed counters); worker
+        engines keep per-thread registries merged on snapshot.
+        """
         pool = EnginePool.for_backend(
             self.backend, tree=tree, workers=self.workers,
             cache_size=self.cache_size, shards=self.shards,
             db_path=self.db_path, document=self.document,
             representation=self.representation,
             documents=self.documents)
+        metrics = MetricsRegistry()
         return SearchService(
             pool,
             batcher=RequestBatcher(pool, self.max_batch_size,
-                                   self.batch_window_seconds),
+                                   self.batch_window_seconds,
+                                   metrics=metrics),
             admission=AdmissionController(self.max_inflight,
-                                          self.timeout_seconds),
+                                          self.timeout_seconds,
+                                          metrics=metrics),
             default_cid_mode=self.cid_mode,
             owns_pool=True,
+            metrics=metrics,
+            slow_query_seconds=self.slow_query_seconds,
         )
 
 
 class SearchService:
     """Transport-free dispatch: a request dict in, a response dict out."""
 
+    #: Ops that are answered without touching engines or admission.  They
+    #: deliberately record **no** request metrics: a ``stats`` request must
+    #: return exactly the state the service was in when it arrived (this is
+    #: what makes the wire response byte-identical to a direct
+    #: :meth:`stats` call).
+    _INTROSPECTION_OPS = frozenset({"ping", "stats", "algorithms"})
+
     def __init__(self, pool: EnginePool,
                  batcher: Optional[RequestBatcher] = None,
                  admission: Optional[AdmissionController] = None,
                  default_cid_mode: str = "minmax",
-                 owns_pool: bool = False) -> None:
+                 owns_pool: bool = False,
+                 metrics: Optional[MetricsRegistry] = None,
+                 slow_query_seconds: Optional[float] = None) -> None:
+        if slow_query_seconds is not None and slow_query_seconds < 0:
+            # Constructor-time misconfiguration, not a wire answer.
+            raise ValueError(f"slow_query_seconds must be >= 0, "  # lint: allow(typed-errors)
+                             f"got {slow_query_seconds}")
         self.pool = pool
         self.batcher = batcher if batcher is not None else RequestBatcher(pool)
         self.admission = (admission if admission is not None
                           else AdmissionController())
         self.default_cid_mode = default_cid_mode
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry())
+        self.slow_query_seconds = slow_query_seconds
         self._owns_pool = owns_pool
 
     # ------------------------------------------------------------------ #
@@ -148,24 +190,54 @@ class SearchService:
     async def handle(self, request: Dict[str, object]) -> Dict[str, object]:
         """Answer one request; never raises — failures become typed errors."""
         request_id = request.get("id")
+        op = str(request.get("op", "search"))
+        measured = op not in self._INTROSPECTION_OPS
+        started = perf_counter() if measured else 0.0
         try:
             response = await self._dispatch(request)
         except ServiceError as error:
+            if measured:
+                self._observe_request(op, started, error.code, request)
             return error_response(error.code, error.message, request_id)
         except Exception as error:  # noqa: BLE001 - the wire needs an answer
+            if measured:
+                self._observe_request(op, started, ERROR_INTERNAL, request)
             return error_response(ERROR_INTERNAL,
                                   f"{type(error).__name__}: {error}",
                                   request_id)
+        if measured:
+            self._observe_request(op, started, None, request)
         if request_id is not None:
             response["id"] = request_id
         return response
+
+    def _observe_request(self, op: str, started: float,
+                         error_code: Optional[str],
+                         request: Dict[str, object]) -> None:
+        """Record one answered (non-introspection) request."""
+        elapsed = perf_counter() - started
+        self.metrics.counter(metric_names.SERVER_REQUESTS,
+                             {"op": op}).inc()
+        self.metrics.histogram(metric_names.SERVER_REQUEST_SECONDS,
+                               {"op": op}).observe(elapsed)
+        if error_code is not None:
+            self.metrics.counter(metric_names.SERVER_ERRORS,
+                                 {"code": error_code}).inc()
+        if (self.slow_query_seconds is not None
+                and elapsed >= self.slow_query_seconds):
+            self.metrics.counter(metric_names.SERVER_SLOW_QUERIES).inc()
+            query = request.get("query")
+            detail = f" query={query!r}" if isinstance(query, str) else ""
+            print(f"[slow-query] op={op} elapsed_ms={elapsed * 1000.0:.1f} "
+                  f"threshold_ms={self.slow_query_seconds * 1000.0:g}"
+                  f"{detail}", file=sys.stderr)
 
     async def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
         op = request.get("op", "search")
         if op == "ping":
             return ok_response(pong=True)
         if op == "stats":
-            return ok_response(stats=self.stats())
+            return ok_response(**self._stats_payload(request))
         if op == "algorithms":
             return ok_response(algorithms=list(ALGORITHM_NAMES),
                                cid_modes=list(CID_MODES))
@@ -388,13 +460,60 @@ class SearchService:
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection
     # ------------------------------------------------------------------ #
+    def _stats_payload(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The ``stats`` op's payload, with optional section filtering."""
+        stats = self.stats()
+        section = request.get("section")
+        if section is not None:
+            if not isinstance(section, str) or section not in stats:
+                raise ServiceError(
+                    ERROR_BAD_REQUEST,
+                    f"unknown stats section {section!r}; "
+                    f"expected one of {sorted(stats)}")
+            stats = {section: stats[section]}
+        return {"stats": stats, "metrics": self.metrics_snapshot()}
+
     def stats(self) -> Dict[str, object]:
-        """One merged stats payload: pool, batcher, admission."""
+        """One merged stats payload: pool, batcher, admission, server."""
         return {
             "pool": self.pool.stats(),
             "batcher": self.batcher.stats(),
             "admission": self.admission.stats(),
+            "server": self._server_stats(),
         }
+
+    def _server_stats(self) -> Dict[str, object]:
+        """Front-door counters — derived from the service registry."""
+        counters = self.metrics.snapshot()["counters"]
+        requests: Dict[str, object] = {}
+        errors: Dict[str, object] = {}
+        for key, value in counters.items():
+            name, labels = split_series_key(key)
+            if name == metric_names.SERVER_REQUESTS:
+                requests[_label_value(labels, "op")] = value
+            elif name == metric_names.SERVER_ERRORS:
+                errors[_label_value(labels, "code")] = value
+        return {
+            "requests": requests,
+            "errors": errors,
+            "slow_queries": counters.get(metric_names.SERVER_SLOW_QUERIES, 0),
+            "slow_query_seconds": self.slow_query_seconds,
+        }
+
+    def metrics_snapshot(self) -> Snapshot:
+        """Every registry of the stack, merged into one snapshot.
+
+        Covers the service-level registry (shared with the batcher and the
+        admission controller when built via :class:`ServiceConfig`, distinct
+        when assembled by hand) plus every pool worker's engine registry.
+        """
+        registries = [self.metrics]
+        for candidate in (self.batcher.metrics, self.admission.metrics):
+            if all(candidate is not registry for registry in registries):
+                registries.append(candidate)
+        snapshots = [registry.snapshot() for registry in registries]
+        snapshots.append(self.pool.metrics_snapshot())
+        return merge_snapshots(snapshots)
 
     def close(self) -> None:
         """Flush the batcher and (when owned) stop the pool."""

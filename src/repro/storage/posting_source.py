@@ -97,6 +97,11 @@ class StorePostingSource:
         self._words: "OrderedDict[DeweyCode, FrozenSet[str]]" = OrderedDict()
         self.lru_hits = 0
         self.lru_misses = 0
+        # Read accounting (pre-aggregated per fetch, harvested per query by
+        # the instrumented pipeline through :meth:`read_stats`).
+        self.bytes_read = 0
+        self.packed_fetches = 0
+        self.fallback_fetches = 0
 
     # ------------------------------------------------------------------ #
     # PostingSource protocol
@@ -176,6 +181,7 @@ class StorePostingSource:
             decoded: Sequence[DeweyCode] = self._fetch_packed(normalized)
         else:
             decoded = tuple(self.store.keyword_deweys(self.document, normalized))
+            self.fallback_fetches += 1
         self._lru_put(normalized, decoded)
         return decoded
 
@@ -186,8 +192,19 @@ class StorePostingSource:
         them; the sqlite specialization overrides it with the direct
         blob-per-keyword load.
         """
+        self.fallback_fetches += 1
         return pack_deweys(self.store.keyword_deweys(self.document, normalized),
                            presorted=True)
+
+    def read_stats(self) -> Dict[str, int]:
+        """Cumulative read counters (cache traffic, decode paths, bytes)."""
+        return {
+            "lru_hits": self.lru_hits,
+            "lru_misses": self.lru_misses,
+            "bytes": self.bytes_read,
+            "packed_fetches": self.packed_fetches,
+            "fallback_fetches": self.fallback_fetches,
+        }
 
     def _lru_get(self, normalized: str) -> Optional[Sequence[DeweyCode]]:
         cached = self._lru.get(normalized)
@@ -263,6 +280,7 @@ class SQLitePostingSource(StorePostingSource):
         if not self._has_blobs():
             return super()._fetch_packed(normalized)
         packed = self.store.keyword_packed(self.document, normalized)
+        self.packed_fetches += 1
         return packed if packed is not None else EMPTY_PACKED
 
     def _check_document(self) -> None:
@@ -339,6 +357,7 @@ class SQLitePostingSource(StorePostingSource):
                          ) -> Dict[str, PackedDeweyList]:
         """Rebuilt packed columns per keyword, one chunked ``IN`` batch."""
         fetched: Dict[str, PackedDeweyList] = {}
+        blob_bytes = 0
         for chunk in _chunked(missing):
             placeholders = ",".join("?" for _ in chunk)
             cursor = self.store._connection.execute(
@@ -348,6 +367,9 @@ class SQLitePostingSource(StorePostingSource):
             )
             for keyword, blob in cursor:
                 fetched[keyword] = PackedDeweyList.from_blob(blob)
+                blob_bytes += len(blob)
+        self.bytes_read += blob_bytes
+        self.packed_fetches += len(fetched)
         return fetched
 
     def _fetch_value_rows(self, missing: Sequence[str]
@@ -364,6 +386,7 @@ class SQLitePostingSource(StorePostingSource):
             )
             for keyword, dewey_text in cursor:
                 rows.setdefault(keyword, []).append(decode_dewey(dewey_text))
+        self.fallback_fetches += len(rows)
         return rows
 
     def prefetch_nodes(self, nodes: Iterable[DeweyCode],
@@ -514,6 +537,17 @@ class ShardedPostingSource:
                 [lists.get(keyword, empty) for lists in per_shard])
             for keyword in normalized
         }
+
+    def read_stats(self) -> Dict[str, int]:
+        """Summed read counters of every shard that exposes them."""
+        totals: Dict[str, int] = {}
+        for shard in self.shards:
+            stats_fn = getattr(shard, "read_stats", None)
+            if stats_fn is None:
+                continue
+            for key, value in stats_fn().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def frequency(self, keyword: str) -> int:
         """Number of keyword nodes containing ``keyword`` across all shards.

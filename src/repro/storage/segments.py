@@ -86,6 +86,10 @@ class SegmentedStore(SQLiteStore):
                  tokenizer: Tokenizer = DEFAULT_TOKENIZER):
         super().__init__(path, tokenizer)
         self._write_lock = threading.Lock()
+        # Segment-resolution accounting (harvested into the metrics registry
+        # by the instrumented pipeline via the posting source's read_stats).
+        self.tombstone_hits = 0
+        self.merged_cursors = 0
 
     # ------------------------------------------------------------------ #
     # Location resolution
@@ -102,7 +106,10 @@ class SegmentedStore(SQLiteStore):
             "ORDER BY segment_id DESC LIMIT 1", (name,)).fetchone()
         if row is not None:
             segment_id, kind = row
-            return None if kind == SEGMENT_KIND_TOMBSTONE else int(segment_id)
+            if kind == SEGMENT_KIND_TOMBSTONE:
+                self.tombstone_hits += 1
+                return None
+            return int(segment_id)
         in_base = self._scalar(
             "SELECT COUNT(*) FROM element WHERE document = ?", name)
         return BASE_GENERATION if in_base else None
@@ -388,7 +395,10 @@ class SegmentedStore(SQLiteStore):
         # Whole-document replacement means one live cursor per keyword; the
         # general merge keeps the read correct if a document's postings ever
         # span several live segments.
-        return cursors[0] if len(cursors) == 1 else merge_packed(cursors)
+        if len(cursors) == 1:
+            return cursors[0]
+        self.merged_cursors += len(cursors)
+        return merge_packed(cursors)
 
     def keyword_frequency(self, name: str, keyword: str) -> int:
         location = self._live_location(name)
@@ -472,6 +482,11 @@ class SegmentedPostingSource(SQLitePostingSource):
         super().__init__(store, document, lru_size, node_lru_size,
                          representation)
         self._location: Optional[int] = None
+        # How many posting fetches were resolved from a delta segment vs the
+        # base generation (one increment per fetched keyword, hoisted after
+        # each batch loop).
+        self.segment_reads = 0
+        self.base_reads = 0
 
     def _resolve_location(self) -> int:
         """The generation this source serves (pinned at first resolution)."""
@@ -486,12 +501,25 @@ class SegmentedPostingSource(SQLitePostingSource):
         return (f"segmented:{self.store.path}#{self.document}"
                 f"@g{self._resolve_location()}")
 
+    def read_stats(self) -> Dict[str, int]:
+        """Base read counters plus segment-resolution accounting."""
+        stats = super().read_stats()
+        store: SegmentedStore = self.store
+        stats["segment_reads"] = self.segment_reads
+        stats["base_reads"] = self.base_reads
+        stats["merged_cursors"] = store.merged_cursors
+        stats["tombstone_hits"] = store.tombstone_hits
+        return stats
+
     def _fetch_blob_rows(self, missing: Sequence[str]
                          ) -> Dict[str, PackedDeweyList]:
         location = self._resolve_location()
         if location == BASE_GENERATION:
-            return super()._fetch_blob_rows(missing)
-        fetched: Dict[str, PackedDeweyList] = {}
+            fetched = super()._fetch_blob_rows(missing)
+            self.base_reads += len(fetched)
+            return fetched
+        fetched = {}
+        blob_bytes = 0
         for chunk in _chunked(missing):
             placeholders = ",".join("?" for _ in chunk)
             cursor = self.store._connection.execute(
@@ -501,13 +529,19 @@ class SegmentedPostingSource(SQLitePostingSource):
                 (location, self.document, *chunk))
             for keyword, blob in cursor:
                 fetched[keyword] = PackedDeweyList.from_blob(blob)
+                blob_bytes += len(blob)
+        self.bytes_read += blob_bytes
+        self.packed_fetches += len(fetched)
+        self.segment_reads += len(fetched)
         return fetched
 
     def _fetch_value_rows(self, missing: Sequence[str]
                           ) -> Dict[str, List[Tuple[int, ...]]]:
         location = self._resolve_location()
         if location == BASE_GENERATION:
-            return super()._fetch_value_rows(missing)
+            rows = super()._fetch_value_rows(missing)
+            self.base_reads += len(rows)
+            return rows
         rows: Dict[str, List[Tuple[int, ...]]] = {}
         for chunk in _chunked(missing):
             placeholders = ",".join("?" for _ in chunk)
@@ -518,6 +552,8 @@ class SegmentedPostingSource(SQLitePostingSource):
                 (location, self.document, *chunk))
             for keyword, dewey_text in cursor:
                 rows.setdefault(keyword, []).append(decode_dewey(dewey_text))
+        self.fallback_fetches += len(rows)
+        self.segment_reads += len(rows)
         return rows
 
     def prefetch_nodes(self, nodes: Iterable[DeweyCode],

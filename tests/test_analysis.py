@@ -122,10 +122,10 @@ class TestEngine:
         with pytest.raises(AnalysisError):
             get_rule("no-such-rule")
 
-    def test_registry_lists_the_five_rules(self):
+    def test_registry_lists_the_six_rules(self):
         assert rule_names() == [
-            "bench-honesty", "hot-loop-purity", "parity-registration",
-            "sqlite-discipline", "typed-errors",
+            "bench-honesty", "hot-loop-purity", "metrics-discipline",
+            "parity-registration", "sqlite-discipline", "typed-errors",
         ]
 
     def test_missing_path_raises(self, tmp_path):
@@ -540,6 +540,83 @@ class TestBenchHonesty:
                     write_json(payload, "BENCH_core.json")
             """,
         }, rules=["bench-honesty"])
+        assert diagnostics == []
+
+
+# ---------------------------------------------------------------------- #
+# R6: metrics discipline
+# ---------------------------------------------------------------------- #
+
+#: A mini metric-name catalogue at the anchor path the rule validates against.
+MINI_CATALOGUE = """
+    QUERY_COUNT = "query.count"
+    CACHE_HITS = "cache.hits"
+"""
+
+
+class TestMetricsDiscipline:
+    def lint_obs(self, tmp_path, body, catalogue=MINI_CATALOGUE):
+        files = {"src/repro/service/s.py": body}
+        if catalogue is not None:
+            files["src/repro/obs/names.py"] = catalogue
+        return lint(tmp_path, files, rules=["metrics-discipline"])
+
+    def test_free_string_metric_name_fails(self, tmp_path):
+        diagnostics = self.lint_obs(tmp_path, """
+            def handle(registry):
+                registry.counter("query.count").inc()
+        """)
+        assert any("free-string metric name 'query.count'" in d.message
+                   for d in diagnostics)
+
+    def test_catalogue_constant_passes(self, tmp_path):
+        diagnostics = self.lint_obs(tmp_path, """
+            from ..obs import names as metric_names
+
+            def handle(registry, miss):
+                registry.counter(metric_names.QUERY_COUNT).inc()
+                registry.histogram(
+                    metric_names.CACHE_HITS if miss else CACHE_HITS)
+        """)
+        assert diagnostics == []
+
+    def test_unknown_name_expression_fails(self, tmp_path):
+        diagnostics = self.lint_obs(tmp_path, """
+            def handle(registry, key):
+                registry.gauge(key.upper()).set(1)
+        """)
+        assert any("does not reference a" in d.message for d in diagnostics)
+
+    def test_missing_name_argument_fails(self, tmp_path):
+        diagnostics = self.lint_obs(tmp_path, """
+            def handle(registry):
+                registry.counter().inc()
+        """)
+        assert any("without a metric name" in d.message for d in diagnostics)
+
+    def test_missing_catalogue_is_one_finding(self, tmp_path):
+        diagnostics = self.lint_obs(tmp_path, """
+            def handle(registry):
+                registry.counter(NAME).inc()
+        """, catalogue=None)
+        assert [d for d in diagnostics
+                if "missing or unparsable" in d.message]
+
+    def test_obs_package_itself_is_exempt(self, tmp_path):
+        diagnostics = lint(tmp_path, {
+            "src/repro/obs/names.py": MINI_CATALOGUE,
+            "src/repro/obs/registry.py": """
+                def warm(registry):
+                    registry.counter("query.count")
+            """,
+        }, rules=["metrics-discipline"])
+        assert diagnostics == []
+
+    def test_pragma_suppresses_finding(self, tmp_path):
+        diagnostics = self.lint_obs(tmp_path, """
+            def handle(registry, name):
+                registry.counter(name).inc()  # lint: allow(metrics-discipline)
+        """)
         assert diagnostics == []
 
 

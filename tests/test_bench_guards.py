@@ -81,3 +81,60 @@ class TestServiceBenchGuard:
     def test_integrity_error_is_an_assertion(self):
         # The guard doubles as a test-style assertion for harness callers.
         assert issubclass(ServiceBenchIntegrityError, AssertionError)
+
+    def test_stats_metrics_divergence_is_refused(self):
+        # The stats dict is derived from the registry, so a report whose two
+        # views disagree can only mean double bookkeeping crept back in.
+        report = good_report(
+            server_stats={"batcher": {"requests": 5, "batches": 1,
+                                      "size_flushes": 0, "timer_flushes": 1}},
+            server_metrics={"counters": {"batcher.requests": 3,
+                                         "batcher.batches": 1,
+                                         "batcher.timer_flushes": 1},
+                            "gauges": {}, "histograms": {}},
+        )
+        with pytest.raises(ServiceBenchIntegrityError,
+                           match="batcher.requests"):
+            verify_service_reports([report])
+
+    def test_impossible_counter_and_histogram_are_refused(self):
+        negative = good_report(server_metrics={
+            "counters": {"batcher.requests": -1},
+            "gauges": {}, "histograms": {}})
+        with pytest.raises(ServiceBenchIntegrityError, match="impossible"):
+            verify_service_reports([negative])
+        torn = good_report(server_metrics={
+            "counters": {},
+            "gauges": {},
+            "histograms": {"batcher.queue_wait.seconds": {
+                "buckets": [1.0], "counts": [1, 0], "count": 3,
+                "sum": 0.5, "max": 0.5}}})
+        with pytest.raises(ServiceBenchIntegrityError, match="bucket"):
+            verify_service_reports([torn])
+
+
+class TestObservabilityOverheadBench:
+    def test_overhead_section_shape(self):
+        from repro.bench.core_bench import run_obs_overhead_bench
+        from repro.bench.harness import DatasetSpec
+        from repro.datasets import PAPER_QUERIES, publications_tree
+        from repro.datasets.workload import WorkloadQuery
+
+        spec = DatasetSpec(
+            name="dblp",
+            tree_factory=publications_tree,
+            workload=(WorkloadQuery(
+                label="Q2", keywords=tuple(PAPER_QUERIES["Q2"].split())),),
+        )
+        section = run_obs_overhead_bench(repetitions=2,
+                                         specs={"dblp": spec})
+        assert section["dataset"] == "dblp"
+        # one entry per (query, algorithm); both sides measured
+        assert len(section["entries"]) == 2
+        for entry in section["entries"]:
+            assert entry["plain_ms"] > 0
+            assert entry["instrumented_ms"] > 0
+        assert section["instrumented_over_plain"] > 0
+        # the instrumented engine really recorded every run it made:
+        # (1 warm-up + 2 timed passes) per (query, algorithm) pair
+        assert section["queries_recorded"] == 6

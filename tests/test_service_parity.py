@@ -158,9 +158,69 @@ def test_stats_reports_every_layer(served):
     with ServiceClient(*server.address) as client:
         client.search(PAPER_QUERIES["Q1"])
         stats = client.stats()
-    assert set(stats) == {"pool", "batcher", "admission"}
+    assert set(stats) == {"pool", "batcher", "admission", "server"}
     assert stats["pool"]["workers"] == 2
     assert stats["pool"]["backend"].startswith("memory")
+    assert stats["server"]["requests"].get("search", 0) >= 1
+
+
+def test_stats_wire_response_is_byte_identical(served):
+    """The stats op answers exactly what a direct service call computes.
+
+    Introspection ops record no metrics of their own, so the wire response
+    and the locally recomputed payload must agree byte for byte.
+    """
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        client.search(PAPER_QUERIES["Q1"])
+        over_the_wire = client.request({"op": "stats"})
+    direct = {"ok": True, "stats": server.service.stats(),
+              "metrics": server.service.metrics_snapshot()}
+    assert encode_message(over_the_wire) == encode_message(direct)
+
+
+def test_stats_metrics_snapshot_reaches_the_wire(served):
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        client.search(PAPER_QUERIES["Q1"])
+        metrics = client.metrics()
+    assert set(metrics) == {"counters", "gauges", "histograms"}
+    counters = metrics["counters"]
+    assert counters.get("batcher.requests", 0) >= 1
+    assert counters.get("admission.admitted", 0) >= 1
+    assert counters.get('server.requests{op="search"}', 0) >= 1
+    # Engine-level series cross the pool-worker merge into the snapshot.
+    assert any(key.startswith("query.count") for key in counters)
+
+
+def test_stats_section_filter_and_typed_error(served):
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        section = client.stats(section="admission")
+        assert set(section) == {"admission"}
+        response = client.request({"op": "stats", "section": "nonsense"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        with pytest.raises(ServiceError) as excinfo:
+            client.stats(section="nope")
+        assert excinfo.value.code == "bad_request"
+
+
+def test_stats_and_metrics_can_never_disagree(served):
+    """Satellite guard: stats() is *derived* from the registries, so the two
+    views of the same counters must match exactly."""
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        client.search(PAPER_QUERIES["Q2"])
+        stats = client.stats()
+        counters = client.metrics()["counters"]
+    batcher = stats["batcher"]
+    assert batcher["requests"] == counters.get("batcher.requests", 0)
+    assert batcher["batches"] == counters.get("batcher.batches", 0)
+    admission = stats["admission"]
+    assert admission["admitted"] == counters.get("admission.admitted", 0)
+    assert admission["rejected"] == counters.get("admission.rejected", 0)
+    assert admission["timed_out"] == counters.get("admission.timed_out", 0)
 
 
 def test_algorithms_lists_the_engine_registry(served):

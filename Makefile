@@ -4,7 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all coverage bench bench-collect bench-export smoke \
-	loadtest-smoke perf-smoke fuzz-smoke update-smoke obs-smoke lint
+	loadtest-smoke perf-smoke fuzz-smoke update-smoke obs-smoke \
+	chaos-smoke lint
 
 test:            ## fast unit suite (tier-1)
 	$(PYTHON) -m pytest -x -q
@@ -69,3 +70,6 @@ update-smoke:    ## segmented lifecycle through the CLI: ingest/update/delete/co
 
 obs-smoke:       ## observability end to end: traced query, serve, metrics scrape
 	bash scripts/obs_smoke.sh
+
+chaos-smoke:     ## fault-injected serving: retrying clients, journaled mutations, verify
+	bash scripts/chaos_smoke.sh

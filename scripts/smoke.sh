@@ -38,6 +38,9 @@ make update-smoke
 echo "== observability (traced query, serve, metrics scrape) =="
 make obs-smoke
 
+echo "== chaos (fault-injected serving, self-healing clients, verify) =="
+make chaos-smoke
+
 echo "== end-to-end: tiny cached benchmark run =="
 python -m repro.cli bench --dataset dblp --figure 5 --repetitions 1 --cache
 

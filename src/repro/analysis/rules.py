@@ -1,4 +1,4 @@
-"""The repo-specific rules: six cross-file invariants, machine-checked.
+"""The repo-specific rules: seven cross-file invariants, machine-checked.
 
 Each rule is a class with a ``name`` (the pragma/CLI identifier), a one-line
 ``description`` and a ``check(project)`` generator yielding
@@ -55,6 +55,16 @@ The rules and what they protect:
     ``src/repro/obs/names.py`` catalogue (``metric_names.QUERY_COUNT``), not
     a free string literal — one module owns the metric vocabulary, so a
     typo'd name fails the lint instead of minting a shadow time series.
+
+``exception-discipline``
+    No bare ``except:`` anywhere in ``src/``, and no
+    ``except Exception`` / ``except BaseException`` handler that swallows
+    the failure (a handler body with no ``raise``).  The self-healing
+    stack deliberately swallows at a few sites (retry loops, quarantine,
+    the compactor's policy loop, the wire front door) — those declare
+    themselves with ``# lint: allow(exception-discipline)`` on the
+    ``except`` line.  Everything else either catches the specific
+    exception it can handle or re-raises.
 """
 
 from __future__ import annotations
@@ -787,6 +797,66 @@ class MetricsDisciplineRule(Rule):
         return constants or None
 
 
+# ---------------------------------------------------------------------- #
+# R7: exception discipline
+# ---------------------------------------------------------------------- #
+class ExceptionDisciplineRule(Rule):
+    """No bare excepts; broad catches must re-raise or declare themselves."""
+
+    name = "exception-discipline"
+    description = ("no bare 'except:' in src/, and 'except Exception' / "
+                   "'except BaseException' handlers must re-raise or carry "
+                   "'# lint: allow(exception-discipline)' — silent broad "
+                   "swallows hide exactly the failures the fault-injection "
+                   "harness exists to surface")
+
+    BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for source_file in _requested_src(project):
+            assert source_file.tree is not None
+            for node in ast.walk(source_file.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if node.type is None:
+                    yield self.diagnostic(source_file, node, (
+                        "bare 'except:' catches SystemExit and "
+                        "KeyboardInterrupt too; name the exception(s) this "
+                        "handler can actually recover from"))
+                    continue
+                broad = self._broad_name(node.type)
+                if broad is None:
+                    continue
+                if self._reraises(node):
+                    continue
+                yield self.diagnostic(source_file, node, (
+                    f"'except {broad}' swallows every failure (no raise in "
+                    f"the handler body); catch the specific exception, "
+                    f"re-raise, or declare the swallow with "
+                    f"'# lint: allow(exception-discipline)'"))
+
+    @classmethod
+    def _broad_name(cls, expression: ast.expr) -> Optional[str]:
+        """The broad class name this except clause catches, or ``None``."""
+        candidates: Iterable[ast.expr]
+        if isinstance(expression, ast.Tuple):
+            candidates = expression.elts
+        else:
+            candidates = (expression,)
+        for candidate in candidates:
+            name = _name_of(candidate).split(".")[-1]
+            if name in cls.BROAD_NAMES:
+                return name
+        return None
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        """Does any statement of the handler body raise?"""
+        return any(isinstance(node, ast.Raise)
+                   for statement in handler.body
+                   for node in ast.walk(statement))
+
+
 RULES: Tuple[Rule, ...] = (
     HotLoopPurityRule(),
     ParityRegistrationRule(),
@@ -794,6 +864,7 @@ RULES: Tuple[Rule, ...] = (
     SqliteDisciplineRule(),
     BenchHonestyRule(),
     MetricsDisciplineRule(),
+    ExceptionDisciplineRule(),
 )
 
 _RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in RULES}

@@ -11,6 +11,10 @@ Sub-commands
 ``compact``
     Fold the delta segments written by ``index --update`` / ``--delete``
     into the database's base generation.
+``verify``
+    Run the storage integrity checks (mutation journal, catalog, liveness,
+    posting blobs) against an indexed database; exits nonzero when any
+    check fails, so scripts can gate on a clean store.
 ``search``
     Run a keyword query against an XML file, a built-in dataset, an indexed
     sqlite store (``--db file.db --backend sqlite``), or a whole corpus
@@ -29,6 +33,8 @@ Sub-commands
 ``serve``
     Run the concurrent query-serving front end (newline-delimited JSON over
     TCP) with an engine pool, request batching and admission control.
+    ``--fault-plan`` injects deterministic storage faults for chaos
+    testing; ``--compact-segments`` starts the background compactor.
 ``loadtest``
     Drive a server (self-hosted by default) with an open- or closed-loop
     load generator and report throughput + p50/p95/p99 latency, exporting
@@ -138,6 +144,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         "the base generation")
     compact.add_argument("--db", required=True, help="sqlite database file")
     compact.set_defaults(handler=_command_compact)
+
+    verify = subparsers.add_parser(
+        "verify", help="check a database's integrity (journal, catalog, "
+                       "liveness, posting blobs)")
+    verify.add_argument("--db", required=True, help="sqlite database file")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the typed findings as JSON instead of "
+                             "the human-readable report")
+    verify.set_defaults(handler=_command_verify)
 
     search = subparsers.add_parser("search", help="run one keyword query")
     _add_document_arguments(search)
@@ -282,6 +297,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                "the dataset's workload / paper queries)")
     loadtest.add_argument("--output", default="BENCH_service.json",
                           help="write the JSON report here ('-' disables)")
+    loadtest.add_argument("--retries", type=int, default=0,
+                          help="client-side retries per request on "
+                               "overloaded/timeout/degraded answers "
+                               "(default: 0 — fail fast)")
     loadtest.add_argument("--stats", action="store_true",
                           help="fetch the server's stats + metrics snapshot "
                                "after the run and fold them into the report "
@@ -350,6 +369,19 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--slow-query-ms", type=float, default=None,
                         help="log (to stderr) and count requests slower than "
                              "this many milliseconds (default: off)")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="inject deterministic storage faults, e.g. "
+                             "'seed=7,error=0.05,torn=0.01,latency=0.1,"
+                             "latency-ms=2,delay=100,max-faults=25' "
+                             "(needs a store-backed backend)")
+    parser.add_argument("--compact-segments", type=int, default=None,
+                        metavar="N",
+                        help="background-compact once N delta segments "
+                             "accumulate (needs --backend corpus --db; "
+                             "default: off)")
+    parser.add_argument("--compact-interval-ms", type=float, default=500.0,
+                        help="poll period of the background compactor's "
+                             "trigger check in milliseconds (default: 500)")
 
 
 # ---------------------------------------------------------------------- #
@@ -487,6 +519,23 @@ def _command_compact(arguments: argparse.Namespace) -> int:
           f"absorbed {stats['segments']} delta segment(s); "
           f"{len(documents)} live document(s) remain")
     return 0
+
+
+def _command_verify(arguments: argparse.Namespace) -> int:
+    """``verify --db``: run the integrity checks, exit nonzero when dirty."""
+    import json
+
+    from .storage import verify_database
+
+    if not Path(arguments.db).exists():
+        raise CliError(f"no such database file: {arguments.db} "
+                       f"(create it with `repro-xks index`)")
+    report = verify_database(arguments.db)
+    if arguments.json:
+        print(json.dumps(report.payload(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
 
 
 def _command_search(arguments: argparse.Namespace) -> int:
@@ -700,7 +749,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
 
 def _command_loadtest(arguments: argparse.Namespace) -> int:
-    from .service import loadtest, write_service_bench
+    from .service import RetryPolicy, loadtest, write_service_bench
 
     address = None
     if arguments.address:
@@ -709,6 +758,10 @@ def _command_loadtest(arguments: argparse.Namespace) -> int:
             raise CliError(f"--address must be HOST:PORT, got "
                            f"{arguments.address!r}")
         address = (host, int(port))
+    if arguments.retries < 0:
+        raise CliError(f"--retries must be >= 0, got {arguments.retries}")
+    retry = (RetryPolicy(attempts=arguments.retries + 1)
+             if arguments.retries else None)
     # Driving a remote server needs no local document or database at all.
     config, tree = _service_setup(arguments, remote=address is not None)
     queries = arguments.query or _default_query_mix(arguments)
@@ -718,7 +771,7 @@ def _command_loadtest(arguments: argparse.Namespace) -> int:
                           concurrency=arguments.concurrency,
                           rate=arguments.rate, duration=arguments.duration,
                           algorithm=arguments.algorithm,
-                          fetch_stats=arguments.stats)
+                          fetch_stats=arguments.stats, retry=retry)
     except ValueError as error:
         raise CliError(str(error)) from None
     print(report.summary())
@@ -903,6 +956,26 @@ def _service_setup(arguments: argparse.Namespace, remote: bool = False):
     if arguments.slow_query_ms is not None and arguments.slow_query_ms < 0:
         raise CliError(f"--slow-query-ms must be >= 0, got "
                        f"{arguments.slow_query_ms}")
+    if arguments.fault_plan and not remote:
+        from .faults import FaultPlan
+        try:
+            FaultPlan.parse(arguments.fault_plan)
+        except ValueError as error:
+            raise CliError(f"bad --fault-plan: {error}") from None
+        if backend not in ("sqlite", "sharded", "corpus") or \
+                (backend == "corpus" and not arguments.db):
+            raise CliError("--fault-plan needs a store-backed backend "
+                           "(--backend sqlite/sharded, or corpus with --db)")
+    if arguments.compact_segments is not None and not remote:
+        if arguments.compact_segments < 1:
+            raise CliError(f"--compact-segments must be positive, got "
+                           f"{arguments.compact_segments}")
+        if backend != "corpus" or not arguments.db or documents is not None:
+            raise CliError("--compact-segments needs a mutable corpus "
+                           "backend (--backend corpus --db, without --doc)")
+    if arguments.compact_interval_ms <= 0:
+        raise CliError(f"--compact-interval-ms must be positive, got "
+                       f"{arguments.compact_interval_ms}")
     config = ServiceConfig(
         backend=backend,
         workers=arguments.workers,
@@ -919,6 +992,9 @@ def _service_setup(arguments: argparse.Namespace, remote: bool = False):
         documents=documents,
         slow_query_seconds=(arguments.slow_query_ms / 1000.0
                             if arguments.slow_query_ms is not None else None),
+        fault_plan=None if remote else arguments.fault_plan,
+        compact_segments=None if remote else arguments.compact_segments,
+        compact_interval_seconds=arguments.compact_interval_ms / 1000.0,
     )
     return config, tree
 

@@ -74,6 +74,25 @@ ADMISSION_TIMED_OUT = "admission.timed_out"
 ADMISSION_INFLIGHT = "admission.inflight"
 ADMISSION_PEAK_INFLIGHT = "admission.peak_inflight"
 
+# --------------------------------------------------------------------- #
+# Robustness layer: fault injection, mutation journal, self-healing
+# --------------------------------------------------------------------- #
+FAULTS_INJECTED = "faults.injected"
+
+JOURNAL_MUTATIONS = "journal.mutations"
+JOURNAL_REPLAYS = "journal.replays"
+JOURNAL_RECOVERIES = "journal.recoveries"
+
+POOL_REBUILDS = "pool.engine_rebuilds"
+POOL_REBUILD_FAILURES = "pool.rebuild_failures"
+POOL_QUARANTINE_REFUSALS = "pool.quarantine_refusals"
+
+COMPACTOR_RUNS = "compactor.runs"
+COMPACTOR_FAILURES = "compactor.failures"
+COMPACTOR_SEGMENTS_FOLDED = "compactor.segments_folded"
+
+SERVER_DISCONNECTS = "server.client_disconnects"
+
 #: Every registered metric name; the registry refuses names outside it,
 #: so a typo fails fast instead of minting a shadow time series.
 CATALOGUE = frozenset(

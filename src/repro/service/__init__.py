@@ -38,7 +38,8 @@ Or from the command line: ``python -m repro.cli serve`` /
 
 from .admission import AdmissionController
 from .batcher import RequestBatcher
-from .client import ServiceClient
+from .client import RetryPolicy, ServiceClient
+from .compactor import BackgroundCompactor
 from .engine_pool import EnginePool
 from .loadgen import (
     LoadReport,
@@ -52,6 +53,7 @@ from .loadgen import (
 )
 from .protocol import (
     ERROR_BAD_REQUEST,
+    ERROR_DEGRADED,
     ERROR_INTERNAL,
     ERROR_OVERLOADED,
     ERROR_TIMEOUT,
@@ -71,9 +73,11 @@ from .server import SearchServer, SearchService, ServerThread, ServiceConfig
 
 __all__ = [
     "AdmissionController",
+    "BackgroundCompactor",
     "EnginePool",
     "LoadReport",
     "RequestBatcher",
+    "RetryPolicy",
     "SearchServer",
     "SearchService",
     "ServerThread",
@@ -81,6 +85,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ERROR_BAD_REQUEST",
+    "ERROR_DEGRADED",
     "ERROR_INTERNAL",
     "ERROR_OVERLOADED",
     "ERROR_TIMEOUT",

@@ -146,7 +146,7 @@ class RequestBatcher:
         try:
             results = await asyncio.wrap_future(
                 self.pool.search_many(queries, algorithm, cid_mode))
-        except Exception as error:  # noqa: BLE001 - fan the failure out
+        except Exception as error:  # noqa: BLE001 - fan the failure out  # lint: allow(exception-discipline)
             for _, future, _ in entries:
                 if not future.done():
                     future.set_exception(_as_service_error(error))

@@ -25,7 +25,9 @@ asyncio front end bridges the returned futures with
 
 from __future__ import annotations
 
+import sqlite3
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from types import TracebackType
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
@@ -36,8 +38,11 @@ from ..core.engine import ComparisonOutcome
 from ..core.fragments import SearchResult
 from ..core.query import QueryLike
 from ..corpus import CorpusSearchEngine, corpus_from_trees
+from ..faults import FaultPlan
 from ..index import InvertedIndex
-from ..obs import MetricsRegistry, Snapshot, empty_snapshot, merge_snapshots
+from ..obs import MetricsRegistry, Snapshot, merge_snapshots
+from ..obs import names as metric_names
+from .protocol import ERROR_DEGRADED, ServiceError
 from ..storage import (
     DEFAULT_POSTING_LRU_SIZE,
     SegmentedStore,
@@ -73,11 +78,24 @@ class EnginePool:
 
     def __init__(self, engine_factory: Callable[[], SearchEngine],
                  workers: int = DEFAULT_WORKERS,
-                 name: str = "repro-service") -> None:
+                 name: str = "repro-service",
+                 rebuild_backoff_seconds: float = 0.5,
+                 max_rebuild_backoff_seconds: float = 30.0) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if rebuild_backoff_seconds <= 0:
+            raise ValueError("rebuild_backoff_seconds must be positive")
         self.workers = workers
         self._factory = engine_factory
+        #: Quarantine schedule after a failed engine rebuild: the worker
+        #: refuses work (typed ``degraded``) for an exponentially growing
+        #: backoff instead of re-running a failing factory per request —
+        #: and instead of poisoning the pool for good.
+        self.rebuild_backoff_seconds = rebuild_backoff_seconds
+        self.max_rebuild_backoff_seconds = max_rebuild_backoff_seconds
+        #: Pool-level self-healing counters (rebuilds, quarantines); merged
+        #: into :meth:`metrics_snapshot` alongside the engine registries.
+        self.metrics = MetricsRegistry()
         self._executor = ThreadPoolExecutor(max_workers=workers,
                                             thread_name_prefix=name)
         self._local = threading.local()
@@ -109,7 +127,8 @@ class EnginePool:
                     lru_size: int = DEFAULT_POSTING_LRU_SIZE,
                     representation: str = "packed",
                     trees: Optional[Dict[str, XMLTree]] = None,
-                    documents: Optional[Sequence[str]] = None) -> "EnginePool":
+                    documents: Optional[Sequence[str]] = None,
+                    fault_plan: Optional[FaultPlan] = None) -> "EnginePool":
         """Build a pool over one document for a named posting backend.
 
         ``memory`` needs ``tree``.  ``sqlite`` serves ``db_path`` when given
@@ -129,6 +148,11 @@ class EnginePool:
         worker engine by reference, so N workers cost no more posting memory
         than one.
         """
+        if fault_plan is not None and backend not in ("sqlite", "sharded",
+                                                      "corpus"):
+            raise ValueError(
+                f"a fault plan needs a store-backed backend (sqlite, "
+                f"sharded or corpus), not {backend!r}")
         if backend == "memory":
             if tree is None:
                 raise ValueError("the memory backend needs a tree")
@@ -145,6 +169,8 @@ class EnginePool:
                         f"no document {document!r} in the sqlite store"
                         + (f"; stored: {', '.join(stored)}" if stored else ""))
                 store.store_tree(tree, document)
+            if fault_plan is not None:
+                store.set_fault_plan(fault_plan)
             return cls(lambda: SearchEngine(
                 source=SQLitePostingSource(store, document, lru_size,
                                            representation=representation),
@@ -156,6 +182,9 @@ class EnginePool:
                 raise ValueError(f"shards must be positive, got {shards}")
             stores = [SQLiteStore() for _ in range(shards)]
             name = shard_stores(tree, stores, document)
+            if fault_plan is not None:
+                for store in stores:
+                    store.set_fault_plan(fault_plan)
 
             def sharded_engine() -> SearchEngine:
                 sources = [source_for_store(store, name, lru_size,
@@ -187,6 +216,8 @@ class EnginePool:
                     raise ValueError(
                         f"no document(s) named {', '.join(unknown)} in "
                         f"{db_path!r}; stored: {', '.join(stored)}")
+                if fault_plan is not None:
+                    store.set_fault_plan(fault_plan)
                 pool = cls(lambda: CorpusSearchEngine.from_store(
                     store, documents=served,
                     representation=representation,
@@ -201,6 +232,9 @@ class EnginePool:
             if not corpus_trees:
                 raise ValueError("the corpus backend needs trees (or a tree) "
                                  "or a db_path")
+            if fault_plan is not None:
+                raise ValueError("a fault plan needs a database-backed "
+                                 "corpus (pass db_path)")
             # One set of immutable per-document memory indexes, shared by
             # every worker engine — same snapshot economics as `memory`.
             snapshot = corpus_from_trees(corpus_trees, backend="memory",
@@ -226,7 +260,40 @@ class EnginePool:
         engine = getattr(self._local, "engine", None)
         version = getattr(self._local, "engine_version", -1)
         if engine is None or version != self._engine_version:
-            engine = self._factory()
+            quarantined_until = getattr(self._local, "quarantined_until", 0.0)
+            remaining = quarantined_until - time.monotonic()
+            if remaining > 0:
+                self.metrics.counter(
+                    metric_names.POOL_QUARANTINE_REFUSALS).inc()
+                raise ServiceError(
+                    ERROR_DEGRADED,
+                    f"worker quarantined for another {remaining:.2f}s after "
+                    f"an engine rebuild failure; capacity is reduced, retry "
+                    f"shortly")
+            try:
+                engine = self._factory()
+            except ServiceError:
+                raise
+            except Exception as error:
+                # Quarantine this worker instead of poisoning the pool: it
+                # backs off exponentially and retries the build when the
+                # window expires, so a transient storage fault heals itself.
+                failures = getattr(self._local, "rebuild_failures", 0) + 1
+                self._local.rebuild_failures = failures
+                backoff = min(self.max_rebuild_backoff_seconds,
+                              self.rebuild_backoff_seconds
+                              * (2 ** (failures - 1)))
+                self._local.quarantined_until = time.monotonic() + backoff
+                self.metrics.counter(
+                    metric_names.POOL_REBUILD_FAILURES).inc()
+                raise ServiceError(
+                    ERROR_DEGRADED,
+                    f"worker engine rebuild failed "
+                    f"({type(error).__name__}: {error}); quarantined for "
+                    f"{backoff:.2f}s") from error
+            self._local.rebuild_failures = 0
+            self._local.quarantined_until = 0.0
+            self.metrics.counter(metric_names.POOL_REBUILDS).inc()
             # Every worker engine observes into its own registry (no lock
             # contention between workers on the hot path); snapshots are
             # merged on demand.
@@ -273,7 +340,16 @@ class EnginePool:
 
     def _invoke(self, fn: Callable[..., object], args: Tuple[object, ...],
                 kwargs: Dict[str, object]) -> object:
-        return fn(self._thread_engine(), *args, **kwargs)
+        try:
+            return fn(self._thread_engine(), *args, **kwargs)
+        except sqlite3.OperationalError as error:
+            # Transient storage trouble (a flaky disk, or an injected
+            # chaos fault) is a typed, retryable condition — not an
+            # internal error.
+            raise ServiceError(
+                ERROR_DEGRADED,
+                f"storage fault while serving the request: {error}"
+            ) from error
 
     @staticmethod
     def _with_cid_mode(engine: SearchEngine,
@@ -372,19 +448,24 @@ class EnginePool:
         counters remain cumulative across live-mutation rebuilds.
         """
         with self._engines_lock:
-            registries = list(self._engine_registries)
-        if not registries:
-            return empty_snapshot()
+            registries = [self.metrics, *self._engine_registries]
         return merge_snapshots([registry.snapshot()
                                 for registry in registries])
 
     def stats(self) -> Dict[str, object]:
         """Pool-level counters for the ``stats`` endpoint."""
         cache = self.cache_stats()
+        snapshot = self.metrics.snapshot()
         return {
             "workers": self.workers,
             "engines": self.engine_count,
             "backend": self.backend_id,
+            "rebuilds": snapshot["counters"].get(
+                metric_names.POOL_REBUILDS, 0),
+            "rebuild_failures": snapshot["counters"].get(
+                metric_names.POOL_REBUILD_FAILURES, 0),
+            "quarantine_refusals": snapshot["counters"].get(
+                metric_names.POOL_QUARANTINE_REFUSALS, 0),
             "cache": {
                 "hits": cache.hits,
                 "misses": cache.misses,

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..bench.export import PathLike, write_json
 from ..obs import names as metric_names
 from ..xmltree import XMLTree
-from .client import ServiceClient
+from .client import RetryPolicy, ServiceClient
 from .protocol import ServiceError
 from .server import ServerThread, ServiceConfig
 
@@ -62,6 +62,9 @@ class LoadReport:
     latencies_ms: List[float] = field(default_factory=list, repr=False)
     errors: Dict[str, int] = field(default_factory=dict)
     target_rate: Optional[float] = None
+    #: Client-side retries performed under a :class:`RetryPolicy` — each
+    #: one is a transient failure the retrying client healed.
+    retries: int = 0
     config: Dict[str, object] = field(default_factory=dict)
     server_stats: Dict[str, object] = field(default_factory=dict)
     #: The server's merged metrics-registry snapshot taken after the run
@@ -111,6 +114,7 @@ class LoadReport:
             "latency_ms": {key: round(value, 3) for key, value
                            in self.latency_summary_ms().items()},
             "errors": dict(self.errors),
+            "retries": self.retries,
             "config": self.config,
             "server_stats": self.server_stats,
             "server_metrics": self.server_metrics,
@@ -126,7 +130,8 @@ class LoadReport:
                if self.target_rate else ""),
             f"completed: {self.completed}/{self.requests}  "
             f"errors: {self.error_count}"
-            + (f" {self.errors}" if self.errors else ""),
+            + (f" {self.errors}" if self.errors else "")
+            + (f"  retries: {self.retries}" if self.retries else ""),
             f"elapsed: {self.elapsed_seconds:.3f}s  "
             f"throughput: {self.throughput_rps:.1f} req/s",
             f"latency ms: p50={latency['p50']:.2f}  p95={latency['p95']:.2f}  "
@@ -143,6 +148,7 @@ class _Recorder:
         self._lock = threading.Lock()
         self.latencies_ms: List[float] = []
         self.errors: Dict[str, int] = {}
+        self.retries = 0
 
     def success(self, latency_seconds: float) -> None:
         with self._lock:
@@ -151,6 +157,10 @@ class _Recorder:
     def failure(self, code: str) -> None:
         with self._lock:
             self.errors[code] = self.errors.get(code, 0) + 1
+
+    def add_retries(self, count: int) -> None:
+        with self._lock:
+            self.retries += count
 
 
 def _fire(client: ServiceClient, query: str, algorithm: str,
@@ -179,8 +189,13 @@ def _run_threads(workers: Sequence[threading.Thread]) -> None:
 # ---------------------------------------------------------------------- #
 def run_closed_loop(address: Tuple[str, int], queries: Sequence[str],
                     requests: int = 200, concurrency: int = 4,
-                    algorithm: str = "validrtf") -> LoadReport:
-    """``concurrency`` users, back-to-back requests, shared budget."""
+                    algorithm: str = "validrtf",
+                    retry: Optional[RetryPolicy] = None) -> LoadReport:
+    """``concurrency`` users, back-to-back requests, shared budget.
+
+    With a ``retry`` policy every simulated user heals transient failures
+    itself; the report's ``retries`` field counts the heals.
+    """
     if requests < 1:
         raise ValueError(f"requests must be positive, got {requests}")
     if concurrency < 1:
@@ -192,17 +207,20 @@ def run_closed_loop(address: Tuple[str, int], queries: Sequence[str],
 
     def user() -> None:
         try:
-            client = ServiceClient(*address).connect()
+            client = ServiceClient(*address, retry=retry).connect()
         except (ConnectionError, OSError):
             recorder.failure("connect")
             return
         with client:
-            while True:
-                serial = next(ticket)
-                if serial >= requests:
-                    return
-                _fire(client, queries[serial % len(queries)], algorithm,
-                      recorder)
+            try:
+                while True:
+                    serial = next(ticket)
+                    if serial >= requests:
+                        return
+                    _fire(client, queries[serial % len(queries)], algorithm,
+                          recorder)
+            finally:
+                recorder.add_retries(client.retries)
 
     started = time.perf_counter()
     _run_threads([threading.Thread(target=user, name=f"loadgen-{index}")
@@ -212,13 +230,15 @@ def run_closed_loop(address: Tuple[str, int], queries: Sequence[str],
                       concurrency=concurrency, algorithm=algorithm,
                       elapsed_seconds=elapsed,
                       latencies_ms=recorder.latencies_ms,
-                      errors=recorder.errors)
+                      errors=recorder.errors,
+                      retries=recorder.retries)
 
 
 def run_open_loop(address: Tuple[str, int], queries: Sequence[str],
                   rate: float = 100.0, duration: float = 2.0,
                   concurrency: int = 4,
-                  algorithm: str = "validrtf") -> LoadReport:
+                  algorithm: str = "validrtf",
+                  retry: Optional[RetryPolicy] = None) -> LoadReport:
     """Fire at a target aggregate ``rate`` (req/s) for ``duration`` seconds."""
     if rate <= 0:
         raise ValueError(f"rate must be positive, got {rate}")
@@ -234,21 +254,24 @@ def run_open_loop(address: Tuple[str, int], queries: Sequence[str],
 
     def user(index: int) -> None:
         try:
-            client = ServiceClient(*address).connect()
+            client = ServiceClient(*address, retry=retry).connect()
         except (ConnectionError, OSError):
             recorder.failure("connect")
             return
         with client:
-            # Stagger users across one interval so the aggregate arrival
-            # process is (roughly) uniform, not concurrency-sized bursts.
-            origin = time.perf_counter() + (index / concurrency) * interval
-            for step in range(planned_per_user):
-                now = time.perf_counter()
-                scheduled = origin + step * interval
-                if scheduled > now:
-                    time.sleep(scheduled - now)
-                _fire(client, queries[(index + step * concurrency)
-                                      % len(queries)], algorithm, recorder)
+            try:
+                # Stagger users across one interval so the aggregate arrival
+                # process is (roughly) uniform, not concurrency-sized bursts.
+                origin = time.perf_counter() + (index / concurrency) * interval
+                for step in range(planned_per_user):
+                    now = time.perf_counter()
+                    scheduled = origin + step * interval
+                    if scheduled > now:
+                        time.sleep(scheduled - now)
+                    _fire(client, queries[(index + step * concurrency)
+                                          % len(queries)], algorithm, recorder)
+            finally:
+                recorder.add_retries(client.retries)
 
     started = time.perf_counter()
     _run_threads([threading.Thread(target=user, args=(index,),
@@ -259,7 +282,8 @@ def run_open_loop(address: Tuple[str, int], queries: Sequence[str],
                       concurrency=concurrency, algorithm=algorithm,
                       elapsed_seconds=elapsed, target_rate=rate,
                       latencies_ms=recorder.latencies_ms,
-                      errors=recorder.errors)
+                      errors=recorder.errors,
+                      retries=recorder.retries)
 
 
 # ---------------------------------------------------------------------- #
@@ -271,7 +295,8 @@ def loadtest(config: ServiceConfig, queries: Sequence[str],
              mode: str = "closed", requests: int = 200, concurrency: int = 4,
              rate: float = 100.0, duration: float = 2.0,
              algorithm: str = "validrtf",
-             fetch_stats: bool = False) -> LoadReport:
+             fetch_stats: bool = False,
+             retry: Optional[RetryPolicy] = None) -> LoadReport:
     """Drive one load run, self-hosting a server unless ``address`` is given.
 
     Returns the :class:`LoadReport`, annotated with the service config and
@@ -283,11 +308,11 @@ def loadtest(config: ServiceConfig, queries: Sequence[str],
         if mode == "closed":
             return run_closed_loop(target, queries, requests=requests,
                                    concurrency=concurrency,
-                                   algorithm=algorithm)
+                                   algorithm=algorithm, retry=retry)
         if mode == "open":
             return run_open_loop(target, queries, rate=rate,
                                  duration=duration, concurrency=concurrency,
-                                 algorithm=algorithm)
+                                 algorithm=algorithm, retry=retry)
         raise ValueError(f"unknown mode {mode!r}; expected closed or open")
 
     if address is not None:

@@ -48,9 +48,14 @@ ERROR_TIMEOUT = "timeout"
 ERROR_UNSUPPORTED = "unsupported"
 #: Anything unexpected; the message carries the exception text.
 ERROR_INTERNAL = "internal"
+#: Transient loss of capacity: a quarantined worker or a storage fault.
+#: Safe (and worthwhile) to retry with backoff — mutations are journaled
+#: and idempotency-keyed, so a replay can never double-apply.
+ERROR_DEGRADED = "degraded"
 
 ERROR_CODES = (ERROR_BAD_REQUEST, ERROR_UNKNOWN_ALGORITHM, ERROR_OVERLOADED,
-               ERROR_TIMEOUT, ERROR_UNSUPPORTED, ERROR_INTERNAL)
+               ERROR_TIMEOUT, ERROR_UNSUPPORTED, ERROR_INTERNAL,
+               ERROR_DEGRADED)
 
 
 class ServiceError(Exception):

@@ -24,8 +24,9 @@ Supported operations::
                       "doc_filter": [...]}
     {"op": "compare", "query": ..., "cid_mode": ...}
     {"op": "rank",    "query": ..., "algorithm": ..., "cid_mode": ...}
-    {"op": "update",     "doc": ..., "xml": ...}
-    {"op": "delete_doc", "doc": ...}
+    {"op": "update",     "doc": ..., "xml": ..., "key": ...}
+    {"op": "delete_doc", "doc": ..., "key": ...}
+    {"op": "compact"}
 
 Every request may carry an ``id``, echoed verbatim in the response.
 ``doc_filter`` (a list of doc ids) restricts a search to a subset of a corpus
@@ -41,11 +42,20 @@ anything else answers ``unsupported``.  After a mutation commits, the pool's
 worker engines are invalidated, so every later request sees the new corpus
 without a restart; responses carry the delta segment id and the live
 document list.
+
+Mutations may carry an idempotency ``key``: replaying a keyed mutation
+whose response was lost answers the original outcome from the mutation
+journal instead of applying it twice.  ``compact`` folds every delta
+segment into the base generation on demand (the background compactor does
+the same on a segment-count trigger).  Storage faults during a mutation
+answer the typed ``degraded`` error — safe to retry, because the journal
+rolls half-applied mutations back or forward.
 """
 
 from __future__ import annotations
 
 import asyncio
+import sqlite3
 import sys
 import threading
 from dataclasses import dataclass
@@ -57,6 +67,7 @@ from ..core import ALGORITHM_NAMES, Query, SearchEngine
 from ..core.errors import EmptyQueryError, SearchError
 from ..corpus import CorpusSearchEngine
 from ..core.node_record import CID_MODES
+from ..faults import FaultPlan
 from ..obs import MetricsRegistry, Snapshot, merge_snapshots, split_series_key
 from ..obs import names as metric_names
 from ..storage import SegmentedStore
@@ -68,9 +79,11 @@ from .batcher import (
     DEFAULT_MAX_WAIT_SECONDS,
     RequestBatcher,
 )
+from .compactor import BackgroundCompactor
 from .engine_pool import DEFAULT_CACHE_SIZE, DEFAULT_WORKERS, EnginePool
 from .protocol import (
     ERROR_BAD_REQUEST,
+    ERROR_DEGRADED,
     ERROR_INTERNAL,
     ERROR_UNKNOWN_ALGORITHM,
     ERROR_UNSUPPORTED,
@@ -123,6 +136,15 @@ class ServiceConfig:
     #: Log (and count) requests slower than this many seconds; ``None``
     #: disables the slow-query log.
     slow_query_seconds: Optional[float] = None
+    #: Fault-plan spec string (``seed=7,error=0.05,...``) injected at the
+    #: storage seam; ``None`` serves faithfully.  Needs a store-backed
+    #: backend (sqlite, sharded, or corpus with ``db_path``).
+    fault_plan: Optional[str] = None
+    #: Start a background compactor folding delta segments once this many
+    #: pile up; ``None`` disables it.  Needs a mutable corpus backend.
+    compact_segments: Optional[int] = None
+    #: Poll period of the background compactor's trigger check.
+    compact_interval_seconds: float = 0.5
 
     def build(self, tree: Optional[XMLTree] = None) -> "SearchService":
         """Assemble pool + batcher + admission into a ready service.
@@ -131,13 +153,30 @@ class ServiceConfig:
         service-level series (requests, queue waits, shed counters); worker
         engines keep per-thread registries merged on snapshot.
         """
+        plan = (FaultPlan.parse(self.fault_plan)
+                if self.fault_plan else None)
         pool = EnginePool.for_backend(
             self.backend, tree=tree, workers=self.workers,
             cache_size=self.cache_size, shards=self.shards,
             db_path=self.db_path, document=self.document,
             representation=self.representation,
-            documents=self.documents)
+            documents=self.documents,
+            fault_plan=plan)
         metrics = MetricsRegistry()
+        if plan is not None:
+            plan.bind(metrics)
+        if pool.mutable_store is not None:
+            pool.mutable_store.set_metrics(metrics)
+        compactor: Optional[BackgroundCompactor] = None
+        if self.compact_segments is not None:
+            if pool.mutable_store is None:
+                pool.shutdown()
+                raise ValueError(
+                    "background compaction needs a mutable corpus backend "
+                    "(--backend corpus --db ...)")
+            compactor = BackgroundCompactor(
+                pool.mutable_store, pool, self.compact_segments,
+                self.compact_interval_seconds, metrics=metrics)
         return SearchService(
             pool,
             batcher=RequestBatcher(pool, self.max_batch_size,
@@ -150,6 +189,7 @@ class ServiceConfig:
             owns_pool=True,
             metrics=metrics,
             slow_query_seconds=self.slow_query_seconds,
+            compactor=compactor,
         )
 
 
@@ -169,7 +209,8 @@ class SearchService:
                  default_cid_mode: str = "minmax",
                  owns_pool: bool = False,
                  metrics: Optional[MetricsRegistry] = None,
-                 slow_query_seconds: Optional[float] = None) -> None:
+                 slow_query_seconds: Optional[float] = None,
+                 compactor: Optional[BackgroundCompactor] = None) -> None:
         if slow_query_seconds is not None and slow_query_seconds < 0:
             # Constructor-time misconfiguration, not a wire answer.
             raise ValueError(f"slow_query_seconds must be >= 0, "  # lint: allow(typed-errors)
@@ -183,6 +224,9 @@ class SearchService:
             metrics if metrics is not None else MetricsRegistry())
         self.slow_query_seconds = slow_query_seconds
         self._owns_pool = owns_pool
+        self.compactor = compactor
+        if compactor is not None:
+            compactor.start()
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -199,7 +243,7 @@ class SearchService:
             if measured:
                 self._observe_request(op, started, error.code, request)
             return error_response(error.code, error.message, request_id)
-        except Exception as error:  # noqa: BLE001 - the wire needs an answer
+        except Exception as error:  # noqa: BLE001 - the wire needs an answer  # lint: allow(exception-discipline)
             if measured:
                 self._observe_request(op, started, ERROR_INTERNAL, request)
             return error_response(ERROR_INTERNAL,
@@ -251,6 +295,8 @@ class SearchService:
             return await self._update(request)
         if op == "delete_doc":
             return await self._delete_doc(request)
+        if op == "compact":
+            return await self._compact(request)
         raise ServiceError(ERROR_BAD_REQUEST, f"unknown op {op!r}")
 
     # ------------------------------------------------------------------ #
@@ -401,9 +447,27 @@ class SearchService:
                                "a non-empty string 'doc' is required")
         return doc
 
+    @staticmethod
+    def _idempotency_key(request: Dict[str, object]) -> Optional[str]:
+        """The validated optional idempotency ``key`` of a mutation."""
+        key = request.get("key")
+        if key is None:
+            return None
+        if not isinstance(key, str) or not key.strip():
+            raise ServiceError(ERROR_BAD_REQUEST,
+                               "'key' must be a non-empty string when given")
+        return key
+
+    @staticmethod
+    def _degraded_message(error: sqlite3.OperationalError) -> str:
+        """The message of a storage fault's ``degraded`` answer."""
+        return (f"storage fault during the mutation ({error}); the mutation "
+                f"journal guarantees a clean retry")
+
     async def _update(self, request: Dict[str, object]) -> Dict[str, object]:
         store = self._mutable_store()
         doc = self._required_doc(request)
+        key = self._idempotency_key(request)
         xml = request.get("xml")
         if not isinstance(xml, str) or not xml.strip():
             raise ServiceError(ERROR_BAD_REQUEST,
@@ -414,26 +478,48 @@ class SearchService:
             raise ServiceError(ERROR_BAD_REQUEST,
                                f"unparsable xml: {error}") from None
 
-        def mutate() -> int:
-            segment = store.update_document(tree, doc)
+        def mutate() -> Tuple[int, List[str]]:
+            # The post-mutation reads stay inside this worker-side try as
+            # well: under a fault plan they can fault too, and they must
+            # answer `degraded`, not `internal`.
+            try:
+                segment = store.update_document(tree, doc,
+                                                idempotency_key=key)
+                documents = store.documents()
+            except sqlite3.OperationalError as error:
+                raise ServiceError(ERROR_DEGRADED,
+                                   self._degraded_message(error)) from error
             # Worker engines are snapshots; rebuild them so every request
             # dispatched from here on sees the post-update corpus.
             self.pool.invalidate_engines()
-            return segment
+            return segment, documents
 
         with self.admission:
-            segment = await self.admission.run(asyncio.wrap_future(
+            segment, documents = await self.admission.run(asyncio.wrap_future(
                 self.pool.submit_direct(mutate)))
         return ok_response(updated=doc, segment=segment,
-                           documents=store.documents())
+                           documents=documents)
 
     async def _delete_doc(self,
                           request: Dict[str, object]) -> Dict[str, object]:
         store = self._mutable_store()
         doc = self._required_doc(request)
+        key = self._idempotency_key(request)
 
-        def mutate() -> int:
-            live = store.documents()
+        def mutate() -> Tuple[int, List[str]]:
+            try:
+                # A keyed replay answers the recorded segment before any
+                # liveness checks — the document is already gone, and that
+                # is exactly what makes the replay a success, not a bad
+                # request.
+                if key is not None:
+                    replay = store.replay_of(key)
+                    if replay is not None:
+                        return replay, store.documents()
+                live = store.documents()
+            except sqlite3.OperationalError as error:
+                raise ServiceError(ERROR_DEGRADED,
+                                   self._degraded_message(error)) from error
             if doc not in live:
                 raise ServiceError(
                     ERROR_BAD_REQUEST,
@@ -445,17 +531,41 @@ class SearchService:
                     f"document (a corpus backend cannot serve an empty "
                     f"database)")
             try:
-                segment = store.delete_document(doc)
+                segment = store.delete_document(doc, idempotency_key=key)
+                documents = store.documents()
             except DocumentNotFound as error:  # raced with another delete
                 raise ServiceError(ERROR_BAD_REQUEST, str(error)) from None
+            except sqlite3.OperationalError as error:
+                raise ServiceError(ERROR_DEGRADED,
+                                   self._degraded_message(error)) from error
             self.pool.invalidate_engines()
-            return segment
+            return segment, documents
 
         with self.admission:
-            segment = await self.admission.run(asyncio.wrap_future(
+            segment, documents = await self.admission.run(asyncio.wrap_future(
                 self.pool.submit_direct(mutate)))
         return ok_response(deleted=doc, segment=segment,
-                           documents=store.documents())
+                           documents=documents)
+
+    async def _compact(self, request: Dict[str, object]) -> Dict[str, object]:
+        store = self._mutable_store()
+
+        def mutate() -> Tuple[Dict[str, int], int, List[str]]:
+            try:
+                outcome = store.compact()
+                segments = store.segment_count()
+                documents = store.documents()
+            except sqlite3.OperationalError as error:
+                raise ServiceError(ERROR_DEGRADED,
+                                   self._degraded_message(error)) from error
+            self.pool.invalidate_engines()
+            return outcome, segments, documents
+
+        with self.admission:
+            outcome, segments, documents = await self.admission.run(
+                asyncio.wrap_future(self.pool.submit_direct(mutate)))
+        return ok_response(compacted=outcome, segments=segments,
+                           documents=documents)
 
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection
@@ -474,13 +584,20 @@ class SearchService:
         return {"stats": stats, "metrics": self.metrics_snapshot()}
 
     def stats(self) -> Dict[str, object]:
-        """One merged stats payload: pool, batcher, admission, server."""
-        return {
+        """One merged stats payload: pool, batcher, admission, server.
+
+        A ``compactor`` section appears only when a background compactor
+        is attached — the key set stays stable for every other stack.
+        """
+        stats: Dict[str, object] = {
             "pool": self.pool.stats(),
             "batcher": self.batcher.stats(),
             "admission": self.admission.stats(),
             "server": self._server_stats(),
         }
+        if self.compactor is not None:
+            stats["compactor"] = self.compactor.stats()
+        return stats
 
     def _server_stats(self) -> Dict[str, object]:
         """Front-door counters — derived from the service registry."""
@@ -516,7 +633,9 @@ class SearchService:
         return merge_snapshots(snapshots)
 
     def close(self) -> None:
-        """Flush the batcher and (when owned) stop the pool."""
+        """Stop the compactor, flush the batcher, stop an owned pool."""
+        if self.compactor is not None:
+            self.compactor.stop()
         self.batcher.close()
         if self._owns_pool:
             self.pool.shutdown()
@@ -565,13 +684,38 @@ class SearchServer:
 
     async def _on_client(self, reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
+        """One connection's request loop, hardened against bad peers.
+
+        A mid-request disconnect drops this connection (counted, served
+        on) without touching the others; an oversized request line gets
+        the typed ``bad_request`` answer before the connection closes
+        (the stream is desynchronized past that point, so it cannot be
+        kept).  Malformed JSON lines answer ``bad_request`` and keep the
+        connection — the framing is still intact.
+        """
+        metrics = self.service.metrics
         try:
             while True:
                 try:
                     line = await reader.readline()
-                except (ConnectionError, ValueError,
-                        asyncio.LimitOverrunError):
-                    break  # ValueError: line beyond the read limit
+                except (ConnectionError, OSError):
+                    # The peer vanished mid-request; keep serving others.
+                    metrics.counter(metric_names.SERVER_DISCONNECTS).inc()
+                    break
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Line beyond the read limit.  Answer with the typed
+                    # error, then close: the tail of the oversized line is
+                    # still in flight, so the framing cannot recover.
+                    writer.write(encode_message(error_response(
+                        ERROR_BAD_REQUEST,
+                        f"request line exceeds the {_READLINE_LIMIT}-byte "
+                        f"limit")))
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        metrics.counter(
+                            metric_names.SERVER_DISCONNECTS).inc()
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -585,13 +729,14 @@ class SearchServer:
                 writer.write(encode_message(response))
                 try:
                     await writer.drain()
-                except ConnectionError:
+                except (ConnectionError, OSError):
+                    metrics.counter(metric_names.SERVER_DISCONNECTS).inc()
                     break
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, asyncio.CancelledError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
 
@@ -645,7 +790,7 @@ class ServerThread:
         server = SearchServer(self.service, self.host, self.port)
         try:
             self.address = await server.start()
-        except BaseException as error:  # noqa: BLE001 - surfaced in start()
+        except BaseException as error:  # noqa: BLE001 - surfaced in start()  # lint: allow(exception-discipline)
             self._startup_error = error
             self._loop = None  # the loop is about to close; stop() must
             self._stop = None  # not post to it

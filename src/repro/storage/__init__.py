@@ -30,6 +30,7 @@ from .posting_source import (
     source_for_store,
 )
 from .query import StoredDocumentSearch, StoreQuerySession, agreement_with_index
+from .verify import IntegrityFinding, IntegrityReport, verify_database
 
 __all__ = [
     "StorageError",
@@ -62,4 +63,7 @@ __all__ = [
     "StoredDocumentSearch",
     "StoreQuerySession",
     "agreement_with_index",
+    "IntegrityFinding",
+    "IntegrityReport",
+    "verify_database",
 ]

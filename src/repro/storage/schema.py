@@ -172,6 +172,31 @@ CREATE_TABLES_SQL: Tuple[str, ...] = (
     "ON segment_value (segment_id, document, keyword)",
     "CREATE INDEX IF NOT EXISTS idx_segment_value_dewey "
     "ON segment_value (segment_id, document, dewey)",
+    # ------------------------------------------------------------------ #
+    # Crash-safe mutations (repro.storage.segments).  Every journaled
+    # mutation (update/delete/compact) writes a ``pending`` intent row in
+    # its own transaction *before* touching any data table, and clears it
+    # only after the apply transaction commits.  A crash in between leaves
+    # the intent behind; startup recovery compares the data tables against
+    # the recorded ``expected`` row counts and rolls the mutation back
+    # (partial/absent apply) or forward (apply committed, clear lost).
+    # Rows carrying an ``idempotency_key`` flip to ``done`` instead of
+    # being deleted — they are the replay ledger that makes a retried
+    # mutation a no-op.  The DDL is idempotent, so legacy databases grow
+    # the journal on first open.
+    """
+    CREATE TABLE IF NOT EXISTS mutation_journal (
+        journal_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+        kind            TEXT NOT NULL,
+        document        TEXT NOT NULL,
+        segment_id      INTEGER NOT NULL,
+        expected        TEXT NOT NULL,
+        idempotency_key TEXT,
+        state           TEXT NOT NULL
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_mutation_journal_key "
+    "ON mutation_journal (idempotency_key)",
 )
 
 #: Dewey codes are stored as dotted strings; padding each component keeps the

@@ -24,6 +24,14 @@ sequence of immutable **delta segments**:
   base tables and clears the segment tables, leaving the database
   byte-for-byte equivalent (as observed through every query method) to one
   re-shredded from scratch at the same logical state.
+* Every mutation (update/delete/compact) is **crash-safe**: a ``pending``
+  intent row in the ``mutation_journal`` table commits before the apply
+  transaction and is cleared after it, so startup recovery can roll an
+  interrupted mutation back (partial/absent apply) or forward (apply
+  committed, clear lost) — the store always reopens to exactly the pre- or
+  post-mutation state.  Mutations carrying an idempotency key keep their
+  journal row as a ``done`` replay ledger entry, making a retried mutation
+  a no-op that answers the original segment id.
 
 :class:`SegmentedPostingSource` puts a segmented document behind the standard
 :class:`~repro.index.source.PostingSource` seam, so it slots into
@@ -40,11 +48,17 @@ documents of a legacy file into silent empty posting lists.
 
 from __future__ import annotations
 
+import json
+import sqlite3
 import threading
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+                    Union)
 
+from ..faults.plan import InjectedCrash
 from ..index.packed import PackedDeweyList, merge_packed
+from ..obs import MetricsRegistry
+from ..obs import names as metric_names
 from ..text import DEFAULT_TOKENIZER, Tokenizer
 from ..xmltree import DeweyCode, XMLTree
 from .errors import DocumentAlreadyStored, DocumentNotFound
@@ -90,6 +104,201 @@ class SegmentedStore(SQLiteStore):
         # by the instrumented pipeline via the posting source's read_stats).
         self.tombstone_hits = 0
         self.merged_cursors = 0
+        #: Crash-simulation hook: called at every journaled fault point with
+        #: ``(point_name, connection)``.  A :class:`repro.faults.FaultPlan`
+        #: (or the crash-point fuzzer) may tear the write and raise
+        #: :class:`~repro.faults.InjectedCrash`; mutation code deliberately
+        #: does not clean up after that exception.
+        self.fault_hook: Optional[
+            Callable[[str, sqlite3.Connection], None]] = None
+        self._metrics: Optional[MetricsRegistry] = None
+        #: Interrupted mutations resolved by journal recovery so far.
+        self.last_recovery: Dict[str, int] = {"rolled_back": 0,
+                                              "rolled_forward": 0}
+        self._note_recovery(self._recover())
+
+    # ------------------------------------------------------------------ #
+    # Mutation journal: crash safety and idempotent replay
+    # ------------------------------------------------------------------ #
+    def set_metrics(self, metrics: MetricsRegistry) -> None:
+        """Route journal events (and past recoveries) into a registry."""
+        self._metrics = metrics
+        for action, count in self.last_recovery.items():
+            if count:
+                metrics.counter(metric_names.JOURNAL_RECOVERIES,
+                                {"action": action}).inc(count)
+
+    def replay_of(self, idempotency_key: Optional[str]) -> Optional[int]:
+        """The recorded segment id of an already-applied keyed mutation.
+
+        ``None`` means the key is unknown and the mutation must run; a
+        value means the mutation already committed once and a retry must
+        be a no-op answering the original result.
+        """
+        if idempotency_key is None:
+            return None
+        row = self._connection.execute(
+            "SELECT segment_id FROM mutation_journal "
+            "WHERE idempotency_key = ? AND state = 'done' "
+            "ORDER BY journal_id DESC LIMIT 1", (idempotency_key,)).fetchone()
+        if row is None:
+            return None
+        if self._metrics is not None:
+            self._metrics.counter(metric_names.JOURNAL_REPLAYS).inc()
+        return int(row[0])
+
+    def _fault_point(self, name: str) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(name, self._connection)
+
+    def _journal_begin(self, kind: str, document: str, segment_id: int,
+                       expected: Dict[str, int],
+                       idempotency_key: Optional[str] = None) -> int:
+        """Commit a ``pending`` intent row in its own transaction."""
+        connection = self._connection
+        try:
+            cursor = connection.cursor()
+            cursor.execute(
+                "INSERT INTO mutation_journal (kind, document, segment_id, "
+                "expected, idempotency_key, state) "
+                "VALUES (?, ?, ?, ?, ?, 'pending')",
+                (kind, document, segment_id,
+                 json.dumps(expected, sort_keys=True), idempotency_key))
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        return int(cursor.lastrowid)
+
+    def _journal_finish(self, journal_id: int, kind: str,
+                        idempotency_key: Optional[str]) -> None:
+        """Clear the intent after the apply committed.
+
+        Keyed rows flip to ``done`` (the replay ledger); anonymous rows
+        are deleted.  If this step fails or is lost to a crash, recovery
+        rolls the mutation *forward* — the apply already committed.
+        """
+        connection = self._connection
+        try:
+            if idempotency_key is None:
+                connection.execute(
+                    "DELETE FROM mutation_journal WHERE journal_id = ?",
+                    (journal_id,))
+            else:
+                connection.execute(
+                    "UPDATE mutation_journal SET state = 'done' "
+                    "WHERE journal_id = ?", (journal_id,))
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        if self._metrics is not None:
+            self._metrics.counter(metric_names.JOURNAL_MUTATIONS,
+                                  {"kind": kind}).inc()
+
+    def _journal_abort(self, journal_id: int) -> None:
+        """Best-effort intent removal after an in-process apply rollback."""
+        connection = self._connection
+        try:
+            connection.execute(
+                "DELETE FROM mutation_journal WHERE journal_id = ?",
+                (journal_id,))
+            connection.commit()
+        except sqlite3.Error:
+            # The pending intent stays behind; startup or next-mutation
+            # recovery resolves it.  Never mask the original error.
+            connection.rollback()
+
+    def _recover_if_pending(self) -> None:
+        """Heal interrupted mutations before starting a new one."""
+        pending = self._scalar(
+            "SELECT COUNT(*) FROM mutation_journal WHERE state = 'pending'")
+        if pending:
+            self._note_recovery(self._recover())
+
+    def _note_recovery(self, report: Dict[str, int]) -> None:
+        for action, count in report.items():
+            self.last_recovery[action] = (
+                self.last_recovery.get(action, 0) + count)
+            if count and self._metrics is not None:
+                self._metrics.counter(metric_names.JOURNAL_RECOVERIES,
+                                      {"action": action}).inc(count)
+
+    def _recover(self) -> Dict[str, int]:
+        """Resolve every pending journal intent, atomically.
+
+        An intent whose apply committed in full (the data tables match the
+        recorded expected row counts) is rolled **forward** — only the
+        journal clear was lost.  Anything else (absent or torn apply) is
+        rolled **back** by deleting every row under the intent's segment
+        id.  The whole sweep commits once, so recovery itself is
+        crash-safe.
+        """
+        connection = self._connection
+        pending = connection.execute(
+            "SELECT journal_id, kind, document, segment_id, expected, "
+            "idempotency_key FROM mutation_journal WHERE state = 'pending' "
+            "ORDER BY journal_id").fetchall()
+        report = {"rolled_back": 0, "rolled_forward": 0}
+        if not pending:
+            return report
+        try:
+            cursor = connection.cursor()
+            for journal_id, kind, document, segment_id, raw, key in pending:
+                expected = json.loads(raw)
+                if self._mutation_applied(kind, document, int(segment_id),
+                                          expected):
+                    if key is None:
+                        cursor.execute(
+                            "DELETE FROM mutation_journal "
+                            "WHERE journal_id = ?", (journal_id,))
+                    else:
+                        cursor.execute(
+                            "UPDATE mutation_journal SET state = 'done' "
+                            "WHERE journal_id = ?", (journal_id,))
+                    report["rolled_forward"] += 1
+                else:
+                    if kind in ("update", "delete"):
+                        for table in _SEGMENT_TABLES:
+                            cursor.execute(
+                                f"DELETE FROM {table} WHERE segment_id = ?",
+                                (int(segment_id),))
+                    cursor.execute(
+                        "DELETE FROM mutation_journal WHERE journal_id = ?",
+                        (journal_id,))
+                    report["rolled_back"] += 1
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        return report
+
+    def _mutation_applied(self, kind: str, document: str, segment_id: int,
+                          expected: Dict[str, int]) -> bool:
+        """Did the intent's apply transaction commit in full?"""
+        if kind == "compact":
+            # Compaction's apply is one atomic transaction that ends with
+            # every segment table empty; if segments survive, it never
+            # committed.  (A no-op compact over zero segments leaves pre
+            # and post states identical, so either answer is correct.)
+            if int(expected.get("segments", 0)) == 0:
+                return True
+            return self.segment_count() == 0
+        if kind == "delete":
+            row = self._connection.execute(
+                "SELECT kind FROM segment "
+                "WHERE segment_id = ? AND document = ?",
+                (segment_id, document)).fetchone()
+            return row is not None and row[0] == SEGMENT_KIND_TOMBSTONE
+        counts = {
+            table: self._scalar(
+                f"SELECT COUNT(*) FROM {table} "
+                f"WHERE segment_id = ? AND document = ?", segment_id, document)
+            for table in _SEGMENT_TABLES
+        }
+        return counts == {table: int(count)
+                          for table, count in expected.items()}
 
     # ------------------------------------------------------------------ #
     # Location resolution
@@ -153,22 +362,48 @@ class SegmentedStore(SQLiteStore):
     # ------------------------------------------------------------------ #
     # Mutations
     # ------------------------------------------------------------------ #
-    def update_document(self, tree: XMLTree, name: str = "") -> int:
+    def update_document(self, tree: XMLTree, name: str = "",
+                        idempotency_key: Optional[str] = None) -> int:
         """Absorb a new version of one document as a fresh delta segment.
 
         Works for brand-new documents too (an add is an update with no
-        shadowed predecessor).  Returns the new segment id.
+        shadowed predecessor).  Returns the new segment id.  A repeated
+        ``idempotency_key`` makes the call a journal-backed no-op that
+        answers the original segment id.
         """
         document = name or tree.name or "document"
         shredded = shred_tree(tree, document, self.tokenizer)
-        return self.update_shredded(shredded)
+        return self.update_shredded(shredded, idempotency_key)
 
-    def update_shredded(self, shredded: ShreddedDocument) -> int:
-        """Write one already-shredded document version as a delta segment."""
+    def update_shredded(self, shredded: ShreddedDocument,
+                        idempotency_key: Optional[str] = None) -> int:
+        """Write one already-shredded document version as a delta segment.
+
+        The write is a journaled two-step: a ``pending`` intent row
+        commits first (recording the expected row counts), then the
+        segment rows commit in one apply transaction, then the intent is
+        cleared.  A crash at any point leaves a state that
+        :meth:`_recover` resolves to exactly the pre- or post-mutation
+        store.
+        """
         with self._write_lock:
+            self._recover_if_pending()
+            replayed = self.replay_of(idempotency_key)
+            if replayed is not None:
+                return replayed
             connection = self._connection
+            postings = list(packed_posting_rows(shredded))
+            expected = {"segment": 1,
+                        "segment_label": len(shredded.labels),
+                        "segment_element": len(shredded.elements),
+                        "segment_value": len(shredded.values),
+                        "segment_posting": len(postings)}
+            segment_id = self._next_segment_id()
+            journal_id = self._journal_begin("update", shredded.name,
+                                             segment_id, expected,
+                                             idempotency_key)
+            self._fault_point("update.intent")
             try:
-                segment_id = self._next_segment_id()
                 cursor = connection.cursor()
                 cursor.execute(
                     "INSERT INTO segment (segment_id, document, kind) "
@@ -179,6 +414,7 @@ class SegmentedStore(SQLiteStore):
                     "id) VALUES (?, ?, ?, ?)",
                     [(segment_id, shredded.name, row.label, row.label_id)
                      for row in shredded.labels])
+                self._fault_point("update.apply")
                 cursor.executemany(
                     "INSERT INTO segment_element (segment_id, document, "
                     "label, dewey, level, label_number_sequence, "
@@ -198,29 +434,52 @@ class SegmentedStore(SQLiteStore):
                     "INSERT INTO segment_posting (segment_id, document, "
                     "keyword, cardinality, blob) VALUES (?, ?, ?, ?, ?)",
                     [(segment_id, shredded.name, keyword, cardinality, blob)
-                     for keyword, cardinality, blob
-                     in packed_posting_rows(shredded)])
+                     for keyword, cardinality, blob in postings])
                 connection.commit()
+            except InjectedCrash:
+                # Simulated process death: leave the database exactly as
+                # the crash left it; journal recovery restores integrity.
+                raise
             except BaseException:
                 connection.rollback()
+                self._journal_abort(journal_id)
                 raise
+            self._fault_point("update.applied")
+            self._journal_finish(journal_id, "update", idempotency_key)
             return segment_id
 
-    def delete_document(self, name: str) -> int:
-        """Tombstone one live document; returns the tombstone's segment id."""
+    def delete_document(self, name: str,
+                        idempotency_key: Optional[str] = None) -> int:
+        """Tombstone one live document; returns the tombstone's segment id.
+
+        Journaled like :meth:`update_shredded`; a repeated
+        ``idempotency_key`` is a no-op answering the original segment id.
+        """
         with self._write_lock:
+            self._recover_if_pending()
+            replayed = self.replay_of(idempotency_key)
+            if replayed is not None:
+                return replayed
             self._require(name)
             connection = self._connection
+            segment_id = self._next_segment_id()
+            journal_id = self._journal_begin("delete", name, segment_id,
+                                             {"segment": 1}, idempotency_key)
+            self._fault_point("delete.intent")
             try:
-                segment_id = self._next_segment_id()
                 connection.execute(
                     "INSERT INTO segment (segment_id, document, kind) "
                     "VALUES (?, ?, ?)",
                     (segment_id, name, SEGMENT_KIND_TOMBSTONE))
                 connection.commit()
+            except InjectedCrash:
+                raise
             except BaseException:
                 connection.rollback()
+                self._journal_abort(journal_id)
                 raise
+            self._fault_point("delete.applied")
+            self._journal_finish(journal_id, "delete", idempotency_key)
             return segment_id
 
     def compact(self) -> Dict[str, int]:
@@ -234,10 +493,14 @@ class SegmentedStore(SQLiteStore):
         tombstoned documents removed, ``segments`` delta segments absorbed.
         """
         with self._write_lock:
+            self._recover_if_pending()
             connection = self._connection
+            segments = self.segment_count()
+            journal_id = self._journal_begin("compact", "", 0,
+                                             {"segments": segments})
+            self._fault_point("compact.intent")
             try:
                 latest = self._latest_events()
-                segments = self.segment_count()
                 folded = dropped = 0
                 cursor = connection.cursor()
                 for document in sorted(latest):
@@ -281,9 +544,14 @@ class SegmentedStore(SQLiteStore):
                 for table in _SEGMENT_TABLES:
                     cursor.execute(f"DELETE FROM {table}")
                 connection.commit()
+            except InjectedCrash:
+                raise
             except BaseException:
                 connection.rollback()
+                self._journal_abort(journal_id)
                 raise
+            self._fault_point("compact.applied")
+            self._journal_finish(journal_id, "compact", None)
             return {"folded": folded, "dropped": dropped,
                     "segments": segments}
 
@@ -296,6 +564,7 @@ class SegmentedStore(SQLiteStore):
         storing it into a fresh database.
         """
         with self._write_lock:
+            self._recover_if_pending()
             if self.location_of(shredded.name) is not None:
                 raise DocumentAlreadyStored(
                     f"document {shredded.name!r} already stored")
@@ -310,6 +579,7 @@ class SegmentedStore(SQLiteStore):
     def drop_document(self, name: str) -> None:
         """Physically remove every trace of one live document (all tables)."""
         with self._write_lock:
+            self._recover_if_pending()
             self._require(name)
             connection = self._connection
             try:

@@ -63,9 +63,23 @@ class SQLiteStore:
         self._connections: List[sqlite3.Connection] = []
         self._connections_lock = threading.Lock()
         self._closed = False
+        self._fault_plan = None  # set via set_fault_plan (chaos testing)
         # The constructing thread's connection doubles as the anchor that
         # keeps a shared in-memory database alive until close().
         self._connection.commit()
+
+    def set_fault_plan(self, plan) -> None:
+        """Install a :class:`repro.faults.FaultPlan` on the storage seam.
+
+        Every connection opened after this call is wrapped so each
+        statement consults the plan (injected ``OperationalError``\\ s and
+        latency spikes).  The calling thread's cached connection is
+        dropped so it too reopens wrapped; install the plan before
+        serving traffic — connections already opened by *other* threads
+        stay unwrapped.
+        """
+        self._fault_plan = plan
+        self._local = threading.local()
 
     @property
     def _connection(self) -> sqlite3.Connection:
@@ -84,9 +98,12 @@ class SQLiteStore:
             connection.execute("PRAGMA journal_mode = MEMORY")
             for statement in CREATE_TABLES_SQL:
                 connection.execute(statement)
-            self._local.connection = connection
+            connection.commit()
             with self._connections_lock:
                 self._connections.append(connection)
+            if self._fault_plan is not None:
+                connection = self._fault_plan.wrap(connection)
+            self._local.connection = connection
         return connection
 
     # ------------------------------------------------------------------ #

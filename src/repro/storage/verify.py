@@ -1,0 +1,242 @@
+"""Database integrity verification (``repro.cli verify --db``).
+
+Treats integrity checking as a first-class database operation: open the
+store (which runs journal recovery), then sweep the catalog, liveness and
+posting-blob invariants that the segmented mutation model guarantees.
+Returns a typed :class:`IntegrityReport` instead of printing, so the CLI,
+the chaos smoke and the crash-point fuzzer all assert on the same object.
+
+Checked invariants:
+
+* **journal** — no ``pending`` intent survives recovery.
+* **catalog** — every ``doc`` segment event owns label *and* element rows;
+  tombstone events own no payload rows; no payload row is orphaned from
+  the ``segment`` catalog.
+* **liveness** — every document named by any base table has element rows
+  (the base row sets are complete), and live documents resolve to exactly
+  one location.
+* **posting blobs** — each packed posting blob (base and segment) decodes,
+  its recorded cardinality matches the decoded length, and the decoded
+  Dewey list equals the distinct value-row deweys for that
+  (document, keyword) — the blob is a faithful derived artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from ..index.packed import PackedDeweyList
+from .schema import decode_dewey
+from .segments import SEGMENT_KIND_DOC, SEGMENT_KIND_TOMBSTONE, SegmentedStore
+
+__all__ = ["IntegrityFinding", "IntegrityReport", "verify_database"]
+
+
+@dataclass(frozen=True)
+class IntegrityFinding:
+    """One violated (or noteworthy) invariant."""
+
+    code: str
+    severity: str  # "error" | "info"
+    message: str
+
+    def payload(self) -> Dict[str, str]:
+        return {"code": self.code, "severity": self.severity,
+                "message": self.message}
+
+
+@dataclass
+class IntegrityReport:
+    """The typed result of one verification sweep."""
+
+    path: str
+    documents: int = 0
+    segments: int = 0
+    recovered: Dict[str, int] = field(default_factory=dict)
+    findings: List[IntegrityFinding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not any(finding.severity == "error"
+                       for finding in self.findings)
+
+    def error(self, code: str, message: str) -> None:
+        self.findings.append(IntegrityFinding(code, "error", message))
+
+    def info(self, code: str, message: str) -> None:
+        self.findings.append(IntegrityFinding(code, "info", message))
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "clean": self.clean,
+            "documents": self.documents,
+            "segments": self.segments,
+            "recovered": dict(self.recovered),
+            "findings": [finding.payload() for finding in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [f"verify {self.path}: "
+                 f"{self.documents} live document(s), "
+                 f"{self.segments} delta segment(s)"]
+        recovered = sum(self.recovered.values())
+        if recovered:
+            lines.append(
+                f"  recovered {recovered} interrupted mutation(s) at open "
+                f"(back={self.recovered.get('rolled_back', 0)}, "
+                f"forward={self.recovered.get('rolled_forward', 0)})")
+        for finding in self.findings:
+            lines.append(f"  [{finding.severity}] {finding.code}: "
+                         f"{finding.message}")
+        lines.append("OK: all integrity checks passed" if self.clean
+                     else "FAIL: integrity violations found")
+        return "\n".join(lines)
+
+
+def verify_database(path: Union[str, Path]) -> IntegrityReport:
+    """Open ``path`` (running journal recovery) and sweep every invariant."""
+    store = SegmentedStore(path)
+    try:
+        report = IntegrityReport(path=str(path))
+        report.recovered = dict(store.last_recovery)
+        if sum(report.recovered.values()):
+            report.info(
+                "journal-recovered",
+                f"resolved {sum(report.recovered.values())} interrupted "
+                f"mutation(s) left by a crash")
+        report.documents = len(store.documents())
+        report.segments = store.segment_count()
+        connection = store._connection
+        _check_journal(connection, report)
+        _check_catalog(connection, report)
+        _check_liveness(connection, report)
+        _check_posting_blobs(connection, report)
+        return report
+    finally:
+        store.close()
+
+
+def _check_journal(connection: Any, report: IntegrityReport) -> None:
+    pending = connection.execute(
+        "SELECT COUNT(*) FROM mutation_journal "
+        "WHERE state = 'pending'").fetchone()[0]
+    if pending:
+        report.error("journal-pending",
+                     f"{pending} pending journal intent(s) survived "
+                     f"recovery")
+
+
+def _check_catalog(connection: Any, report: IntegrityReport) -> None:
+    events: Dict[Tuple[int, str], str] = {
+        (int(segment), document): kind
+        for segment, document, kind in connection.execute(
+            "SELECT segment_id, document, kind FROM segment")}
+    for (segment, document), kind in sorted(events.items()):
+        if kind not in (SEGMENT_KIND_DOC, SEGMENT_KIND_TOMBSTONE):
+            report.error(
+                "catalog-unknown-kind",
+                f"segment {segment} of {document!r} has unknown kind "
+                f"{kind!r}")
+    payload_tables = ("segment_label", "segment_element", "segment_value",
+                      "segment_posting")
+    owned: Dict[Tuple[int, str], Dict[str, int]] = {}
+    for table in payload_tables:
+        for segment, document, count in connection.execute(
+                f"SELECT segment_id, document, COUNT(*) FROM {table} "
+                f"GROUP BY segment_id, document"):
+            owner = owned.setdefault((int(segment), document), {})
+            owner[table] = int(count)
+    for key, counts in sorted(owned.items()):
+        segment, document = key
+        kind = events.get(key)
+        if kind is None:
+            report.error(
+                "catalog-orphan-rows",
+                f"{sum(counts.values())} payload row(s) for segment "
+                f"{segment} of {document!r} have no catalog entry")
+        elif kind == SEGMENT_KIND_TOMBSTONE:
+            report.error(
+                "tombstone-with-rows",
+                f"tombstone segment {segment} of {document!r} owns "
+                f"{sum(counts.values())} payload row(s)")
+    for key, kind in sorted(events.items()):
+        if kind != SEGMENT_KIND_DOC:
+            continue
+        segment, document = key
+        counts = owned.get(key, {})
+        for table in ("segment_label", "segment_element"):
+            if not counts.get(table):
+                report.error(
+                    "catalog-missing-rows",
+                    f"doc segment {segment} of {document!r} has no "
+                    f"{table} rows — torn write")
+
+
+def _check_liveness(connection: Any, report: IntegrityReport) -> None:
+    elements = {document for (document,) in connection.execute(
+        "SELECT DISTINCT document FROM element")}
+    for table in ("label", "value", "posting"):
+        for (document,) in connection.execute(
+                f"SELECT DISTINCT document FROM {table}"):
+            if document not in elements:
+                report.error(
+                    "base-orphan-rows",
+                    f"base {table} rows for {document!r} have no element "
+                    f"rows")
+    for (document,) in connection.execute(
+            "SELECT DISTINCT document FROM value WHERE (document, dewey) "
+            "NOT IN (SELECT document, dewey FROM element)"):
+        report.error(
+            "value-dangling-node",
+            f"base value rows of {document!r} name deweys missing from "
+            f"element")
+
+
+def _check_posting_blobs(connection: Any, report: IntegrityReport) -> None:
+    checks = (
+        ("posting", "value",
+         "SELECT document, keyword, cardinality, blob FROM posting",
+         "SELECT DISTINCT dewey FROM value "
+         "WHERE document = ? AND keyword = ? ORDER BY dewey", ()),
+        ("segment_posting", "segment_value",
+         "SELECT segment_id, document, keyword, cardinality, blob "
+         "FROM segment_posting",
+         "SELECT DISTINCT dewey FROM segment_value WHERE segment_id = ? "
+         "AND document = ? AND keyword = ? ORDER BY dewey", ("segment_id",)),
+    )
+    for blob_table, truth_table, blob_sql, truth_sql, extra in checks:
+        for row in connection.execute(blob_sql).fetchall():
+            if extra:
+                segment, document, keyword, cardinality, blob = row
+                truth_key: Tuple[Any, ...] = (segment, document, keyword)
+                where = f"segment {segment} of {document!r}"
+            else:
+                document, keyword, cardinality, blob = row
+                truth_key = (document, keyword)
+                where = f"base document {document!r}"
+            try:
+                decoded = PackedDeweyList.from_blob(blob)
+            except (ValueError, TypeError) as error:
+                report.error(
+                    "posting-blob-corrupt",
+                    f"{where}: blob for keyword {keyword!r} does not "
+                    f"decode ({error})")
+                continue
+            if len(decoded) != int(cardinality):
+                report.error(
+                    "posting-cardinality-mismatch",
+                    f"{where}: keyword {keyword!r} records cardinality "
+                    f"{cardinality} but the blob holds {len(decoded)} "
+                    f"posting(s)")
+                continue
+            truth = [decode_dewey(text) for (text,) in
+                     connection.execute(truth_sql, truth_key)]
+            blob_deweys = [tuple(dewey.components) for dewey in decoded]
+            if blob_deweys != truth:
+                report.error(
+                    "posting-blob-mismatch",
+                    f"{where}: blob deweys for keyword {keyword!r} do not "
+                    f"match the {truth_table} ground truth")

@@ -122,10 +122,11 @@ class TestEngine:
         with pytest.raises(AnalysisError):
             get_rule("no-such-rule")
 
-    def test_registry_lists_the_six_rules(self):
+    def test_registry_lists_the_seven_rules(self):
         assert rule_names() == [
-            "bench-honesty", "hot-loop-purity", "metrics-discipline",
-            "parity-registration", "sqlite-discipline", "typed-errors",
+            "bench-honesty", "exception-discipline", "hot-loop-purity",
+            "metrics-discipline", "parity-registration", "sqlite-discipline",
+            "typed-errors",
         ]
 
     def test_missing_path_raises(self, tmp_path):
@@ -616,6 +617,92 @@ class TestMetricsDiscipline:
         diagnostics = self.lint_obs(tmp_path, """
             def handle(registry, name):
                 registry.counter(name).inc()  # lint: allow(metrics-discipline)
+        """)
+        assert diagnostics == []
+
+
+# ---------------------------------------------------------------------- #
+# R7: exception discipline
+# ---------------------------------------------------------------------- #
+class TestExceptionDiscipline:
+    def lint_src(self, tmp_path, body):
+        return lint(tmp_path, {"src/repro/service/s.py": body},
+                    rules=["exception-discipline"])
+
+    def test_bare_except_fails(self, tmp_path):
+        diagnostics = self.lint_src(tmp_path, """
+            def read(path):
+                try:
+                    return open(path).read()
+                except:
+                    return ""
+        """)
+        assert any("bare 'except:'" in d.message for d in diagnostics)
+
+    def test_swallowed_broad_catch_fails(self, tmp_path):
+        diagnostics = self.lint_src(tmp_path, """
+            def tick(store):
+                try:
+                    store.compact()
+                except Exception:
+                    pass
+        """)
+        assert any("'except Exception' swallows" in d.message
+                   for d in diagnostics)
+
+    def test_broad_catch_in_tuple_fails(self, tmp_path):
+        diagnostics = self.lint_src(tmp_path, """
+            def tick(store):
+                try:
+                    store.compact()
+                except (ValueError, BaseException):
+                    return None
+        """)
+        assert any("'except BaseException' swallows" in d.message
+                   for d in diagnostics)
+
+    def test_reraising_broad_catch_passes(self, tmp_path):
+        diagnostics = self.lint_src(tmp_path, """
+            def tick(store, log):
+                try:
+                    store.compact()
+                except Exception as error:
+                    log(error)
+                    raise
+        """)
+        assert diagnostics == []
+
+    def test_specific_catch_passes(self, tmp_path):
+        diagnostics = self.lint_src(tmp_path, """
+            def read(path):
+                try:
+                    return open(path).read()
+                except (OSError, ValueError):
+                    return ""
+        """)
+        assert diagnostics == []
+
+    def test_pragma_suppresses_finding(self, tmp_path):
+        diagnostics = self.lint_src(tmp_path, """
+            def tick(store):
+                try:
+                    store.compact()
+                except Exception:  # lint: allow(exception-discipline)
+                    pass
+        """)
+        assert diagnostics == []
+
+    def test_raise_inside_nested_handler_counts(self, tmp_path):
+        # A raise anywhere in the handler body (even conditional) is a
+        # deliberate decision; the rule only hunts silent swallows.
+        diagnostics = self.lint_src(tmp_path, """
+            def tick(store, fatal):
+                try:
+                    store.compact()
+                except Exception as error:
+                    if fatal(error):
+                        raise
+                    return None
         """)
         assert diagnostics == []
 

@@ -15,20 +15,26 @@ sharded backend lives behind the ``bench`` marker in
 
 from __future__ import annotations
 
+import shutil
+
 import pytest
 
 from fuzz_util import (
     assert_corpus_equals_union,
     assert_segmented_matches_fresh,
     build_corpus_engine,
+    fresh_oracle,
     random_corpus,
+    random_document,
     random_queries,
     reference_engines,
     run_mutation_sequence,
     segmented_engine,
+    wire_lines,
 )
 from repro.core import ALGORITHM_NAMES
-from repro.storage import SegmentedStore
+from repro.faults import InjectedCrash
+from repro.storage import SegmentedStore, verify_database
 
 SEEDS = (1, 2, 3)
 BACKENDS = ("memory", "sqlite")
@@ -132,6 +138,111 @@ def test_mutated_corpus_equals_per_document_union():
 
     run_mutation_sequence(store, state, seed, MUTATION_STEPS, check)
     store.close()
+
+
+# ---------------------------------------------------------------------- #
+# Crash-point differential fuzz: kill the process at every journaled
+# fault point; the reopened database must answer exactly like the fresh
+# pre-mutation or post-mutation oracle (atomicity), never anything else.
+# ---------------------------------------------------------------------- #
+#: (fault point, tear?) per mutation kind; a torn kill commits the
+#: partial apply transaction first, simulating a torn page + power loss.
+CRASH_POINTS = {
+    "update": (("update.intent", False), ("update.apply", True),
+               ("update.applied", False)),
+    "delete": (("delete.intent", False), ("delete.applied", False)),
+    "compact": (("compact.intent", False), ("compact.applied", False)),
+}
+
+
+def _kill_hook(point: str, tear: bool):
+    def hook(name, connection):
+        if name == point:
+            if tear:
+                connection.commit()
+            raise InjectedCrash(f"killed at {name}")
+    return hook
+
+
+def _apply(store, state, kind, name, tree):
+    if kind == "update":
+        store.update_document(tree, name)
+        state[name] = tree
+    elif kind == "delete":
+        store.delete_document(name)
+        del state[name]
+    else:
+        store.compact()
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_crash_at_every_kill_point_recovers(representation, tmp_path):
+    """The crash-point differential contract.
+
+    For every mutation of a seeded sequence and every journaled fault
+    point of that mutation kind, crash a copy of the database mid-flight,
+    reopen it (journal recovery runs), and assert the survivor answers
+    byte-identically to either the pre-mutation or the post-mutation
+    fresh-rebuild oracle — a mutation is all-or-nothing under any crash —
+    and that ``verify_database`` finds a clean store.
+    """
+    seed = 11
+    state = random_corpus(seed, min_docs=2, max_docs=3, max_nodes=20)
+    db = str(tmp_path / "crash.db")
+    store = SegmentedStore(db)
+    for name in sorted(state):
+        store.store_tree(state[name], name)
+    queries = random_queries(seed, count=2)
+    docs = sorted(state)
+    steps = (
+        ("update", "doc-new", random_document(seed * 131 + 1, max_nodes=20)),
+        ("update", docs[0], random_document(seed * 131 + 2, max_nodes=20)),
+        ("compact", "", None),
+        ("delete", docs[-1], None),
+    )
+    trial_no = 0
+    for kind, name, tree in steps:
+        pre_state = dict(state)
+        post_state = dict(state)
+        if kind == "update":
+            post_state[name] = tree
+        elif kind == "delete":
+            del post_state[name]
+        pre_lines = wire_lines(fresh_oracle(pre_state, representation),
+                               queries)
+        post_lines = wire_lines(fresh_oracle(post_state, representation),
+                                queries)
+        store.close()
+        for point, tear in CRASH_POINTS[kind]:
+            trial_no += 1
+            trial = str(tmp_path / f"trial-{trial_no}.db")
+            shutil.copy(db, trial)
+            victim = SegmentedStore(trial)
+            victim.fault_hook = _kill_hook(point, tear)
+            with pytest.raises(InjectedCrash):
+                _apply(victim, dict(state), kind, name, tree)
+            victim.close()
+            # "Reboot": recovery runs at open and resolves the intent —
+            # rolled back must answer the pre-mutation oracle, rolled
+            # forward the post-mutation one; nothing in between exists.
+            survivor = SegmentedStore(trial)
+            recovery = dict(survivor.last_recovery)
+            assert sum(recovery.values()) == 1, (kind, point, recovery)
+            forward = recovery["rolled_forward"] == 1
+            outcome = post_state if forward else pre_state
+            assert set(survivor.documents()) == set(outcome), (kind, point)
+            got = wire_lines(
+                segmented_engine(survivor, outcome, representation), queries)
+            assert got == (post_lines if forward else pre_lines), \
+                (kind, point, representation, forward)
+            survivor.close()
+            report = verify_database(trial)
+            assert report.clean, (kind, point, report.render())
+        # The kill points survived; now apply the mutation for real.
+        store = SegmentedStore(db)
+        _apply(store, state, kind, name, tree)
+    store.close()
+    assert verify_database(db).clean
 
 
 def test_corpus_sharding_never_changes_answers():

@@ -472,6 +472,138 @@ def test_mutations_on_pinned_subset_corpus_are_unsupported(tmp_path):
     pool.shutdown()
 
 
+def test_served_compact_wire_op(served_mutable):
+    """The ``compact`` op folds segments live; served answers stay
+    byte-identical to a direct engine over the compacted corpus."""
+    from repro.xmltree import parse_string, to_xml_string
+
+    server = served_mutable
+    xml = to_xml_string(team_tree()).replace("Conley", "Morant")
+    reference = CorpusSearchEngine.from_trees(
+        {"publications": publications_tree(),
+         "team": parse_string(xml, "team")}, backend="memory")
+    with ServiceClient(*server.address) as client:
+        client.update("team", xml)
+        outcome = client.compact()
+        assert outcome["compacted"]["segments"] == 1
+        assert outcome["compacted"]["folded"] == 1
+        assert outcome["segments"] == 0
+        assert outcome["documents"] == ["publications", "team"]
+        for query_name in ("Q1", "Q4"):
+            query = PAPER_QUERIES[query_name]
+            for algorithm in ALGORITHM_NAMES:
+                over_the_wire = client.search(query, algorithm)
+                direct = result_payload(reference.search(query, algorithm))
+                assert encode_message(over_the_wire) == \
+                    encode_message(direct), (query_name, algorithm)
+
+
+def test_compact_on_single_document_backend_is_unsupported(served):
+    server, _ = served[("publications", "memory")]
+    with ServiceClient(*server.address) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.compact()
+        assert excinfo.value.code == "unsupported"
+
+
+def test_keyed_update_replay_is_idempotent(served_mutable):
+    """Replaying an update with the same idempotency key answers the
+    original segment without applying the mutation twice."""
+    server = served_mutable
+    xml = "<notes><note>replayed keyword</note></notes>"
+    with ServiceClient(*server.address) as client:
+        first = client.update("notes", xml, idempotency_key="put-1")
+        replay = client.update("notes", xml, idempotency_key="put-1")
+        assert replay["segment"] == first["segment"]
+        assert replay["documents"] == first["documents"]
+        stats = client.stats("pool")
+        assert stats  # the replay never rebuilt engines or wrote a segment
+        payload = client.search("replayed keyword")
+        assert [entry["doc"] for entry in payload["documents"]] == ["notes"]
+
+
+def test_keyed_delete_replay_is_idempotent(served_mutable):
+    """A replayed keyed delete answers the recorded segment even though
+    the document is already gone — not ``bad_request``."""
+    server = served_mutable
+    with ServiceClient(*server.address) as client:
+        first = client.delete_doc("team", idempotency_key="del-1")
+        replay = client.delete_doc("team", idempotency_key="del-1")
+        assert replay["segment"] == first["segment"]
+        assert replay["deleted"] == "team"
+        assert replay["documents"] == ["publications"]
+
+
+def test_mutation_key_validation_is_typed(served_mutable):
+    server = served_mutable
+    with ServiceClient(*server.address) as client:
+        for message in ({"op": "update", "doc": "team", "xml": "<a/>",
+                         "key": ""},
+                        {"op": "delete_doc", "doc": "team", "key": 7}):
+            response = client.request(message)
+            assert response["ok"] is False, message
+            assert response["error"]["code"] == "bad_request", message
+
+
+# ---------------------------------------------------------------------- #
+# Self-healing: degraded answers, quarantine, retrying clients
+# ---------------------------------------------------------------------- #
+def _flaky_pool(failures: int, backoff: float = 0.05) -> EnginePool:
+    """A pool whose engine factory fails the first ``failures`` times."""
+    state = {"left": failures}
+
+    def factory() -> SearchEngine:
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise RuntimeError("simulated engine-build failure")
+        return SearchEngine(publications_tree())
+
+    return EnginePool(factory, workers=1,
+                      rebuild_backoff_seconds=backoff,
+                      max_rebuild_backoff_seconds=1.0)
+
+
+def test_engine_rebuild_failure_answers_degraded():
+    """A failing engine factory quarantines the worker and answers the
+    typed ``degraded`` error — then heals once the backoff elapses."""
+    import time
+
+    pool = _flaky_pool(failures=1, backoff=0.3)
+    with ServerThread(pool) as server:
+        with ServiceClient(*server.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.search(PAPER_QUERIES["Q1"])
+            assert excinfo.value.code == "degraded"
+            assert "quarantined" in excinfo.value.message
+            # While quarantined, requests are refused (still degraded)...
+            with pytest.raises(ServiceError) as excinfo:
+                client.search(PAPER_QUERIES["Q1"])
+            assert excinfo.value.code == "degraded"
+            # ...and once the backoff elapses the worker rebuilds.
+            time.sleep(0.4)
+            payload = client.search(PAPER_QUERIES["Q1"])
+            assert payload["count"] >= 1
+            stats = client.stats("pool")["pool"]
+            assert stats["rebuilds"] >= 1
+            assert stats["rebuild_failures"] == 1
+            assert stats["quarantine_refusals"] >= 1
+    pool.shutdown()
+
+
+def test_retrying_client_heals_degraded_transparently():
+    """A client under a RetryPolicy never sees the transient failure."""
+    from repro.service import RetryPolicy
+
+    pool = _flaky_pool(failures=1, backoff=0.02)
+    with ServerThread(pool) as server:
+        retry = RetryPolicy(attempts=5, base_delay_seconds=0.05, seed=11)
+        with ServiceClient(*server.address, retry=retry) as client:
+            payload = client.search(PAPER_QUERIES["Q1"])
+            assert payload["count"] >= 1
+            assert client.retries >= 1
+    pool.shutdown()
+
+
 # ---------------------------------------------------------------------- #
 # The concurrent hammer: no cross-request bleed under load
 # ---------------------------------------------------------------------- #

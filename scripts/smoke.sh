@@ -29,6 +29,33 @@ python -m repro.cli index --dataset figure-1b --db "$smoke_db" --add
 python -m repro.cli search --db "$smoke_db" --backend corpus "xml keyword search"
 rm -rf "$(dirname "$smoke_db")"
 
+echo "== end-to-end: ranked top-k retrieval (search --top-k) =="
+python -m repro.cli search --dataset figure-1a --top-k 3 "xml keyword search"
+
+echo "== end-to-end: served rank op (threshold top-k over the wire) =="
+python - <<'PY'
+from repro.datasets import publications_tree, team_tree
+from repro.service import EnginePool, ServerThread, ServiceClient
+
+pool = EnginePool.for_backend(
+    "corpus",
+    trees={"publications": publications_tree(), "team": team_tree()},
+    workers=2)
+try:
+    with ServerThread(pool) as server:
+        with ServiceClient(*server.address) as client:
+            response = client.rank_response("xml keyword search", top_k=3,
+                                            early_terminate=True)
+            stats = response["rank_stats"]
+            assert response["ranking"], "rank op returned no rows"
+            assert stats["early_terminated"] and stats["top_k"] == 3, stats
+            assert stats["docs_visited"] <= stats["docs_selected"], stats
+            print(f"rank op ok: {len(response['ranking'])} rows, "
+                  f"visited {stats['docs_visited']}/{stats['docs_selected']}")
+finally:
+    pool.shutdown()
+PY
+
 echo "== differential corpus fuzz (seeded) =="
 make fuzz-smoke
 

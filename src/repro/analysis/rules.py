@@ -45,9 +45,9 @@ The rules and what they protect:
 ``bench-honesty``
     A function that writes a ``BENCH_*.json`` artefact must first call one
     of the verification guards (``require_verified_payload``,
-    ``verify_service_reports``, ``_verify_parity``, ``_verify_corpus_union``
-    or ``run_core_bench`` itself) so no fast-but-wrong number is ever
-    persisted.
+    ``verify_service_reports``, ``_verify_parity``, ``_verify_corpus_union``,
+    ``_verify_ranking_equivalence`` or ``run_core_bench`` itself) so no
+    fast-but-wrong number is ever persisted.
 
 ``metrics-discipline``
     Every ``registry.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``
@@ -656,6 +656,7 @@ class BenchHonestyRule(Rule):
         "verify_service_reports",
         "_verify_parity",
         "_verify_corpus_union",
+        "_verify_ranking_equivalence",
         "run_core_bench",
     })
     WRITER_NAMES = frozenset({"open", "write_json", "write_csv"})

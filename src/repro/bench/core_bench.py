@@ -23,6 +23,7 @@ from ..corpus import CorpusSearchEngine
 from ..datasets import DBLPConfig, dblp_workload, generate_dblp
 from ..obs import MetricsRegistry
 from ..obs import names as metric_names
+from ..xmltree import TreeBuilder, XMLTree
 from .harness import (
     DatasetSpec,
     _average_timed_passes,
@@ -39,6 +40,14 @@ DEFAULT_ALGORITHMS = ("validrtf", "maxmatch")
 
 class RepresentationParityError(AssertionError):
     """Packed and object engines disagreed on a query (never acceptable)."""
+
+
+class RankingEquivalenceError(AssertionError):
+    """Early-terminated top-k disagreed with the exhaustive ranking.
+
+    The threshold driver's entire claim is "same answer, fewer documents";
+    a bench that timed a divergent run would be quoting the speed of a
+    wrong result."""
 
 
 def _result_fingerprint(result) -> Tuple:
@@ -122,6 +131,8 @@ def run_core_bench(datasets: Sequence[str] = ("dblp",),
         "corpus": run_corpus_bench(doc_count=corpus_docs,
                                    repetitions=repetitions, limit=limit,
                                    verify=verify) if corpus_docs else None,
+        "ranking": run_ranking_bench(repetitions=repetitions, limit=limit,
+                                     verify=verify) if corpus_docs else None,
         "observability": run_obs_overhead_bench(
             repetitions=repetitions, limit=limit, specs=specs),
     }
@@ -263,6 +274,133 @@ def run_corpus_bench(doc_count: int = 3, publications_per_doc: int = 200,
             round(corpus_total / sequential_total, 4)
             if sequential_total else None),
     }
+
+
+def run_ranking_bench(doc_count: int = 6, publications_per_doc: int = 120,
+                      top_k: int = 5, algorithm: str = "validrtf",
+                      repetitions: int = 2, limit: Optional[int] = None,
+                      verify: bool = True) -> Dict[str, object]:
+    """The ranked-retrieval row of ``BENCH_core.json``.
+
+    Partitions one ``doc_count * publications_per_doc``-record DBLP
+    bibliography into ``doc_count`` per-document shards (the realistic
+    corpus shape: rare workload terms — plant counts of a handful across
+    the whole bibliography — genuinely live in only a few shards, the
+    regime where keyword-impact upper bounds have teeth) and, per workload
+    query, times top-k retrieval exhaustively versus with the
+    threshold-algorithm driver.
+
+    ``verify=True`` (the bench-honesty contract) first asserts the two
+    paths return the *identical* ranking — same documents, roots and
+    bit-identical scores — and raises :class:`RankingEquivalenceError`
+    otherwise; only then is anything timed.  ``docs_visited_over_selected``
+    < 1 is the observable win: the driver answered the same top-k while
+    provably skipping the remaining documents.
+    """
+    trees = _partitioned_dblp_corpus(doc_count, publications_per_doc)
+    engine = CorpusSearchEngine.from_trees(trees, backend="memory")
+    queries = list(dblp_workload())
+    if limit is not None:
+        queries = queries[:limit]
+    entries: List[Dict[str, object]] = []
+    exhaustive_total = 0.0
+    early_total = 0.0
+    visited_total = 0
+    selected_total = 0
+    for query in queries:
+        if verify:
+            _verify_ranking_equivalence(engine, query, algorithm, top_k)
+        outcome = engine.rank_search(query.text, algorithm, top_k=top_k,
+                                     early_terminate=True)
+        exhaustive_seconds = _average_timed_passes(
+            lambda q=query.text: engine.rank_search(q, algorithm,
+                                                    top_k=top_k),
+            repetitions)
+        early_seconds = _average_timed_passes(
+            lambda q=query.text: engine.rank_search(q, algorithm,
+                                                    top_k=top_k,
+                                                    early_terminate=True),
+            repetitions)
+        exhaustive_total += exhaustive_seconds
+        early_total += early_seconds
+        visited_total += outcome.docs_visited
+        selected_total += outcome.docs_selected
+        entries.append({
+            "query": query.label,
+            "keywords": query.text,
+            "algorithm": algorithm,
+            "exhaustive_ms": round(exhaustive_seconds * 1000.0, 4),
+            "early_ms": round(early_seconds * 1000.0, 4),
+            "docs_visited": outcome.docs_visited,
+            "docs_selected": outcome.docs_selected,
+        })
+    return {
+        "documents": doc_count,
+        "publications_per_document": publications_per_doc,
+        "top_k": top_k,
+        "verified_equivalence": bool(verify),
+        "entries": entries,
+        "exhaustive_total_ms": round(exhaustive_total * 1000.0, 4),
+        "early_total_ms": round(early_total * 1000.0, 4),
+        "early_over_exhaustive": (
+            round(early_total / exhaustive_total, 4)
+            if exhaustive_total else None),
+        "docs_visited": visited_total,
+        "docs_selected": selected_total,
+        "docs_visited_over_selected": (
+            round(visited_total / selected_total, 4)
+            if selected_total else None),
+    }
+
+
+def _partitioned_dblp_corpus(doc_count: int, publications_per_doc: int,
+                             seed: int = 2009) -> Dict[str, "XMLTree"]:
+    """One DBLP bibliography split into ``doc_count`` per-shard documents.
+
+    Unlike generating each document independently (which plants every
+    vocabulary term at least once per document), partitioning preserves the
+    bibliography's global term frequencies — a term planted 3 times lands
+    in at most 3 shards, so per-document keyword impacts actually differ.
+    """
+    whole = generate_dblp(DBLPConfig(
+        publications=doc_count * publications_per_doc, seed=seed))
+    records = whole.root.children
+    shards: Dict[str, XMLTree] = {}
+    for index in range(doc_count):
+        builder = TreeBuilder("dblp", name=f"dblp-part-{index:02d}")
+        start = index * publications_per_doc
+        for record in records[start:start + publications_per_doc]:
+            _copy_subtree(builder, record)
+        shards[f"dblp-{index:02d}"] = builder.build()
+    return shards
+
+
+def _copy_subtree(builder: "TreeBuilder", node) -> None:
+    """Re-emit one subtree under the builder's current element."""
+    builder.element(node.label, text=node.text,
+                    attributes=dict(node.attributes or {}))
+    for child in node.children:
+        _copy_subtree(builder, child)
+    builder.up()
+
+
+def _ranking_fingerprint(ranked) -> Tuple:
+    """Everything the equivalence guard compares (order, docs, raw scores)."""
+    return tuple((entry.doc_id, str(entry.fragment.root), entry.score)
+                 for entry in ranked)
+
+
+def _verify_ranking_equivalence(engine, query, algorithm, top_k) -> None:
+    """Early-terminated and exhaustive top-k must be byte-identical."""
+    exhaustive = engine.rank_search(query.text, algorithm, top_k=top_k)
+    early = engine.rank_search(query.text, algorithm, top_k=top_k,
+                               early_terminate=True)
+    if _ranking_fingerprint(exhaustive.ranked) != \
+            _ranking_fingerprint(early.ranked):
+        raise RankingEquivalenceError(
+            f"ranking/{algorithm}/{query.label}: early-terminated top-"
+            f"{top_k} diverged from the exhaustive ranking "
+            f"(visited {early.docs_visited}/{early.docs_selected} documents)")
 
 
 def _verify_corpus_union(corpus_engine, per_doc_engines, query,

@@ -107,15 +107,17 @@ def export_run(run: WorkloadRun, directory: PathLike,
 
 
 def require_verified_payload(payload: Dict[str, object]) -> None:
-    """Refuse core-bench payloads whose parity guard did not run.
+    """Refuse core-bench payloads whose verification guards did not run.
 
     :func:`~repro.bench.core_bench.run_core_bench` records whether the
     packed-vs-object parity sweep (and the corpus union check) ran under
-    ``protocol.verified_parity``.  An unverified payload may contain
+    ``protocol.verified_parity``, and whether the ranking section's
+    early-vs-exhaustive equality guard ran under
+    ``ranking.verified_equivalence``.  An unverified payload may contain
     fast-but-wrong numbers, so persisting it as the ``BENCH_core.json``
-    artefact is forbidden — re-run without ``--no-verify``.
+    artefact is forbidden — re-run with verify=True.
     """
-    from .core_bench import RepresentationParityError
+    from .core_bench import RankingEquivalenceError, RepresentationParityError
 
     protocol = payload.get("protocol")
     verified = isinstance(protocol, dict) and protocol.get("verified_parity")
@@ -123,6 +125,15 @@ def require_verified_payload(payload: Dict[str, object]) -> None:
         raise RepresentationParityError(
             "refusing to persist an unverified core-bench payload "
             "(protocol.verified_parity is not set); re-run with verify=True")
+    ranking = payload.get("ranking")
+    if ranking is not None and not (
+            isinstance(ranking, dict) and
+            ranking.get("verified_equivalence")):
+        raise RankingEquivalenceError(
+            "refusing to persist a core-bench payload whose ranking section "
+            "skipped the early-vs-exhaustive equality guard "
+            "(ranking.verified_equivalence is not set); re-run with "
+            "verify=True")
 
 
 def write_core_bench(payload: Dict[str, object],

@@ -167,6 +167,14 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--trace", action="store_true",
                         help="print the per-stage span tree (tokenize → "
                              "postings → lca → fragments) with wall times")
+    search.add_argument("--top-k", type=int, default=None, metavar="K",
+                        help="rank the fragments (corpus-comparable scores) "
+                             "and print only the K best")
+    search.add_argument("--early-terminate", action="store_true",
+                        help="with --top-k on a corpus backend: visit "
+                             "documents in score-upper-bound order and stop "
+                             "once the K-th score provably cannot be beaten "
+                             "(same answer, fewer documents searched)")
     search.set_defaults(handler=_command_search)
 
     compare = subparsers.add_parser("compare",
@@ -541,6 +549,10 @@ def _command_verify(arguments: argparse.Namespace) -> int:
 def _command_search(arguments: argparse.Namespace) -> int:
     engine = _build_engine(arguments)
     query = _resolve_query(arguments.query)
+    if arguments.top_k is not None:
+        return _ranked_search(engine, query, arguments)
+    if arguments.early_terminate:
+        raise CliError("--early-terminate needs --top-k")
     if arguments.trace:
         from .obs import render_trace
 
@@ -553,6 +565,42 @@ def _command_search(arguments: argparse.Namespace) -> int:
     if arguments.trace:
         print()
         print(render_trace(trace))
+    return 0
+
+
+def _ranked_search(engine, query: str, arguments: argparse.Namespace) -> int:
+    """``search --top-k``: corpus-comparable ranked retrieval."""
+    from .core import SearchError, explain_score, render_score_explanation
+
+    if arguments.top_k < 0:
+        raise CliError("--top-k must be non-negative")
+    try:
+        if isinstance(engine, CorpusSearchEngine):
+            outcome = engine.rank_search(
+                query, arguments.algorithm, top_k=arguments.top_k,
+                early_terminate=arguments.early_terminate)
+            rows = [(entry.doc_id, entry.ranked) for entry in outcome.ranked]
+            visit_note = (f"  documents visited: {outcome.docs_visited}"
+                          f"/{outcome.docs_selected}")
+        else:
+            if arguments.early_terminate:
+                raise CliError("--early-terminate needs a corpus backend "
+                               "(serve several documents with "
+                               "--backend corpus)")
+            ranked = engine.rank(engine.search(query, arguments.algorithm))
+            rows = [(None, fragment)
+                    for fragment in ranked[:arguments.top_k]]
+            visit_note = ""
+    except SearchError as error:
+        raise CliError(str(error)) from None
+    print(f"query: {query}  algorithm: {arguments.algorithm}  "
+          f"backend: {engine.backend_id}  top-k: {arguments.top_k}"
+          f"{visit_note}")
+    for position, (doc_id, fragment) in enumerate(rows, start=1):
+        where = f"[{doc_id}] " if doc_id is not None else ""
+        print(f"{position:3d}. {where}root {fragment.fragment.root}")
+        print(render_score_explanation(explain_score(fragment),
+                                       indent="     "))
     return 0
 
 

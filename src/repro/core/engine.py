@@ -10,7 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..index import InvertedIndex, PostingSource, REPRESENTATIONS
+from ..index import (
+    InvertedIndex,
+    PostingSource,
+    REPRESENTATIONS,
+    keyword_impact,
+)
 from ..obs import MetricsRegistry, Trace
 from ..obs import names as metric_names
 from ..text import ContentAnalyzer
@@ -30,7 +35,13 @@ from .metrics import EffectivenessReport, effectiveness
 from .node_record import CID_MODES
 from .pipeline import FragmentPipeline
 from .query import Query, QueryLike
-from .ranking import RankedFragment, RankingWeights, rank_result
+from .ranking import (
+    RankedFragment,
+    RankingWeights,
+    ScoreBounds,
+    bounds_from_impacts,
+    rank_result,
+)
 from .validrtf import ValidRTF, ValidRTFSLCA
 
 #: Names accepted by :meth:`SearchEngine.search`.
@@ -325,13 +336,32 @@ class SearchEngine:
                                     maxmatch=maxmatch_result, report=report)
         return outcome, trace
 
+    def score_bounds(self, query: QueryLike) -> ScoreBounds:
+        """Normalization bounds for one query, from impact metadata.
+
+        Derived from the per-keyword impact metadata of this document's
+        posting source — never from a result's fragments — so the same
+        query always ranks on the same scale regardless of what matched.
+        """
+        parsed = Query.parse(query)
+        return bounds_from_impacts(keyword_impact(self.source, keyword)
+                                   for keyword in parsed.keywords)
+
     def rank(self, result: SearchResult,
-             weights: RankingWeights = RankingWeights()) -> List[RankedFragment]:
-        """Rank a result's fragments (future-work extension, Section 7)."""
+             weights: RankingWeights = RankingWeights(),
+             bounds: Optional[ScoreBounds] = None) -> List[RankedFragment]:
+        """Rank a result's fragments (future-work extension, Section 7).
+
+        ``bounds`` defaults to this document's own :meth:`score_bounds`;
+        corpus callers pass the corpus-global bounds instead so per-document
+        scores stay comparable across documents.
+        """
         if self.tree is None:
             raise SearchError("ranking needs a resident tree; this engine is "
                               "running purely source-backed")
-        return rank_result(self.tree, result, weights)
+        if bounds is None:
+            bounds = self.score_bounds(result.query)
+        return rank_result(self.tree, result, weights, bounds=bounds)
 
     # ------------------------------------------------------------------ #
     # Explanations

@@ -308,3 +308,62 @@ def _covering_sibling(child: NodeRecord,
                 (child.keyword_mask & other.keyword_mask) == child.keyword_mask:
             return other.dewey
     return None
+
+
+# ---------------------------------------------------------------------- #
+# Score explanations (Lucene-``explain``-style component breakdown)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScoreComponent:
+    """One additive term of a ranked fragment's score.
+
+    ``contribution`` is exactly ``weight * value`` — the float the scoring
+    expression added for this component.
+    """
+
+    name: str
+    value: float
+    weight: float
+    contribution: float
+
+
+@dataclass(frozen=True)
+class ScoreExplanation:
+    """A served score reconstructed from its components.
+
+    The components appear in scoring order (specificity, compactness,
+    coverage); summing their contributions left to right reproduces
+    ``score`` bit for bit, because :func:`explain_score` computes them with
+    the same expression :func:`~repro.core.ranking.combine_score` uses.
+    """
+
+    score: float
+    components: Tuple[ScoreComponent, ...]
+
+
+def explain_score(ranked: "RankedFragment",
+                  weights: Optional["RankingWeights"] = None
+                  ) -> ScoreExplanation:
+    """Break one ranked fragment's score into verifiable components."""
+    from .ranking import RankingWeights
+    normalized = (weights or RankingWeights()).normalized()
+    components = tuple(
+        ScoreComponent(name=name, value=value, weight=weight,
+                       contribution=weight * value)
+        for name, value, weight in (
+            ("specificity", ranked.specificity, normalized.specificity),
+            ("compactness", ranked.compactness, normalized.compactness),
+            ("coverage", ranked.coverage, normalized.coverage),
+        ))
+    return ScoreExplanation(score=ranked.score, components=components)
+
+
+def render_score_explanation(explanation: ScoreExplanation,
+                             indent: str = "") -> str:
+    """Human-readable rendering of one score breakdown."""
+    lines = [f"{indent}score = {explanation.score:.6f}"]
+    for component in explanation.components:
+        lines.append(f"{indent}  {component.contribution:.6f} = "
+                     f"{component.weight:.4f} (weight) x "
+                     f"{component.value:.6f} ({component.name})")
+    return "\n".join(lines)

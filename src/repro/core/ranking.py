@@ -6,12 +6,28 @@ explainable ranking so downstream users can order results:
 
 * **specificity** — deeper fragment roots rank higher (a tighter context is
   usually more meaningful than the document root);
-* **compactness** — fewer kept nodes per matched keyword rank higher;
+* **compactness** — smaller fragments rank higher;
 * **coverage** — fragments whose kept keyword nodes match more distinct query
   keywords directly (rather than through shared nodes) rank higher.
 
-The score is a weighted sum of the three normalized components; weights are
-explicit so experiments can ablate them.
+The score is a weighted sum of the three components.  Every component is an
+**absolute** quantity in ``[0, 1]``:
+
+* ``specificity = root.level / bounds.max_depth``, normalized against
+  :class:`ScoreBounds` — the deepest keyword-node level over the whole
+  corpus (derived from the per-keyword impact metadata, see
+  :func:`repro.index.source.keyword_impact`), not against the local result;
+* ``compactness = 1 / size`` — no normalization needed;
+* ``coverage = matched keywords / query size``.
+
+Normalizing against shared bounds (rather than each result's own maxima, as
+an earlier revision did) is what makes scores **comparable across
+documents**: :func:`merge_ranked` interleaves per-document scores, which is
+only meaningful when every document was scored on the same scale.  It is
+also what enables threshold-style early termination — an upper bound on any
+document's best score can be computed from impact metadata alone
+(:func:`combine_score` with each component replaced by its upper bound),
+without running the search pipeline on the document.
 """
 
 from __future__ import annotations
@@ -19,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from heapq import merge as _heap_merge
 from itertools import islice
-from typing import List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from ..text import ContentAnalyzer
 from ..xmltree import XMLTree
@@ -36,11 +52,62 @@ class RankingWeights:
     coverage: float = 1.0
 
     def normalized(self) -> "RankingWeights":
+        for name in ("specificity", "compactness", "coverage"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(
+                    f"ranking weight {name!r} must be non-negative, got "
+                    f"{value!r} (a negative weight would silently invert "
+                    f"the component it scales)")
         total = self.specificity + self.compactness + self.coverage
         if total <= 0:
             raise ValueError("ranking weights must sum to a positive value")
         return RankingWeights(self.specificity / total, self.compactness / total,
                               self.coverage / total)
+
+
+@dataclass(frozen=True)
+class ScoreBounds:
+    """Corpus-global normalization bounds shared by every scored fragment.
+
+    ``max_depth`` is the deepest Dewey level (root = 0, floor 1) of any
+    query-keyword node across the documents being ranked together — derived
+    from impact metadata, **never** from the fragments themselves, so the
+    exhaustive and early-terminated ranking paths normalize identically.
+    """
+
+    max_depth: int
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError(
+                f"ScoreBounds.max_depth must be >= 1, got {self.max_depth}")
+
+
+def bounds_from_impacts(impacts: Iterable) -> ScoreBounds:
+    """Build :class:`ScoreBounds` from per-keyword impact metadata.
+
+    ``impacts`` iterates :class:`~repro.index.source.KeywordImpact` entries
+    (any mix of documents and keywords); absent keywords contribute nothing.
+    """
+    deepest = max((impact.max_depth for impact in impacts if impact.count),
+                  default=0)
+    return ScoreBounds(max_depth=max(deepest, 1))
+
+
+def combine_score(normalized: RankingWeights, specificity: float,
+                  compactness: float, coverage: float) -> float:
+    """The weighted score, in one canonical float-operation order.
+
+    Real scores and threshold-algorithm upper bounds must flow through this
+    same expression: IEEE-754 addition and multiplication by a non-negative
+    weight are monotone, so a bound computed here from component-wise upper
+    bounds is guaranteed ``>=`` any score computed here from the true
+    component values.
+    """
+    return (normalized.specificity * specificity
+            + normalized.compactness * compactness
+            + normalized.coverage * coverage)
 
 
 @dataclass(frozen=True)
@@ -56,23 +123,30 @@ class RankedFragment:
 
 def rank_fragments(tree: XMLTree, query: Query,
                    fragments: Sequence[PrunedFragment],
-                   weights: RankingWeights = RankingWeights()) -> List[RankedFragment]:
-    """Rank fragments by the weighted specificity/compactness/coverage score."""
+                   weights: RankingWeights = RankingWeights(),
+                   bounds: Optional[ScoreBounds] = None
+                   ) -> List[RankedFragment]:
+    """Rank fragments by the weighted specificity/compactness/coverage score.
+
+    ``bounds`` carries the shared normalization scale; corpus callers derive
+    it from impact metadata so scores are comparable across documents.  When
+    omitted (standalone single-result use) the fragments' own deepest root
+    stands in — scores are then only comparable within this one call.
+    """
     if not fragments:
         return []
     normalized = weights.normalized()
     analyzer = ContentAnalyzer(tree)
-    max_depth = max(fragment.root.level for fragment in fragments) or 1
-    max_size = max(fragment.size for fragment in fragments) or 1
+    if bounds is None:
+        bounds = ScoreBounds(max_depth=max(
+            max(fragment.root.level for fragment in fragments), 1))
 
     ranked: List[RankedFragment] = []
     for fragment in fragments:
-        specificity = fragment.root.level / max_depth if max_depth else 0.0
-        compactness = 1.0 - (fragment.size - 1) / max_size
+        specificity = fragment.root.level / bounds.max_depth
+        compactness = 1.0 / max(fragment.size, 1)
         coverage = _coverage(tree, analyzer, query, fragment)
-        score = (normalized.specificity * specificity
-                 + normalized.compactness * compactness
-                 + normalized.coverage * coverage)
+        score = combine_score(normalized, specificity, compactness, coverage)
         ranked.append(RankedFragment(fragment, score, specificity, compactness,
                                      coverage))
     ranked.sort(key=lambda item: (-item.score, item.fragment.root))
@@ -105,7 +179,8 @@ def merge_ranked(per_document: Mapping[str, Sequence[RankedFragment]],
     :func:`rank_fragments` order), so the corpus ranking is a k-way heap
     merge keyed on ``(-score, doc id, root)`` — deterministic across runs and
     backends, and with ``top_k`` only the first ``k`` entries are ever pulled
-    off the merge.
+    off the merge.  The per-document scores must share one
+    :class:`ScoreBounds` scale for this interleaving to be meaningful.
     """
     if top_k is not None and top_k < 0:
         raise ValueError(f"top_k must be >= 0, got {top_k}")
@@ -124,9 +199,11 @@ def merge_ranked(per_document: Mapping[str, Sequence[RankedFragment]],
 
 
 def rank_result(tree: XMLTree, result: SearchResult,
-                weights: RankingWeights = RankingWeights()) -> List[RankedFragment]:
+                weights: RankingWeights = RankingWeights(),
+                bounds: Optional[ScoreBounds] = None) -> List[RankedFragment]:
     """Rank the fragments of a whole :class:`SearchResult`."""
-    return rank_fragments(tree, result.query, result.fragments, weights)
+    return rank_fragments(tree, result.query, result.fragments, weights,
+                          bounds=bounds)
 
 
 def _coverage(tree: XMLTree, analyzer: ContentAnalyzer, query: Query,

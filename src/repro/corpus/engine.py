@@ -18,6 +18,7 @@ answers, the contract the differential fuzz harness enforces.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -33,9 +34,13 @@ from ..obs import names as metric_names
 from ..core.ranking import (
     DocumentRankedFragment,
     RankingWeights,
+    ScoreBounds,
+    bounds_from_impacts,
+    combine_score,
     merge_ranked,
     rank_result,
 )
+from ..index import KeywordImpact, keyword_impact
 from ..storage import MemoryStore, SQLiteStore
 from ..storage.errors import DocumentNotFound
 from ..xmltree import XMLTree
@@ -46,6 +51,31 @@ from .source import (
     corpus_from_trees,
     unknown_documents_error,
 )
+
+
+@dataclass(frozen=True)
+class RankedCorpusSearch:
+    """Outcome of one ranked corpus retrieval, with visit accounting.
+
+    ``ranked`` is the corpus-level (top-k capped) ranking.  ``docs_visited``
+    counts the documents whose search pipeline actually ran;
+    ``docs_skipped`` the ones the threshold driver proved irrelevant from
+    impact metadata alone (missing keyword, or score upper bound beaten by
+    the k-th ranked score).  The exhaustive path visits every selected
+    document, so ``docs_visited == docs_selected`` there — the
+    early-terminated/exhaustive ratio of these counters is the benchmark's
+    headline number.
+    """
+
+    query: Query
+    algorithm: str
+    top_k: Optional[int]
+    early_terminated: bool
+    ranked: Tuple[DocumentRankedFragment, ...]
+    docs_selected: int
+    docs_visited: int
+    docs_skipped: int
+    bounds: ScoreBounds
 
 
 @dataclass(frozen=True)
@@ -299,15 +329,48 @@ class CorpusSearchEngine:
         return outcome, trace
 
     # ------------------------------------------------------------------ #
-    # Ranking (corpus-level top-k merge)
+    # Ranking (corpus-level top-k merge + threshold-algorithm driver)
     # ------------------------------------------------------------------ #
-    def rank(self, result: CorpusSearchResult,
-             weights: RankingWeights = RankingWeights(),
-             top_k: Optional[int] = None) -> List[DocumentRankedFragment]:
-        """Merge the per-document rankings of a corpus result into one list."""
+    def _require_trees(self) -> None:
         if not self.trees:
             raise SearchError("ranking needs resident trees; this corpus "
                               "engine is running purely source-backed")
+
+    def score_bounds(self, query: QueryLike) -> ScoreBounds:
+        """Corpus-global normalization bounds for one query.
+
+        Computed over **every** corpus document (independent of any
+        ``doc_filter``), so a document's fragments score identically whether
+        ranked alone, filtered, or corpus-wide — the comparability contract
+        :func:`~repro.core.ranking.merge_ranked` relies on.
+        """
+        parsed = Query.parse(query)
+        return bounds_from_impacts(
+            impact
+            for doc_id in self.source.doc_ids
+            for impact in self._keyword_impacts(doc_id, parsed))
+
+    def _keyword_impacts(self, doc_id: str,
+                         parsed: Query) -> List[KeywordImpact]:
+        """The per-keyword impact metadata of one document."""
+        source = self._engines[doc_id].source
+        return [keyword_impact(source, keyword)
+                for keyword in parsed.keywords]
+
+    def rank(self, result: CorpusSearchResult,
+             weights: RankingWeights = RankingWeights(),
+             top_k: Optional[int] = None,
+             bounds: Optional[ScoreBounds] = None
+             ) -> List[DocumentRankedFragment]:
+        """Merge the per-document rankings of a corpus result into one list.
+
+        Every document is scored against the same corpus-global
+        :class:`ScoreBounds` (derived from impact metadata), so the merged
+        scores are genuinely comparable across documents.
+        """
+        self._require_trees()
+        if bounds is None:
+            bounds = self.score_bounds(result.query)
         per_document = {}
         for entry in result.documents:
             tree = self.trees.get(entry.doc_id)
@@ -315,17 +378,117 @@ class CorpusSearchEngine:
                 raise SearchError(f"no resident tree for corpus document "
                                   f"{entry.doc_id!r}; cannot rank it")
             per_document[entry.doc_id] = rank_result(tree, entry.result,
-                                                     weights)
+                                                     weights, bounds=bounds)
         return merge_ranked(per_document, top_k=top_k)
+
+    def rank_search(self, query: QueryLike, algorithm: str = "validrtf",
+                    top_k: Optional[int] = None,
+                    doc_filter: Optional[Sequence[str]] = None,
+                    weights: RankingWeights = RankingWeights(),
+                    early_terminate: bool = False) -> RankedCorpusSearch:
+        """Ranked corpus retrieval, optionally with early termination.
+
+        The exhaustive path searches every selected document, ranks, and
+        merges.  With ``early_terminate=True`` (which requires ``top_k``) a
+        threshold-algorithm driver runs instead: documents are visited in
+        descending score-upper-bound order — the bound combines each
+        document's reachable specificity (``min`` over the query keywords of
+        the keyword's deepest node level, since a fragment root is an
+        ancestor of one node per keyword) with the trivial component bounds
+        1.0, through the same float expression real scores use — and the
+        loop stops as soon as the k-th ranked score **strictly** exceeds the
+        next document's bound (a tie must keep going: doc-id ordering could
+        still admit the tied document).  Documents lacking any query keyword
+        are skipped outright (an empty posting list empties the whole
+        result).  Both paths return byte-identical rankings; only the visit
+        counters differ.
+        """
+        self._require_trees()
+        parsed = Query.parse(query)
+        if early_terminate and top_k is None:
+            raise ValueError("early_terminate=True needs a top_k bound to "
+                             "terminate against")
+        normalized = weights.normalized()
+        selected = self._selected(doc_filter)
+        if not early_terminate:
+            bounds = self.score_bounds(parsed)
+            result = self.search(parsed, algorithm, doc_filter=doc_filter)
+            ranked = self.rank(result, weights=weights, top_k=top_k,
+                               bounds=bounds)
+            outcome = RankedCorpusSearch(
+                query=parsed, algorithm=algorithm, top_k=top_k,
+                early_terminated=False, ranked=tuple(ranked),
+                docs_selected=len(selected), docs_visited=len(selected),
+                docs_skipped=0, bounds=bounds)
+            return self._noted_rank(outcome)
+
+        # One impact fetch per (document, keyword): the same pass feeds the
+        # corpus-global bounds and the per-document upper bounds.
+        impacts_by_doc = {doc_id: self._keyword_impacts(doc_id, parsed)
+                          for doc_id in self.source.doc_ids}
+        bounds = bounds_from_impacts(
+            impact for impacts in impacts_by_doc.values()
+            for impact in impacts)
+        candidates: List[Tuple[float, str]] = []
+        for doc_id in selected:
+            impacts = impacts_by_doc[doc_id]
+            if any(impact.empty for impact in impacts):
+                continue  # a missing keyword provably empties the result
+            reachable = (min(impact.max_depth for impact in impacts)
+                         / bounds.max_depth)
+            upper = combine_score(normalized, reachable, 1.0, 1.0)
+            candidates.append((-upper, doc_id))
+        candidates.sort()
+
+        per_document: Dict[str, List] = {}
+        # Min-heap of the k best scores seen so far; its root is the k-th
+        # ranked score, the only value the stop test needs — the full merge
+        # happens once, after the loop.
+        kth_best: List[float] = []
+        visited = 0
+        if top_k > 0:
+            for negative_bound, doc_id in candidates:
+                if len(kth_best) >= top_k and kth_best[0] > -negative_bound:
+                    break  # the k-th score provably cannot be beaten
+                result = self._engines[doc_id].search(parsed, algorithm)
+                visited += 1
+                if self._contributes(result):
+                    ranked = rank_result(self.trees[doc_id], result, weights,
+                                         bounds=bounds)
+                    per_document[doc_id] = ranked
+                    for item in ranked:
+                        if len(kth_best) < top_k:
+                            heapq.heappush(kth_best, item.score)
+                        else:
+                            heapq.heappushpop(kth_best, item.score)
+        merged = merge_ranked(per_document, top_k=top_k)
+        outcome = RankedCorpusSearch(
+            query=parsed, algorithm=algorithm, top_k=top_k,
+            early_terminated=True, ranked=tuple(merged),
+            docs_selected=len(selected), docs_visited=visited,
+            docs_skipped=len(selected) - visited, bounds=bounds)
+        return self._noted_rank(outcome)
+
+    def _noted_rank(self, outcome: RankedCorpusSearch) -> RankedCorpusSearch:
+        if self.metrics is not None:
+            self.metrics.counter(
+                metric_names.CORPUS_RANK_DOCS_VISITED).inc(
+                    outcome.docs_visited)
+            self.metrics.counter(
+                metric_names.CORPUS_RANK_DOCS_SKIPPED).inc(
+                    outcome.docs_skipped)
+        return outcome
 
     def search_ranked(self, query: QueryLike, algorithm: str = "validrtf",
                       top_k: Optional[int] = None,
                       doc_filter: Optional[Sequence[str]] = None,
-                      weights: RankingWeights = RankingWeights()
+                      weights: RankingWeights = RankingWeights(),
+                      early_terminate: bool = False
                       ) -> List[DocumentRankedFragment]:
         """Search the corpus and return the merged top-k ranked fragments."""
-        return self.rank(self.search(query, algorithm, doc_filter=doc_filter),
-                         weights=weights, top_k=top_k)
+        return list(self.rank_search(
+            query, algorithm, top_k=top_k, doc_filter=doc_filter,
+            weights=weights, early_terminate=early_terminate).ranked)
 
     # ------------------------------------------------------------------ #
     # Cache / mode plumbing (aggregated over the per-document engines)

@@ -11,7 +11,13 @@ from .packed import (
     pack_component_tuples,
     pack_deweys,
 )
-from .source import PostingSource
+from .source import (
+    EMPTY_IMPACT,
+    KeywordImpact,
+    PostingSource,
+    impact_from_postings,
+    keyword_impact,
+)
 from .statistics import (
     DocumentProfile,
     KeywordFrequency,
@@ -22,8 +28,12 @@ from .statistics import (
 )
 
 __all__ = [
+    "EMPTY_IMPACT",
     "EMPTY_PACKED",
     "InvertedIndex",
+    "KeywordImpact",
+    "impact_from_postings",
+    "keyword_impact",
     "PackedDeweyList",
     "PostingList",
     "PostingSource",

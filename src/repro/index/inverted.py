@@ -92,6 +92,7 @@ class InvertedIndex:
         self.analyzer = ContentAnalyzer(tree, tokenizer)
         self._postings: Dict[str, Sequence[DeweyCode]] = {}
         self._node_words: Dict[DeweyCode, FrozenSet[str]] = {}
+        self._impacts: Dict[str, "KeywordImpact"] = {}
         self._build()
 
     def _build(self) -> None:
@@ -158,6 +159,22 @@ class InvertedIndex:
     def frequency(self, keyword: str) -> int:
         """Number of keyword nodes containing ``keyword``."""
         return len(self.postings(keyword))
+
+    def impact(self, keyword: str) -> "KeywordImpact":
+        """Posting count + deepest node level of one keyword (memoized).
+
+        The memory backend has no shred-time metadata to read back, so the
+        impact is derived from the resident posting list on first request
+        and cached — the lazy-compute arm of the ranking metadata seam
+        (:func:`repro.index.source.keyword_impact`).
+        """
+        from .source import impact_from_postings  # source.py imports us
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        cached = self._impacts.get(normalized)
+        if cached is None:
+            cached = impact_from_postings(self._postings.get(normalized, ()))
+            self._impacts[normalized] = cached
+        return cached
 
     @property
     def source_id(self) -> str:

@@ -22,18 +22,21 @@ The protocol has two layers:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
     Iterable,
     List,
     Optional,
+    Sequence,
     runtime_checkable,
     Protocol,
 )
 
 from ..xmltree import DeweyCode
 from .inverted import PostingList
+from .packed import PackedDeweyList
 
 
 @runtime_checkable
@@ -82,3 +85,65 @@ class PostingSource(Protocol):
     def node_words(self, dewey: DeweyCode) -> FrozenSet[str]:
         """The content word set ``C_v`` of one document node."""
         ...
+
+
+@dataclass(frozen=True)
+class KeywordImpact:
+    """Per-(document, keyword) ranking metadata.
+
+    ``count`` is the keyword's posting-list length (its document frequency
+    within one document) and ``max_depth`` the deepest Dewey **level** (root
+    = 0) of any node containing the keyword.  Both are exact integers derived
+    from the posting list alone, so every backend — packed blobs written at
+    shred time, legacy databases, in-memory indexes — agrees bit for bit,
+    which is what lets the corpus ranking derive score bounds from them
+    without consulting the posting lists themselves.
+
+    An absent keyword has ``count == 0`` (its ``max_depth`` is meaningless
+    and pinned to 0).
+    """
+
+    count: int
+    max_depth: int
+
+    @property
+    def empty(self) -> bool:
+        """True when the keyword does not occur at all."""
+        return self.count == 0
+
+
+#: The impact of a keyword with no postings.
+EMPTY_IMPACT = KeywordImpact(count=0, max_depth=0)
+
+
+def impact_from_postings(deweys: Sequence[DeweyCode]) -> KeywordImpact:
+    """Compute a :class:`KeywordImpact` directly from a posting list.
+
+    This is the lazy fallback every source without precomputed metadata
+    shares, and the definition the precomputed paths must agree with.
+    """
+    count = len(deweys)
+    if not count:
+        return EMPTY_IMPACT
+    if isinstance(deweys, PackedDeweyList):
+        # Component counts straight off the offset table — no DeweyCode
+        # objects are materialized (depth = component count = level + 1).
+        deepest = max(deweys.depth(index) for index in range(count)) - 1
+    else:
+        deepest = max(dewey.level for dewey in deweys)
+    return KeywordImpact(count=count, max_depth=deepest)
+
+
+def keyword_impact(source: PostingSource, keyword: str) -> KeywordImpact:
+    """The impact metadata of one (raw) keyword on any posting source.
+
+    Sources that precompute (or cheaply derive) the metadata expose an
+    optional ``impact(keyword)`` method; everything else falls back to a
+    posting-list scan.  ``impact`` is deliberately *not* part of the
+    :class:`PostingSource` protocol — backends opt in, and the fallback keeps
+    every existing source rankable.
+    """
+    impact = getattr(source, "impact", None)
+    if impact is not None:
+        return impact(keyword)
+    return impact_from_postings(source.postings(keyword).deweys)

@@ -53,6 +53,11 @@ SEGMENT_TOMBSTONE_HITS = "segment.tombstone_hits"
 CORPUS_DOCS_SEARCHED = "corpus.docs_searched"
 CORPUS_DOCS_MATCHED = "corpus.docs_matched"
 
+# Ranked top-k retrieval (threshold-algorithm driver): how many documents
+# the driver actually searched vs provably skipped via score upper bounds.
+CORPUS_RANK_DOCS_VISITED = "corpus.rank.docs_visited"
+CORPUS_RANK_DOCS_SKIPPED = "corpus.rank.docs_skipped"
+
 # --------------------------------------------------------------------- #
 # Serving layer (service-level registry)
 # --------------------------------------------------------------------- #

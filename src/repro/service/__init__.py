@@ -66,8 +66,10 @@ from .protocol import (
     encode_message,
     error_response,
     ok_response,
+    rank_stats_payload,
     ranking_payload,
     result_payload,
+    score_explanation_payload,
 )
 from .server import SearchServer, SearchService, ServerThread, ServiceConfig
 
@@ -99,8 +101,10 @@ __all__ = [
     "ok_response",
     "loadtest",
     "percentile",
+    "rank_stats_payload",
     "ranking_payload",
     "result_payload",
+    "score_explanation_payload",
     "run_closed_loop",
     "run_open_loop",
     "ServiceBenchIntegrityError",

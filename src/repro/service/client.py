@@ -213,15 +213,42 @@ class ServiceClient:
 
     def rank(self, query: str, algorithm: str = "validrtf",
              cid_mode: Optional[str] = None,
-             doc_filter: Optional[list] = None) -> Dict[str, object]:
-        """Ranked fragment payload for one query (memory backend only)."""
+             doc_filter: Optional[list] = None,
+             top_k: Optional[int] = None, early_terminate: bool = False,
+             explain: bool = False) -> Dict[str, object]:
+        """Ranked fragment payload for one query (memory backend only).
+
+        ``top_k`` truncates to the k best fragments; ``early_terminate``
+        (corpus backends, requires ``top_k``) lets the threshold driver skip
+        provably-unneeded documents; ``explain`` attaches a per-component
+        score breakdown to every row.
+        """
+        return self.rank_response(
+            query, algorithm, cid_mode=cid_mode, doc_filter=doc_filter,
+            top_k=top_k, early_terminate=early_terminate,
+            explain=explain)["ranking"]
+
+    def rank_response(self, query: str, algorithm: str = "validrtf",
+                      cid_mode: Optional[str] = None,
+                      doc_filter: Optional[list] = None,
+                      top_k: Optional[int] = None,
+                      early_terminate: bool = False,
+                      explain: bool = False) -> Dict[str, object]:
+        """The full rank response — ``ranking`` plus (on corpus backends)
+        the ``rank_stats`` visit accounting of the retrieval driver."""
         message: Dict[str, object] = {"op": "rank", "query": query,
                                       "algorithm": algorithm}
         if cid_mode is not None:
             message["cid_mode"] = cid_mode
         if doc_filter is not None:
             message["doc_filter"] = list(doc_filter)
-        return self._checked(message)["ranking"]
+        if top_k is not None:
+            message["top_k"] = top_k
+        if early_terminate:
+            message["early_terminate"] = True
+        if explain:
+            message["explain"] = True
+        return self._checked(message)
 
     def update(self, doc: str, xml: str,
                idempotency_key: Optional[str] = None) -> Dict[str, object]:

@@ -388,13 +388,26 @@ class EnginePool:
             query, cid_mode)
 
     def rank(self, query: QueryLike, algorithm: str = "validrtf",
-             cid_mode: Optional[str] = None) -> Future:
-        """Search then rank on one worker (needs a resident tree)."""
+             cid_mode: Optional[str] = None, top_k: Optional[int] = None,
+             early_terminate: bool = False) -> Future:
+        """Search then rank on one worker (needs a resident tree).
+
+        Corpus engines run the full ranked-retrieval driver (returning a
+        :class:`~repro.corpus.engine.RankedCorpusSearch` with visit
+        accounting); single-document engines rank their one document and
+        truncate to ``top_k`` — there is nothing to early-terminate over,
+        so the flag is a no-op there.
+        """
         def ranked(engine: SearchEngine, q: QueryLike, a: str,
-                   m: Optional[str]) -> object:
+                   m: Optional[str], k: Optional[int], early: bool) -> object:
             engine = self._with_cid_mode(engine, m)
-            return engine.rank(engine.search(q, a))
-        return self.submit(ranked, query, algorithm, cid_mode)
+            if getattr(engine, "is_corpus", False):
+                return engine.rank_search(q, a, top_k=k,
+                                          early_terminate=early)
+            fragments = engine.rank(engine.search(q, a))
+            return fragments if k is None else fragments[:k]
+        return self.submit(ranked, query, algorithm, cid_mode, top_k,
+                           early_terminate)
 
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection

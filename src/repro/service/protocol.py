@@ -29,10 +29,11 @@ import json
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.engine import ComparisonOutcome
+from ..core.explain import ScoreExplanation, explain_score
 from ..core.fragments import SearchResult
 from ..core.metrics import EffectivenessReport
 from ..core.ranking import DocumentRankedFragment, RankedFragment
-from ..corpus.engine import CorpusComparisonOutcome
+from ..corpus.engine import CorpusComparisonOutcome, RankedCorpusSearch
 from ..corpus.result import CorpusSearchResult
 
 #: Malformed JSON, missing fields, unparseable queries.
@@ -172,11 +173,14 @@ def _report_payload(report: EffectivenessReport) -> Dict[str, object]:
     }
 
 
-def ranking_payload(ranked: Sequence) -> List[Dict[str, object]]:
+def ranking_payload(ranked: Sequence,
+                    explain: bool = False) -> List[Dict[str, object]]:
     """The canonical payload of a ranked fragment list.
 
     Corpus rankings (:class:`DocumentRankedFragment` entries) additionally
-    carry the owning doc id.
+    carry the owning doc id.  With ``explain=True`` each row also carries a
+    per-component score breakdown (:func:`~repro.core.explain.explain_score`)
+    whose contributions sum to the served score bit for bit.
     """
     payload: List[Dict[str, object]] = []
     for entry in ranked:
@@ -195,8 +199,44 @@ def ranking_payload(ranked: Sequence) -> List[Dict[str, object]]:
         }
         if doc_id is not None:
             row["doc"] = doc_id
+        if explain:
+            row["explanation"] = score_explanation_payload(
+                explain_score(fragment))
         payload.append(row)
     return payload
+
+
+def score_explanation_payload(explanation: "ScoreExplanation"
+                              ) -> Dict[str, object]:
+    """One score breakdown as a wire object (components in scoring order)."""
+    return {
+        "score": explanation.score,
+        "components": [
+            {
+                "name": component.name,
+                "value": component.value,
+                "weight": component.weight,
+                "contribution": component.contribution,
+            }
+            for component in explanation.components
+        ],
+    }
+
+
+def rank_stats_payload(outcome: "RankedCorpusSearch") -> Dict[str, object]:
+    """The visit accounting of one ranked corpus retrieval.
+
+    ``docs_visited < docs_selected`` is the observable proof that the
+    threshold driver skipped work; the parity contract guarantees the
+    ranking itself is identical either way.
+    """
+    return {
+        "docs_selected": outcome.docs_selected,
+        "docs_visited": outcome.docs_visited,
+        "docs_skipped": outcome.docs_skipped,
+        "early_terminated": outcome.early_terminated,
+        "top_k": outcome.top_k,
+    }
 
 
 # ---------------------------------------------------------------------- #

@@ -66,6 +66,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 from ..core import ALGORITHM_NAMES, Query, SearchEngine
 from ..core.errors import EmptyQueryError, SearchError
 from ..corpus import CorpusSearchEngine
+from ..corpus.engine import RankedCorpusSearch
 from ..core.node_record import CID_MODES
 from ..faults import FaultPlan
 from ..obs import MetricsRegistry, Snapshot, merge_snapshots, split_series_key
@@ -93,6 +94,7 @@ from .protocol import (
     encode_message,
     error_response,
     ok_response,
+    rank_stats_payload,
     ranking_payload,
     result_payload,
 )
@@ -374,11 +376,13 @@ class SearchService:
     @staticmethod
     def _filtered_rank(engine: Union[SearchEngine, CorpusSearchEngine],
                        query: str, algorithm: str, cid_mode: Optional[str],
-                       doc_filter: Sequence[str]) -> object:
+                       doc_filter: Sequence[str], top_k: Optional[int],
+                       early_terminate: bool) -> object:
         return SearchService._run_filtered(
             engine, cid_mode, doc_filter,
-            lambda e: e.search_ranked(query, algorithm,
-                                      doc_filter=doc_filter))
+            lambda e: e.rank_search(query, algorithm, top_k=top_k,
+                                    doc_filter=doc_filter,
+                                    early_terminate=early_terminate))
 
     async def _search(self, request: Dict[str, object]) -> Dict[str, object]:
         query, algorithm, cid_mode = self._validated(request)
@@ -408,22 +412,52 @@ class SearchService:
             outcome = await self.admission.run(asyncio.wrap_future(future))
         return ok_response(comparison=comparison_payload(outcome))
 
+    @staticmethod
+    def _rank_options(request: Dict[str, object]
+                      ) -> Tuple[Optional[int], bool, bool]:
+        """Validate the rank op's (top_k, early_terminate, explain) fields."""
+        top_k = request.get("top_k")
+        if top_k is not None and (isinstance(top_k, bool) or
+                                  not isinstance(top_k, int) or top_k < 0):
+            raise ServiceError(ERROR_BAD_REQUEST,
+                               "top_k must be a non-negative integer")
+        flags = {}
+        for field in ("early_terminate", "explain"):
+            value = request.get(field, False)
+            if not isinstance(value, bool):
+                raise ServiceError(ERROR_BAD_REQUEST,
+                                   f"{field} must be a boolean")
+            flags[field] = value
+        if flags["early_terminate"] and top_k is None:
+            raise ServiceError(ERROR_BAD_REQUEST,
+                               "early_terminate needs a top_k bound to "
+                               "terminate against")
+        return top_k, flags["early_terminate"], flags["explain"]
+
     async def _rank(self, request: Dict[str, object]) -> Dict[str, object]:
         query, algorithm, cid_mode = self._validated(request)
         doc_filter = self._doc_filter(request)
+        top_k, early_terminate, explain = self._rank_options(request)
         with self.admission:
             try:
                 if doc_filter is None:
-                    future = self.pool.rank(query, algorithm, cid_mode)
+                    future = self.pool.rank(query, algorithm, cid_mode,
+                                            top_k=top_k,
+                                            early_terminate=early_terminate)
                 else:
-                    future = self.pool.submit(self._filtered_rank, query,
-                                              algorithm, cid_mode, doc_filter)
+                    future = self.pool.submit(
+                        self._filtered_rank, query, algorithm, cid_mode,
+                        doc_filter, top_k, early_terminate)
                 ranked = await self.admission.run(asyncio.wrap_future(future))
             except SearchError as error:
                 # Ranking needs a resident tree; tree-free disk backends
                 # answer with the typed "unsupported" error instead of 500s.
                 raise ServiceError(ERROR_UNSUPPORTED, str(error)) from None
-        return ok_response(ranking=ranking_payload(ranked))
+        if isinstance(ranked, RankedCorpusSearch):
+            return ok_response(
+                ranking=ranking_payload(ranked.ranked, explain=explain),
+                rank_stats=rank_stats_payload(ranked))
+        return ok_response(ranking=ranking_payload(ranked, explain=explain))
 
     # ------------------------------------------------------------------ #
     # Live mutations

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..index.source import KeywordImpact, impact_from_postings
 from ..text import DEFAULT_TOKENIZER, Tokenizer
 from ..xmltree import DeweyCode, XMLTree
 from .errors import DocumentAlreadyStored, DocumentNotFound
@@ -91,6 +92,15 @@ class MemoryStore:
     def keyword_frequency(self, name: str, keyword: str) -> int:
         """Number of nodes containing ``keyword``."""
         return len(self.keyword_deweys(name, keyword))
+
+    def keyword_impact(self, name: str, keyword: str) -> KeywordImpact:
+        """Posting count + deepest node level of one keyword (lazy).
+
+        The in-memory store keeps no derived metadata, so this is always
+        the posting-list fallback — the definition the shred-time sqlite
+        column must agree with (enforced by the backend-parity suite).
+        """
+        return impact_from_postings(self.keyword_deweys(name, keyword))
 
     def vocabulary(self, name: str) -> List[str]:
         """Every distinct keyword of one document, sorted."""

@@ -30,6 +30,7 @@ from heapq import merge as _heap_merge
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..index import PostingList
+from ..index.source import EMPTY_IMPACT, KeywordImpact, impact_from_postings
 from ..index.packed import (
     EMPTY_PACKED,
     PackedDeweyList,
@@ -136,6 +137,22 @@ class StorePostingSource:
         if cached is not None:
             return len(cached)
         return self.store.keyword_frequency(self.document, normalized)
+
+    def impact(self, keyword: str) -> KeywordImpact:
+        """Posting count + deepest node level of one keyword.
+
+        An LRU-resident posting list answers locally; otherwise the store's
+        metadata path (shred-time ``max_depth`` column on sqlite, lazy scan
+        elsewhere) answers without decoding a posting list.
+        """
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        cached = self._lru_get(normalized)
+        if cached is not None:
+            return impact_from_postings(cached)
+        store_impact = getattr(self.store, "keyword_impact", None)
+        if store_impact is not None:
+            return store_impact(self.document, normalized)
+        return impact_from_postings(self._deweys(normalized))
 
     def vocabulary(self) -> List[str]:
         """Every indexed word of the document, sorted."""
@@ -566,6 +583,31 @@ class ShardedPostingSource:
         if not found:
             raise self._missing_everywhere()
         return total
+
+    def impact(self, keyword: str) -> KeywordImpact:
+        """Combined impact across shards.
+
+        Shards partition the node set, so counts add and the deepest level
+        is the per-shard maximum.
+        """
+        from ..index.source import keyword_impact as _impact_of
+        count = 0
+        max_depth = 0
+        found = False
+        for shard in self.shards:
+            try:
+                impact = _impact_of(shard, keyword)
+                found = True
+            except DocumentNotFound:
+                continue
+            count += impact.count
+            if impact.count:
+                max_depth = max(max_depth, impact.max_depth)
+        if not found:
+            raise self._missing_everywhere()
+        if not count:
+            return EMPTY_IMPACT
+        return KeywordImpact(count=count, max_depth=max_depth)
 
     def vocabulary(self) -> List[str]:
         """Sorted union of the shards' vocabularies."""

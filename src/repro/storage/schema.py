@@ -91,13 +91,19 @@ CREATE_TABLES_SQL: Tuple[str, ...] = (
     # (see repro.index.packed).  Loading a posting list becomes one row
     # fetch + one C-speed column rebuild instead of one string decode per
     # posting row.  The value table remains the row-per-(node, word) ground
-    # truth; the blob is a derived, ingestion-time artefact.
+    # truth; the blob is a derived, ingestion-time artefact.  ``max_depth``
+    # is the keyword's impact metadata (deepest Dewey level of its nodes,
+    # root = 0) written at shred time; together with ``cardinality`` it lets
+    # the corpus ranking derive score upper bounds without reading a single
+    # blob.  ``-1`` marks rows written before the column existed — readers
+    # recompute lazily from the value table.
     """
     CREATE TABLE IF NOT EXISTS posting (
         document    TEXT NOT NULL,
         keyword     TEXT NOT NULL,
         cardinality INTEGER NOT NULL,
         blob        BLOB NOT NULL,
+        max_depth   INTEGER NOT NULL DEFAULT -1,
         PRIMARY KEY (document, keyword)
     )
     """,
@@ -163,6 +169,7 @@ CREATE_TABLES_SQL: Tuple[str, ...] = (
         keyword     TEXT NOT NULL,
         cardinality INTEGER NOT NULL,
         blob        BLOB NOT NULL,
+        max_depth   INTEGER NOT NULL DEFAULT -1,
         PRIMARY KEY (segment_id, document, keyword)
     )
     """,
@@ -198,6 +205,34 @@ CREATE_TABLES_SQL: Tuple[str, ...] = (
     "CREATE INDEX IF NOT EXISTS idx_mutation_journal_key "
     "ON mutation_journal (idempotency_key)",
 )
+
+#: ``max_depth`` value marking a posting row written before the impact
+#: column existed; readers treat it as "unknown" and recompute lazily.
+UNKNOWN_MAX_DEPTH = -1
+
+#: Tables carrying the per-keyword impact column (added after the packed
+#: posting tables shipped, hence the in-place upgrade below).
+IMPACT_COLUMN_TABLES: Tuple[str, ...] = ("posting", "segment_posting")
+
+
+def ensure_impact_columns(connection) -> None:
+    """Grow the ``max_depth`` impact column on legacy database files.
+
+    ``CREATE TABLE IF NOT EXISTS`` never alters an existing table, so files
+    written before the impact metadata existed would keep the four-column
+    layout forever; this adds the column (defaulted to
+    :data:`UNKNOWN_MAX_DEPTH`, i.e. "recompute lazily") the first time such
+    a file is opened.  Idempotent and cheap — one ``PRAGMA table_info`` per
+    table on every open, ``ALTER TABLE`` only on the first.
+    """
+    for table in IMPACT_COLUMN_TABLES:
+        columns = {row[1] for row in
+                   connection.execute(f"PRAGMA table_info({table})")}
+        if columns and "max_depth" not in columns:
+            connection.execute(
+                f"ALTER TABLE {table} ADD COLUMN max_depth INTEGER "
+                f"NOT NULL DEFAULT {UNKNOWN_MAX_DEPTH}")
+
 
 #: Dewey codes are stored as dotted strings; padding each component keeps the
 #: lexicographic string order identical to document order for components below

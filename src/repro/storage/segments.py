@@ -57,6 +57,7 @@ from typing import (Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
 
 from ..faults.plan import InjectedCrash
 from ..index.packed import PackedDeweyList, merge_packed
+from ..index.source import EMPTY_IMPACT, KeywordImpact, impact_from_postings
 from ..obs import MetricsRegistry
 from ..obs import names as metric_names
 from ..text import DEFAULT_TOKENIZER, Tokenizer
@@ -68,7 +69,7 @@ from .posting_source import (
     SQLitePostingSource,
     _chunked,
 )
-from .schema import decode_dewey, encode_dewey
+from .schema import UNKNOWN_MAX_DEPTH, decode_dewey, encode_dewey
 from .shredder import ShreddedDocument, packed_posting_rows, shred_tree
 from .sqlite_backend import SQLiteStore
 
@@ -432,9 +433,11 @@ class SegmentedStore(SQLiteStore):
                      for row in shredded.values])
                 cursor.executemany(
                     "INSERT INTO segment_posting (segment_id, document, "
-                    "keyword, cardinality, blob) VALUES (?, ?, ?, ?, ?)",
-                    [(segment_id, shredded.name, keyword, cardinality, blob)
-                     for keyword, cardinality, blob in postings])
+                    "keyword, cardinality, blob, max_depth) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    [(segment_id, shredded.name, keyword, cardinality, blob,
+                      max_depth)
+                     for keyword, cardinality, blob, max_depth in postings])
                 connection.commit()
             except InjectedCrash:
                 # Simulated process death: leave the database exactly as
@@ -533,9 +536,9 @@ class SegmentedStore(SQLiteStore):
                             (segment_id, document))
                         cursor.execute(
                             "INSERT INTO posting (document, keyword, "
-                            "cardinality, blob) "
-                            "SELECT document, keyword, cardinality, blob "
-                            "FROM segment_posting "
+                            "cardinality, blob, max_depth) "
+                            "SELECT document, keyword, cardinality, blob, "
+                            "max_depth FROM segment_posting "
                             "WHERE segment_id = ? AND document = ?",
                             (segment_id, document))
                         folded += 1
@@ -679,6 +682,27 @@ class SegmentedStore(SQLiteStore):
             "SELECT COUNT(DISTINCT dewey) FROM segment_value "
             "WHERE segment_id = ? AND document = ? AND keyword = ?",
             location, name, normalized)
+
+    def keyword_impact(self, name: str, keyword: str) -> KeywordImpact:
+        location = self._live_location(name)
+        if location == BASE_GENERATION:
+            return super().keyword_impact(name, keyword)
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        rows = self._connection.execute(
+            "SELECT cardinality, max_depth FROM segment_posting "
+            "WHERE segment_id = ? AND document = ? AND keyword = ?",
+            (location, name, normalized)).fetchall()
+        if not rows:
+            # Segments always carry packed rows, so absence means the
+            # keyword does not occur in this document version.
+            return EMPTY_IMPACT
+        if len(rows) == 1 and int(rows[0][1]) != UNKNOWN_MAX_DEPTH:
+            return KeywordImpact(count=int(rows[0][0]),
+                                 max_depth=int(rows[0][1]))
+        # Several live cursors (or a sentinel row): derive from the merged
+        # posting list — counts cannot simply add across cursors because
+        # they may share Dewey codes.
+        return impact_from_postings(self.keyword_deweys(name, normalized))
 
     def vocabulary(self, name: str) -> List[str]:
         location = self._live_location(name)

@@ -68,24 +68,28 @@ def shred_tree(tree: XMLTree, name: str = "",
 
 
 def packed_posting_rows(shredded: ShreddedDocument
-                        ) -> List[Tuple[str, int, bytes]]:
+                        ) -> List[Tuple[str, int, bytes, int]]:
     """Derive the ``posting`` table rows of one shredded document.
 
     Groups the value rows by keyword, deduplicates and document-order sorts
     the Dewey codes (the padded string encoding sorts like document order) and
     serializes each list as one prefix-truncated packed blob — the
     ingestion-time counterpart of the per-row decode the packed read path
-    skips.  Returns ``(keyword, cardinality, blob)`` tuples.
+    skips.  Returns ``(keyword, cardinality, blob, max_depth)`` tuples, where
+    ``max_depth`` is the deepest Dewey level (root = 0) of the keyword's
+    nodes — the shred-time impact metadata the corpus ranking derives its
+    score bounds from (``cardinality`` doubles as the posting count).
     """
     by_keyword: Dict[str, Set[str]] = {}
     for row in shredded.values:
         by_keyword.setdefault(row.keyword, set()).add(row.dewey)
-    rows: List[Tuple[str, int, bytes]] = []
+    rows: List[Tuple[str, int, bytes, int]] = []
     for keyword in sorted(by_keyword):
         deweys = sorted(by_keyword[keyword])
-        packed = pack_component_tuples(
-            (decode_dewey(text) for text in deweys), presorted=True)
-        rows.append((keyword, len(packed), packed.to_blob()))
+        components = [decode_dewey(text) for text in deweys]
+        packed = pack_component_tuples(components, presorted=True)
+        max_depth = max(len(parts) for parts in components) - 1
+        rows.append((keyword, len(packed), packed.to_blob(), max_depth))
     return rows
 
 

@@ -15,10 +15,17 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..index.packed import PackedDeweyList
+from ..index.source import EMPTY_IMPACT, KeywordImpact, impact_from_postings
 from ..text import DEFAULT_TOKENIZER, Tokenizer
 from ..xmltree import DeweyCode, XMLTree
 from .errors import DocumentAlreadyStored, DocumentNotFound
-from .schema import CREATE_TABLES_SQL, decode_dewey, encode_dewey
+from .schema import (
+    CREATE_TABLES_SQL,
+    UNKNOWN_MAX_DEPTH,
+    decode_dewey,
+    encode_dewey,
+    ensure_impact_columns,
+)
 from .shredder import ShreddedDocument, packed_posting_rows, shred_tree
 
 
@@ -98,6 +105,8 @@ class SQLiteStore:
             connection.execute("PRAGMA journal_mode = MEMORY")
             for statement in CREATE_TABLES_SQL:
                 connection.execute(statement)
+            # Legacy files predate the impact column; grow it in place.
+            ensure_impact_columns(connection)
             connection.commit()
             with self._connections_lock:
                 self._connections.append(connection)
@@ -156,10 +165,11 @@ class SQLiteStore:
              for row in shredded.values],
         )
         cursor.executemany(
-            "INSERT INTO posting (document, keyword, cardinality, blob) "
-            "VALUES (?, ?, ?, ?)",
-            [(shredded.name, keyword, cardinality, blob)
-             for keyword, cardinality, blob in packed_posting_rows(shredded)],
+            "INSERT INTO posting (document, keyword, cardinality, blob, "
+            "max_depth) VALUES (?, ?, ?, ?, ?)",
+            [(shredded.name, keyword, cardinality, blob, max_depth)
+             for keyword, cardinality, blob, max_depth
+             in packed_posting_rows(shredded)],
         )
         self._connection.commit()
         return shredded
@@ -230,6 +240,28 @@ class SQLiteStore:
             (name, normalized),
         ).fetchone()
         return PackedDeweyList.from_blob(row[0]) if row else None
+
+    def keyword_impact(self, name: str, keyword: str) -> KeywordImpact:
+        """Posting count + deepest node level of one keyword.
+
+        Served straight from the shred-time ``posting`` row when the impact
+        column carries a real value; rows predating the column (``max_depth
+        == -1``) and documents predating packed ingestion fall back to a
+        value-table scan, so legacy files stay rankable without a rewrite.
+        """
+        self._require(name)
+        normalized = self.tokenizer.normalize_keyword(keyword)
+        row = self._connection.execute(
+            "SELECT cardinality, max_depth FROM posting "
+            "WHERE document = ? AND keyword = ?",
+            (name, normalized),
+        ).fetchone()
+        if row is not None and int(row[1]) != UNKNOWN_MAX_DEPTH:
+            return KeywordImpact(count=int(row[0]), max_depth=int(row[1]))
+        if row is None and self.has_packed_postings(name):
+            # Packed-era document, keyword simply absent.
+            return EMPTY_IMPACT
+        return impact_from_postings(self.keyword_deweys(name, normalized))
 
     def keyword_nodes(self, name: str, keywords: Iterable[str]
                       ) -> Dict[str, List[DeweyCode]]:

@@ -27,6 +27,7 @@ from repro.corpus import (
 )
 from repro.datasets import PAPER_QUERIES, publications_tree, team_tree
 from repro.index.packed import PackedDeweyList
+from repro.service import rank_stats_payload, ranking_payload
 from repro.storage.errors import DocumentNotFound
 from repro.xmltree import SubtreeSpec, tree_from_spec
 
@@ -147,6 +148,59 @@ def test_corpus_golden_spans_multiple_documents():
     assert len(cross["documents"]) >= 2
     assert [entry["doc"] for entry in cross["documents"]] == \
         sorted(entry["doc"] for entry in cross["documents"])
+
+
+# ---------------------------------------------------------------------- #
+# Ranked golden regression
+# ---------------------------------------------------------------------- #
+#: The ranked golden pins the early-terminated top-3 ranking (wire rows and
+#: visit accounting) of the corpus3 queries for every algorithm, so a
+#: refactor that shifts scores, order or the threshold driver's skipping on
+#: every backend identically still fails here.
+RANKED_TOP_K = 3
+
+
+@pytest.fixture(scope="module")
+def ranked_corpus3_engines():
+    """corpus3 engines with resident trees (ranking needs them) per backend."""
+    trees = corpus3_trees()
+    return {backend: CorpusSearchEngine(
+        corpus_from_trees(trees, backend=backend, shard_count=2), trees=trees)
+        for backend in CORPUS3_BACKENDS}
+
+
+def _ranked_entry(engine, text, algorithm):
+    outcome = engine.rank_search(text, algorithm, top_k=RANKED_TOP_K,
+                                 early_terminate=True)
+    return {"ranking": ranking_payload(outcome.ranked),
+            "rank_stats": rank_stats_payload(outcome)}
+
+
+@pytest.mark.parametrize("backend", CORPUS3_BACKENDS)
+def test_ranked_corpus_matches_stored_truth(ranked_corpus3_engines, backend):
+    golden = load_golden("corpus_ranked")
+    assert golden["top_k"] == RANKED_TOP_K
+    engine = ranked_corpus3_engines[backend]
+    for query_name, entry in golden["queries"].items():
+        for algorithm in ALGORITHM_NAMES:
+            assert _ranked_entry(engine, entry["text"], algorithm) == \
+                entry["algorithms"][algorithm], \
+                (query_name, algorithm, backend)
+
+
+def test_ranked_golden_accounting_is_consistent():
+    """The pinned truth itself proves the threshold driver skips work."""
+    golden = load_golden("corpus_ranked")
+    skipped_anywhere = False
+    for entry in golden["queries"].values():
+        for algorithm_entry in entry["algorithms"].values():
+            stats = algorithm_entry["rank_stats"]
+            assert stats["docs_visited"] + stats["docs_skipped"] == \
+                stats["docs_selected"]
+            assert stats["early_terminated"] is True
+            assert stats["top_k"] == golden["top_k"]
+            skipped_anywhere |= stats["docs_skipped"] > 0
+    assert skipped_anywhere, "no golden query ever skipped a document"
 
 
 # ---------------------------------------------------------------------- #
@@ -329,6 +383,21 @@ def _regenerate() -> None:
                                        CORPUS_UPDATED_QUERIES))
     store.close()
     print(f"updated-corpus golden regenerated at {path}")
+    ranked_trees = corpus3_trees()
+    ranked_engine = CorpusSearchEngine(
+        corpus_from_trees(ranked_trees, shard_count=2), trees=ranked_trees)
+    ranked_payload = {"dataset": "corpus_ranked", "top_k": RANKED_TOP_K,
+                      "queries": {}}
+    for query_name, text in CORPUS3_QUERIES.items():
+        ranked_payload["queries"][query_name] = {
+            "text": text,
+            "algorithms": {
+                algorithm: _ranked_entry(ranked_engine, text, algorithm)
+                for algorithm in ALGORITHM_NAMES
+            },
+        }
+    path = save_golden("corpus_ranked", ranked_payload)
+    print(f"ranked-corpus golden regenerated at {path}")
 
 
 if __name__ == "__main__":

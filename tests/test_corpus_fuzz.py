@@ -34,6 +34,7 @@ from fuzz_util import (
 )
 from repro.core import ALGORITHM_NAMES
 from repro.faults import InjectedCrash
+from repro.service.protocol import encode_message, ranking_payload
 from repro.storage import SegmentedStore, verify_database
 
 SEEDS = (1, 2, 3)
@@ -243,6 +244,73 @@ def test_crash_at_every_kill_point_recovers(representation, tmp_path):
         _apply(store, state, kind, name, tree)
     store.close()
     assert verify_database(db).clean
+
+
+# ---------------------------------------------------------------------- #
+# Ranked retrieval fuzz: determinism across the backend matrix and the
+# threshold driver's byte-identity with the exhaustive path (the
+# early-termination contract of ``CorpusSearchEngine.rank_search``).
+# ---------------------------------------------------------------------- #
+def test_ranked_answers_deterministic_across_backends():
+    """Every backend × representation serves the same ranked wire bytes.
+
+    Ranking reads impact metadata (count, max node depth) from the posting
+    store, so a backend that shreds or migrates that metadata differently
+    would silently reorder results — the canonical wire encoding catches
+    any drift, including float-formatting differences in the scores.  The
+    disk backends run tree-free under ``from_trees``, so the engines here
+    are built with the trees kept resident explicitly.
+    """
+    from repro.corpus import CorpusSearchEngine, corpus_from_trees
+
+    for seed in SEEDS:
+        trees = random_corpus(seed)
+        queries = random_queries(seed)
+        rankings = {}
+        for backend in BACKENDS:
+            for representation in REPRESENTATIONS:
+                source = corpus_from_trees(trees, backend=backend,
+                                           representation=representation,
+                                           shard_count=2)
+                engine = CorpusSearchEngine(source, trees=trees)
+                rankings[(backend, representation)] = [
+                    encode_message({"query": query,
+                                    "ranking": ranking_payload(
+                                        engine.search_ranked(query))})
+                    for query in queries]
+        reference = rankings[("memory", "packed")]
+        for key, lines in rankings.items():
+            assert lines == reference, (seed, *key)
+
+
+def test_early_termination_is_byte_identical_to_exhaustive():
+    """The threshold driver never changes the answer, only the visit count.
+
+    For seeded random corpora and every interesting ``top_k`` (empty, tiny,
+    corpus-sized, oversized), ``early_terminate=True`` must produce wire
+    bytes identical to the exhaustive path, and its visit accounting must
+    stay consistent (visited + skipped == selected, never more visits than
+    the exhaustive pass).
+    """
+    for seed in SEEDS:
+        trees = random_corpus(seed)
+        engine = build_corpus_engine(trees, "memory", "packed")
+        for query in random_queries(seed):
+            for top_k in (0, 1, 2, len(trees), len(trees) + 3):
+                exhaustive = engine.rank_search(query, top_k=top_k)
+                early = engine.rank_search(query, top_k=top_k,
+                                           early_terminate=True)
+                context = (seed, query, top_k)
+                assert encode_message(
+                    {"ranking": ranking_payload(early.ranked)}) == \
+                    encode_message(
+                        {"ranking": ranking_payload(exhaustive.ranked)}), \
+                    context
+                assert early.docs_visited <= exhaustive.docs_visited, context
+                assert early.docs_visited + early.docs_skipped == \
+                    early.docs_selected, context
+                assert exhaustive.docs_visited == \
+                    exhaustive.docs_selected, context
 
 
 def test_corpus_sharding_never_changes_answers():

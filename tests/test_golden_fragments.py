@@ -20,8 +20,8 @@ _TREES = {"publications": publications_tree, "team": team_tree}
 
 
 def test_golden_files_exist():
-    assert golden_datasets() == ["corpus3", "corpus_updated",
-                                 "publications", "team"]
+    assert golden_datasets() == ["corpus3", "corpus_ranked",
+                                 "corpus_updated", "publications", "team"]
 
 
 @pytest.fixture(scope="module")

@@ -343,6 +343,77 @@ def test_rank_on_memory_backend_works(served, publications):
             [str(fragment.fragment.root) for fragment in direct]
 
 
+def test_rank_on_tree_free_corpus_is_unsupported(tmp_path):
+    """A corpus served from a database runs tree-free: the rank op must
+    answer the typed ``unsupported`` error, not ``internal``."""
+    from repro.storage import SegmentedStore
+
+    db = str(tmp_path / "treefree.db")
+    store = SegmentedStore(db)
+    store.store_tree(publications_tree(), "publications")
+    store.store_tree(team_tree(), "team")
+    store.close()
+    pool = EnginePool.for_backend("corpus", db_path=db, workers=2)
+    try:
+        with ServerThread(pool) as server:
+            with ServiceClient(*server.address) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.rank(PAPER_QUERIES["Q1"])
+                assert excinfo.value.code == "unsupported"
+                # The doc-filtered path dispatches differently; it must
+                # answer the same typed error.
+                with pytest.raises(ServiceError) as excinfo:
+                    client.rank(PAPER_QUERIES["Q1"],
+                                doc_filter=["publications"])
+                assert excinfo.value.code == "unsupported"
+    finally:
+        pool.shutdown()
+
+
+def test_served_corpus_rank_top_k_is_byte_identical(served_corpus):
+    from repro.service import rank_stats_payload, ranking_payload
+
+    server, reference = served_corpus
+    query = PAPER_QUERIES["Q2"]
+    with ServiceClient(*server.address) as client:
+        for early in (False, True):
+            response = client.rank_response(query, top_k=2,
+                                            early_terminate=early)
+            direct = reference.rank_search(query, top_k=2,
+                                           early_terminate=early)
+            assert encode_message({"ranking": response["ranking"]}) == \
+                encode_message({"ranking": ranking_payload(direct.ranked)})
+            assert response["rank_stats"] == rank_stats_payload(direct)
+
+
+def test_served_rank_explain_components_sum_to_score(served_corpus):
+    server, _ = served_corpus
+    with ServiceClient(*server.address) as client:
+        ranking = client.rank(PAPER_QUERIES["Q2"], top_k=3, explain=True)
+        assert ranking
+        for row in ranking:
+            explanation = row["explanation"]
+            assert explanation["score"] == row["score"]
+            assert sum(c["contribution"]
+                       for c in explanation["components"]) == \
+                pytest.approx(row["score"])
+
+
+def test_rank_option_errors_are_typed(served_corpus):
+    server, _ = served_corpus
+    with ServiceClient(*server.address) as client:
+        for request in (
+                {"op": "rank", "query": "xml", "top_k": -1},
+                {"op": "rank", "query": "xml", "top_k": True},
+                {"op": "rank", "query": "xml", "top_k": "five"},
+                {"op": "rank", "query": "xml", "early_terminate": True},
+                {"op": "rank", "query": "xml", "top_k": 3,
+                 "early_terminate": "yes"},
+                {"op": "rank", "query": "xml", "explain": 1}):
+            response = client.request(request)
+            assert response["error"]["code"] == "bad_request", request
+
+
 # ---------------------------------------------------------------------- #
 # Live mutations over the wire: update / delete_doc
 # ---------------------------------------------------------------------- #

@@ -137,6 +137,37 @@ class TestBackends:
         assert store.keyword_frequency("pub", "position") == 0
 
 
+@pytest.mark.parametrize("backend_class", BACKENDS)
+class TestKeywordImpact:
+    def test_impact_agrees_with_posting_scan(self, backend_class,
+                                             publications):
+        from repro.index import impact_from_postings
+
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        for keyword in ("liu", "xml", "keyword", "vldb", "article"):
+            impact = store.keyword_impact("pub", keyword)
+            expected = impact_from_postings(
+                store.keyword_deweys("pub", keyword))
+            assert impact == expected
+            assert impact.count == store.keyword_frequency("pub", keyword)
+
+    def test_absent_keyword_impact_is_empty(self, backend_class,
+                                            publications):
+        from repro.index import EMPTY_IMPACT
+
+        store = backend_class()
+        store.store_tree(publications, "pub")
+        impact = store.keyword_impact("pub", "absent")
+        assert impact == EMPTY_IMPACT
+        assert impact.empty
+
+    def test_missing_document_raises(self, backend_class):
+        store = backend_class()
+        with pytest.raises(DocumentNotFound):
+            store.keyword_impact("missing", "xml")
+
+
 class TestSQLiteSpecifics:
     def test_file_database_persists(self, tmp_path, publications):
         path = tmp_path / "store.db"
@@ -153,6 +184,43 @@ class TestSQLiteSpecifics:
             assert sequence is not None
             assert len(sequence.split(".")) == 3
             assert store.label_number_sequence("pub", D("0.9")) is None
+
+    def test_legacy_sentinel_rows_recompute_impact(self, tmp_path,
+                                                   publications):
+        # Rows written before the impact-metadata column carry the -1
+        # sentinel; the impact must then come from a lazy posting scan.
+        import sqlite3
+
+        from repro.index import impact_from_postings
+
+        path = tmp_path / "legacy.db"
+        with SQLiteStore(path) as store:
+            store.store_tree(publications, "pub")
+        with sqlite3.connect(path) as connection:
+            connection.execute("UPDATE posting SET max_depth = -1")
+        with SQLiteStore(path) as reopened:
+            impact = reopened.keyword_impact("pub", "liu")
+            assert impact == impact_from_postings(
+                reopened.keyword_deweys("pub", "liu"))
+            assert not impact.empty
+
+    def test_impact_column_added_to_pre_impact_database(self, tmp_path,
+                                                        publications):
+        # Opening a database created before the max_depth column migrates
+        # it in place (ALTER TABLE with the sentinel default).
+        import sqlite3
+
+        path = tmp_path / "old.db"
+        with SQLiteStore(path) as store:
+            store.store_tree(publications, "pub")
+        with sqlite3.connect(path) as connection:
+            connection.execute("ALTER TABLE posting DROP COLUMN max_depth")
+        with SQLiteStore(path) as reopened:
+            columns = {row[1] for row in reopened._connection.execute(
+                "PRAGMA table_info(posting)")}
+            assert "max_depth" in columns
+            impact = reopened.keyword_impact("pub", "liu")
+            assert impact.count == reopened.keyword_frequency("pub", "liu")
 
 
 class TestStoredDocumentSearch:
